@@ -1,0 +1,133 @@
+// Command tfrcsim regenerates the paper's evaluation figures. Each run
+// executes one experiment and prints gnuplot-ready rows to stdout.
+//
+// Usage:
+//
+//	tfrcsim -fig 2            # Figure 2 at default (laptop) scale
+//	tfrcsim -fig 6 -paper     # Figure 6 at the paper's full scale
+//	tfrcsim -fig 9 -seed 7    # change the random seed
+//	tfrcsim -list             # list available experiments
+//
+// Figures: 2 3 4 5 6 7 8 9 (includes 10) 11 (includes 12, 13) 14 15 16
+// (includes 17) 18 19 20 21.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tfrc/internal/exp"
+	"tfrc/internal/netsim"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to reproduce (2-21)")
+	paper := flag.Bool("paper", false, "use the paper's full-scale parameters (slow)")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("fig 2   Average Loss Interval dynamics under periodic loss")
+		fmt.Println("fig 3   send-rate oscillation vs buffer size (no spacing adjustment)")
+		fmt.Println("fig 4   send-rate oscillation vs buffer size (with adjustment)")
+		fmt.Println("fig 5   loss-event fraction vs Bernoulli loss probability")
+		fmt.Println("fig 6   normalized TCP throughput vs link rate × flows × queue")
+		fmt.Println("fig 7   per-flow normalized throughput at 15 Mb/s RED")
+		fmt.Println("fig 8   per-flow throughput traces (DropTail and RED)")
+		fmt.Println("fig 9   equivalence ratio and CoV vs timescale (incl. fig 10)")
+		fmt.Println("fig 11  ON/OFF background sweep (incl. figs 12, 13)")
+		fmt.Println("fig 14  queue dynamics: 40 TCP vs 40 TFRC flows")
+		fmt.Println("fig 15  3 TCP + 1 TFRC on the transcontinental path profile")
+		fmt.Println("fig 16  equivalence and CoV across path profiles (incl. fig 17)")
+		fmt.Println("fig 18  loss-predictor error vs history size and weighting")
+		fmt.Println("fig 19  rate increase after congestion ends")
+		fmt.Println("fig 20  rate decrease under persistent congestion")
+		fmt.Println("fig 21  round-trips to halve the rate vs initial drop rate")
+		return
+	}
+
+	w := os.Stdout
+	switch *fig {
+	case 2:
+		exp.RunFig02(exp.DefaultFig02()).Print(w)
+	case 3:
+		pr := exp.DefaultFig03()
+		pr.Seed = *seed
+		exp.RunFig03(pr).Print(w)
+	case 4:
+		pr := exp.DefaultFig04()
+		pr.Seed = *seed
+		exp.RunFig03(pr).Print(w)
+	case 5:
+		exp.RunFig05(exp.DefaultFig05()).Print(w)
+	case 6:
+		pr := exp.DefaultFig06()
+		if *paper {
+			pr = exp.PaperFig06()
+		}
+		pr.Seed = *seed
+		exp.RunFig06(pr).Print(w)
+	case 7:
+		flows := []int{16, 32, 64}
+		dur, tail := 60.0, 30.0
+		if *paper {
+			flows = []int{16, 32, 48, 64, 80, 96, 112, 128}
+			dur, tail = 150, 60
+		}
+		exp.PrintFig07(w, exp.RunFig07(flows, dur, tail, *seed))
+	case 8:
+		for _, q := range []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED} {
+			pr := exp.DefaultFig08(q)
+			pr.Seed = *seed
+			exp.RunFig08(pr).Print(w)
+		}
+	case 9, 10:
+		pr := exp.DefaultFig09()
+		if *paper {
+			pr = exp.PaperFig09()
+		}
+		pr.Seed = *seed
+		exp.RunFig09(pr).Print(w)
+	case 11, 12, 13:
+		pr := exp.DefaultFig11()
+		if *paper {
+			pr = exp.PaperFig11()
+		}
+		pr.Seed = *seed
+		exp.RunFig11(pr).Print(w)
+	case 14:
+		pr := exp.DefaultFig14()
+		pr.Seed = *seed
+		exp.RunFig14(pr).Print(w)
+	case 15:
+		dur := 120.0
+		if *paper {
+			dur = 300
+		}
+		exp.RunFig15(dur, *seed).Print(w)
+	case 16, 17:
+		dur := 120.0
+		if *paper {
+			dur = 600
+		}
+		exp.RunFig16(nil, dur, *seed).Print(w)
+	case 18:
+		pr := exp.DefaultFig18()
+		if *paper {
+			pr.Duration = 600
+		}
+		pr.Seed = *seed
+		exp.RunFig18(pr).Print(w)
+	case 19:
+		exp.RunFig19(exp.DefaultFig19()).Print(w)
+	case 20:
+		exp.RunFig19(exp.DefaultFig20()).Print(w)
+	case 21:
+		exp.RunFig21(nil, 0.05).Print(w)
+	default:
+		fmt.Fprintln(os.Stderr, "tfrcsim: pass -fig 2..21 (or -list)")
+		os.Exit(2)
+	}
+}

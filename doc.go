@@ -1,0 +1,44 @@
+// Package tfrc implements TCP-Friendly Rate Control — the equation-based
+// congestion control protocol of Floyd, Handley, Padhye & Widmer,
+// "Equation-Based Congestion Control for Unicast Applications" (SIGCOMM
+// 2000), later standardized as RFC 3448/5348.
+//
+// TFRC targets flows (streaming media, telephony) that want a smoothly
+// changing sending rate rather than TCP's sawtooth, while remaining fair
+// to TCP: the sender's rate is set from the TCP response function
+// evaluated on a measured loss event rate and smoothed round-trip time.
+// The protocol's heart is the receiver's Average Loss Interval estimator:
+// a weighted average of the last eight loss intervals with careful
+// handling of the still-open interval and history discounting after long
+// loss-free periods.
+//
+// The package exposes three layers:
+//
+//   - The algorithms: Throughput (the TCP response function), LossHistory
+//     (the Average Loss Interval method), RTTEstimator, and the
+//     transport-agnostic Sender/Receiver state machines, all clock-
+//     injected and allocation-light. Use these to embed TFRC in your own
+//     transport.
+//
+//   - A wire implementation over any net.PacketConn (UDP in practice):
+//     NewWireSender/NewWireReceiver, with a compact binary format for
+//     data and feedback packets, plus NewEmulatedPath — an in-process
+//     Dummynet-style impaired path for tests and demos.
+//
+//   - The reproduction harness: a deterministic packet-level network
+//     simulator with TCP (Tahoe/Reno/NewReno/SACK) baselines and every
+//     experiment from the paper's evaluation (internal/exp, driven by
+//     cmd/tfrcsim and the benchmarks in this package).
+//
+// Quick start (wire endpoints over an emulated 2 Mb/s path):
+//
+//	a, b := tfrc.NewEmulatedPath(tfrc.PathConfig{
+//		Bandwidth: 2e6, Delay: 10 * time.Millisecond, Queue: 60,
+//	})
+//	recv := tfrc.NewWireReceiver(b, tfrc.WireConfig{})
+//	send := tfrc.NewWireSender(a, b.LocalAddr(), nil, tfrc.WireConfig{})
+//	go recv.Run()
+//	go send.Run()
+//	// ... stream; send.Rate() follows the TCP-fair rate.
+//	send.Stop(); recv.Stop()
+package tfrc

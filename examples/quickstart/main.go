@@ -1,0 +1,52 @@
+// Quickstart: a TFRC sender and receiver streaming over an emulated
+// 2 Mb/s path, printing the sender's TCP-fair rate as it converges.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tfrc"
+)
+
+func main() {
+	// A Dummynet-style pipe: 2 Mb/s, 20 ms one-way delay, 60-packet
+	// queue, 0.5% random loss.
+	a, b := tfrc.NewEmulatedPath(tfrc.PathConfig{
+		Bandwidth: 2e6,
+		Delay:     20 * time.Millisecond,
+		Queue:     60,
+		Loss:      0.005,
+		Seed:      1,
+	})
+	defer a.Close()
+	defer b.Close()
+
+	cfg := tfrc.WireConfig{PacketSize: 1000}
+	recv := tfrc.NewWireReceiver(b, cfg)
+	send := tfrc.NewWireSender(a, b.LocalAddr(), nil, cfg)
+	go recv.Run()
+	go send.Run()
+
+	fmt.Println("time    rate      rtt      p        sent/received")
+	for i := 0; i < 10; i++ {
+		time.Sleep(500 * time.Millisecond)
+		sent, _, _ := send.Stats()
+		received, _ := recv.Stats()
+		fmt.Printf("%4.1fs  %7.1f kB/s  %6.1f ms  %.5f  %d/%d\n",
+			float64(i+1)*0.5,
+			send.Rate()/1000,
+			float64(send.RTT())/float64(time.Millisecond),
+			recv.P(),
+			sent, received)
+	}
+	send.Stop()
+	recv.Stop()
+
+	sent, fb, _ := send.Stats()
+	received, reports := recv.Stats()
+	fmt.Printf("\ndone: %d data packets sent, %d delivered (%.1f%%), %d feedback reports (%d processed)\n",
+		sent, received, 100*float64(received)/float64(sent), reports, fb)
+}

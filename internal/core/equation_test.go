@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPFTKKnownValues(t *testing.T) {
+	// At p = 0.01, R = 0.1 s, s = 1000 B, tRTO = 0.4 s the Reno formula
+	// gives T = s / (0.1·√(1/150) + 0.4·3·√(0.00375)·0.01·(1+0.0032)).
+	s, r, rto, p := 1000.0, 0.1, 0.4, 0.01
+	denom := r*math.Sqrt(2*p/3) + rto*3*math.Sqrt(3*p/8)*p*(1+32*p*p)
+	want := s / denom
+	if got := PFTK(s, r, rto, p); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("PFTK = %v, want %v", got, want)
+	}
+}
+
+func TestPFTKNoLossIsUnbounded(t *testing.T) {
+	if !math.IsInf(PFTK(1000, 0.1, 0.4, 0), 1) {
+		t.Fatal("PFTK with p=0 should be +Inf")
+	}
+	if !math.IsInf(Simple(1000, 0.1, 0.4, 0), 1) {
+		t.Fatal("Simple with p=0 should be +Inf")
+	}
+}
+
+func TestPFTKClampsP(t *testing.T) {
+	if got, lim := PFTK(1000, 0.1, 0.4, 5), PFTK(1000, 0.1, 0.4, 1); got != lim {
+		t.Fatalf("p>1 not clamped: %v vs %v", got, lim)
+	}
+}
+
+func TestSimpleMatchesClosedForm(t *testing.T) {
+	// T in packets/RTT is √1.5/√p ≈ 1.2/√p (paper Appendix A.1).
+	s, r, p := 1000.0, 0.1, 0.01
+	tBytes := Simple(s, r, 0, p)
+	pktsPerRTT := tBytes * r / s
+	want := math.Sqrt(1.5) / math.Sqrt(p)
+	if math.Abs(pktsPerRTT-want) > 1e-9 {
+		t.Fatalf("Simple gives %v pkts/RTT, want %v", pktsPerRTT, want)
+	}
+}
+
+func TestEquationsAgreeAtLowLoss(t *testing.T) {
+	// The timeout term vanishes as p → 0, so PFTK approaches Simple.
+	s, r, rto := 1000.0, 0.1, 0.4
+	for _, p := range []float64{1e-5, 1e-4, 1e-3} {
+		full, simple := PFTK(s, r, rto, p), Simple(s, r, rto, p)
+		if ratio := full / simple; ratio < 0.93 || ratio > 1.0 {
+			t.Fatalf("p=%v: PFTK/Simple = %v, want ≈ 1", p, ratio)
+		}
+	}
+}
+
+func TestPFTKTimeoutsDominateAtHighLoss(t *testing.T) {
+	// At high p the timeout term must push PFTK well below Simple.
+	s, r, rto := 1000.0, 0.1, 0.4
+	if ratio := PFTK(s, r, rto, 0.2) / Simple(s, r, rto, 0.2); ratio > 0.2 {
+		t.Fatalf("PFTK/Simple at p=0.2 = %v, want < 0.2", ratio)
+	}
+}
+
+func TestEquationMonotonicityProperty(t *testing.T) {
+	// T strictly decreases in p and in R for both equations.
+	for name, eq := range map[string]ThroughputEq{"PFTK": PFTK, "Simple": Simple} {
+		f := func(a, b uint16) bool {
+			p1 := 1e-4 + float64(a%1000)/1001.0
+			p2 := p1 + 1e-4 + float64(b%100)/1000.0
+			if p2 > 1 {
+				p2 = 1
+			}
+			r := 0.01 + float64(b%50)/100.0
+			t1 := eq(1000, r, 4*r, p1)
+			t2 := eq(1000, r, 4*r, p2)
+			tR := eq(1000, 2*r, 8*r, p1)
+			return t2 < t1 && tR < t1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	s, r, rto := 1000.0, 0.1, 0.4
+	for _, p := range []float64{1e-4, 1e-3, 0.01, 0.05, 0.1, 0.3} {
+		rate := PFTK(s, r, rto, p)
+		back := InverseP(PFTK, s, r, rto, rate)
+		if math.Abs(back-p)/p > 1e-6 {
+			t.Fatalf("InverseP(PFTK(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestInverseExtremes(t *testing.T) {
+	s, r, rto := 1000.0, 0.1, 0.4
+	if p := InverseP(PFTK, s, r, rto, 1e15); p > 1e-8 {
+		t.Fatalf("huge target should give tiny p, got %v", p)
+	}
+	if p := InverseP(PFTK, s, r, rto, 1e-6); p < 0.999 {
+		t.Fatalf("tiny target should give p ≈ 1, got %v", p)
+	}
+}
+
+func TestInverseRoundTripProperty(t *testing.T) {
+	f := func(a uint16) bool {
+		p := 1e-4 + 0.9*float64(a)/65535.0
+		rate := PFTK(1000, 0.08, 0.32, p)
+		back := InverseP(PFTK, 1000, 0.08, 0.32, rate)
+		return math.Abs(back-p) < 1e-5*math.Max(1, p/1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+// LossRateEstimator abstracts the receiver-side loss-event-rate estimator
+// so the Average Loss Interval method can be compared against the
+// alternatives the paper considered and rejected (§3.3): the EWMA Loss
+// Interval method and the Dynamic History Window method. The receiver
+// drives whichever estimator it is configured with; the Figure 18
+// experiment evaluates their one-step prediction quality.
+type LossRateEstimator interface {
+	// OnLossEvent records a closed loss interval (packets).
+	OnLossEvent(interval float64)
+	// SetOpen updates the count of packets since the last loss event.
+	SetOpen(pkts float64)
+	// Seed installs a synthetic initial interval after slow start.
+	Seed(interval float64)
+	// HaveLoss reports whether any interval has been recorded.
+	HaveLoss() bool
+	// P returns the estimated loss event rate (0 until a loss occurs).
+	P() float64
+}
+
+// ALI adapts LossHistory to the LossRateEstimator interface.
+type ALI struct{ *LossHistory }
+
+// NewALI returns the paper's estimator wrapped for the common interface.
+func NewALI(cfg LossHistoryConfig) ALI { return ALI{NewLossHistory(cfg)} }
+
+// P implements LossRateEstimator.
+func (a ALI) P() float64 { return a.LossEventRate() }
+
+// EWMAIntervals is the EWMA Loss Interval method: an exponentially
+// weighted moving average of loss-interval lengths. The paper notes that
+// depending on the weight it either over-weights the most recent interval
+// or reacts too slowly — and, unlike ALI, its estimate can change with no
+// new loss information.
+type EWMAIntervals struct {
+	alpha   float64
+	avg     float64
+	open    float64
+	haveAny bool
+}
+
+// NewEWMAIntervals returns the estimator with weight alpha on each newly
+// closed interval (alpha ∈ (0, 1]).
+func NewEWMAIntervals(alpha float64) *EWMAIntervals {
+	if alpha <= 0 || alpha > 1 {
+		panic("core: EWMA interval weight must be in (0, 1]")
+	}
+	return &EWMAIntervals{alpha: alpha}
+}
+
+// OnLossEvent implements LossRateEstimator.
+func (e *EWMAIntervals) OnLossEvent(interval float64) {
+	if interval < 1 {
+		interval = 1
+	}
+	if !e.haveAny {
+		e.avg = interval
+		e.haveAny = true
+	} else {
+		e.avg = (1-e.alpha)*e.avg + e.alpha*interval
+	}
+	e.open = 0
+}
+
+// SetOpen implements LossRateEstimator.
+func (e *EWMAIntervals) SetOpen(pkts float64) { e.open = pkts }
+
+// Seed implements LossRateEstimator.
+func (e *EWMAIntervals) Seed(interval float64) {
+	e.avg = interval
+	e.haveAny = true
+	e.open = 0
+}
+
+// HaveLoss implements LossRateEstimator.
+func (e *EWMAIntervals) HaveLoss() bool { return e.haveAny }
+
+// P implements LossRateEstimator. Like ALI it lets an exceptionally long
+// open interval pull the estimate down.
+func (e *EWMAIntervals) P() float64 {
+	if !e.haveAny {
+		return 0
+	}
+	avg := e.avg
+	if e.open > avg {
+		avg = (1-e.alpha)*e.avg + e.alpha*e.open
+	}
+	return 1 / avg
+}
+
+// DynamicHistoryWindow is the Dynamic History Window method: the loss
+// event rate is loss events over packets within a trailing window of W
+// packets, W tracking the current transmission rate. The paper rejects it
+// because loss events entering and leaving the window modulate the
+// estimate even under perfectly periodic loss.
+type DynamicHistoryWindow struct {
+	window  float64 // packets
+	pkts    []bool  // ring: true = packet began a loss event
+	head    int
+	count   int
+	haveAny bool
+}
+
+// NewDynamicHistoryWindow returns the estimator with an initial window of
+// w packets.
+func NewDynamicHistoryWindow(w int) *DynamicHistoryWindow {
+	if w < 2 {
+		panic("core: history window must cover at least 2 packets")
+	}
+	d := &DynamicHistoryWindow{window: float64(w)}
+	d.pkts = make([]bool, w)
+	return d
+}
+
+// SetWindow re-targets the window to w packets (e.g. 4·rate·RTT). The
+// ring shrinks lazily as new packets arrive.
+func (d *DynamicHistoryWindow) SetWindow(w int) {
+	if w < 2 {
+		w = 2
+	}
+	d.window = float64(w)
+}
+
+// OnPacket records one received packet; lossStart marks the first packet
+// of a new loss event.
+func (d *DynamicHistoryWindow) OnPacket(lossStart bool) {
+	if lossStart {
+		d.haveAny = true
+	}
+	w := int(d.window)
+	if w != len(d.pkts) {
+		d.resize(w)
+	}
+	if d.count == len(d.pkts) {
+		// Evict the oldest slot.
+		d.head = (d.head + 1) % len(d.pkts)
+		d.count--
+	}
+	d.pkts[(d.head+d.count)%len(d.pkts)] = lossStart
+	d.count++
+}
+
+func (d *DynamicHistoryWindow) resize(w int) {
+	fresh := make([]bool, w)
+	keep := d.count
+	if keep > w {
+		// Keep only the newest w samples.
+		d.head = (d.head + keep - w) % len(d.pkts)
+		keep = w
+	}
+	for i := 0; i < keep; i++ {
+		fresh[i] = d.pkts[(d.head+i)%len(d.pkts)]
+	}
+	d.pkts = fresh
+	d.head = 0
+	d.count = keep
+}
+
+// OnLossEvent implements LossRateEstimator: the interval is replayed as
+// interval−1 clean packets followed by one loss-start packet.
+func (d *DynamicHistoryWindow) OnLossEvent(interval float64) {
+	for i := 0; i < int(interval)-1; i++ {
+		d.OnPacket(false)
+	}
+	d.OnPacket(true)
+}
+
+// SetOpen implements LossRateEstimator. The window tracks individual
+// packets, so the open interval is implicit in OnPacket calls; SetOpen is
+// a no-op retained for interface symmetry.
+func (d *DynamicHistoryWindow) SetOpen(float64) {}
+
+// Seed implements LossRateEstimator.
+func (d *DynamicHistoryWindow) Seed(interval float64) { d.OnLossEvent(interval) }
+
+// HaveLoss implements LossRateEstimator.
+func (d *DynamicHistoryWindow) HaveLoss() bool { return d.haveAny }
+
+// P implements LossRateEstimator: loss-event starts per packet across the
+// window.
+func (d *DynamicHistoryWindow) P() float64 {
+	if d.count == 0 || !d.haveAny {
+		return 0
+	}
+	events := 0
+	for i := 0; i < d.count; i++ {
+		if d.pkts[(d.head+i)%len(d.pkts)] {
+			events++
+		}
+	}
+	if events == 0 {
+		return 0.5 / float64(d.count) // no event in window: below 1/window
+	}
+	return float64(events) / float64(d.count)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMAIntervalsBasics(t *testing.T) {
+	e := NewEWMAIntervals(0.25)
+	if e.HaveLoss() || e.P() != 0 {
+		t.Fatal("fresh estimator not empty")
+	}
+	e.OnLossEvent(100)
+	if p := e.P(); math.Abs(p-0.01) > 1e-12 {
+		t.Fatalf("p after first interval = %v, want 0.01", p)
+	}
+	e.OnLossEvent(200)
+	// avg = 0.75·100 + 0.25·200 = 125.
+	if p := e.P(); math.Abs(p-1.0/125) > 1e-12 {
+		t.Fatalf("p = %v, want 1/125", p)
+	}
+}
+
+func TestEWMAIntervalsOverweightsRecent(t *testing.T) {
+	// The paper's §3.3 complaint: a large alpha makes one interval
+	// dominate. With alpha 0.5 a single short interval halves the avg.
+	e := NewEWMAIntervals(0.5)
+	for i := 0; i < 20; i++ {
+		e.OnLossEvent(100)
+	}
+	e.OnLossEvent(2)
+	if avg := 1 / e.P(); avg > 60 {
+		t.Fatalf("avg = %v, expected strong reaction to one interval", avg)
+	}
+	// And the ALI reacts far less to the same history.
+	h := NewLossHistory(DefaultLossHistory())
+	for i := 0; i < 20; i++ {
+		h.OnLossEvent(100)
+	}
+	h.OnLossEvent(2)
+	if ali := h.AvgInterval(); ali < 80 {
+		t.Fatalf("ALI avg = %v, want mild reaction", ali)
+	}
+}
+
+func TestEWMAIntervalsSeed(t *testing.T) {
+	e := NewEWMAIntervals(0.25)
+	e.Seed(400)
+	if !e.HaveLoss() || math.Abs(e.P()-1.0/400) > 1e-12 {
+		t.Fatalf("seeded p = %v", e.P())
+	}
+}
+
+func TestEWMAIntervalsOpenLowersP(t *testing.T) {
+	e := NewEWMAIntervals(0.25)
+	e.OnLossEvent(100)
+	base := e.P()
+	e.SetOpen(1000)
+	if e.P() >= base {
+		t.Fatal("long open interval did not lower p")
+	}
+	e.SetOpen(10)
+	if e.P() != base {
+		t.Fatal("short open interval changed p")
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha 0 did not panic")
+		}
+	}()
+	NewEWMAIntervals(0)
+}
+
+func TestDHWPeriodicLoss(t *testing.T) {
+	// 1 loss per 50 packets, window 500 → p ≈ 10/500 = 0.02.
+	d := NewDynamicHistoryWindow(500)
+	for i := 0; i < 1000; i++ {
+		d.OnPacket(i%50 == 49)
+	}
+	if p := d.P(); math.Abs(p-0.02) > 0.005 {
+		t.Fatalf("p = %v, want ≈ 0.02", p)
+	}
+}
+
+func TestDHWWindowBoundaryNoise(t *testing.T) {
+	// The paper's §3.3 objection: even under perfectly periodic loss,
+	// events entering/leaving the window modulate the estimate. Verify
+	// the estimate is NOT constant packet-to-packet, unlike ALI's.
+	d := NewDynamicHistoryWindow(325) // deliberately not a multiple of 50
+	for i := 0; i < 650; i++ {
+		d.OnPacket(i%50 == 49)
+	}
+	distinct := map[float64]bool{}
+	for i := 650; i < 1300; i++ {
+		d.OnPacket(i%50 == 49)
+		distinct[d.P()] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("DHW estimate was flat; expected window-boundary noise")
+	}
+
+	// ALI under the same periodic pattern is perfectly stable.
+	h := NewLossHistory(DefaultLossHistory())
+	for i := 0; i < 12; i++ {
+		h.OnLossEvent(50)
+	}
+	p0 := h.LossEventRate()
+	for s0 := 1.0; s0 < 49; s0++ {
+		h.SetOpen(s0)
+		if h.LossEventRate() != p0 {
+			t.Fatal("ALI estimate moved under periodic loss")
+		}
+	}
+}
+
+func TestDHWResize(t *testing.T) {
+	d := NewDynamicHistoryWindow(100)
+	for i := 0; i < 100; i++ {
+		d.OnPacket(i%10 == 9)
+	}
+	p100 := d.P()
+	d.SetWindow(20) // shrink: keeps newest 20 packets after next arrival
+	d.OnPacket(false)
+	if d.count > 20 {
+		t.Fatalf("window did not shrink: %d", d.count)
+	}
+	if math.Abs(d.P()-p100) > 0.1 {
+		t.Fatalf("estimate jumped wildly on resize: %v → %v", p100, d.P())
+	}
+	d.SetWindow(1000) // grow
+	for i := 0; i < 500; i++ {
+		d.OnPacket(i%10 == 9)
+	}
+	if math.Abs(d.P()-0.1) > 0.02 {
+		t.Fatalf("p after regrow = %v, want ≈ 0.1", d.P())
+	}
+}
+
+func TestDHWNoEventsYet(t *testing.T) {
+	d := NewDynamicHistoryWindow(100)
+	for i := 0; i < 50; i++ {
+		d.OnPacket(false)
+	}
+	if d.P() != 0 {
+		t.Fatalf("p = %v with no loss ever", d.P())
+	}
+	d.OnPacket(true)
+	if d.P() <= 0 {
+		t.Fatal("p zero after a loss")
+	}
+	// A long clean run drives p below 1/window but not to zero.
+	for i := 0; i < 200; i++ {
+		d.OnPacket(false)
+	}
+	if p := d.P(); p <= 0 || p > 1.0/100 {
+		t.Fatalf("post-event p = %v, want in (0, 0.01]", p)
+	}
+}
+
+func TestDHWReplayInterval(t *testing.T) {
+	d := NewDynamicHistoryWindow(1000)
+	d.OnLossEvent(100)
+	d.OnLossEvent(100)
+	if p := d.P(); math.Abs(p-0.01) > 0.001 {
+		t.Fatalf("p = %v, want ≈ 0.01", p)
+	}
+}
+
+func TestDHWBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 1 did not panic")
+		}
+	}()
+	NewDynamicHistoryWindow(1)
+}
+
+func TestALIInterface(t *testing.T) {
+	var est LossRateEstimator = NewALI(DefaultLossHistory())
+	est.OnLossEvent(100)
+	est.SetOpen(10)
+	if p := est.P(); math.Abs(p-0.01) > 1e-12 {
+		t.Fatalf("ALI p = %v", p)
+	}
+	if !est.HaveLoss() {
+		t.Fatal("ALI lost its loss")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// --- ECN: CE marks count as congestion events (paper §7) ---
+
+func TestReceiverCEMarkStartsLossEvent(t *testing.T) {
+	r := newTestReceiver()
+	now := feed(r, 0, 0, 50, 0.001, 0.01)
+	if r.P() != 0 {
+		t.Fatal("loss before any mark")
+	}
+	// A CE-marked packet with no sequence gap must begin a loss event.
+	if !r.OnData(now, DataPacket{Seq: 50, Size: 1000, SendTime: now, SenderRTT: 0.01, CE: true}) {
+		t.Fatal("CE mark did not start a loss event")
+	}
+	if r.P() <= 0 {
+		t.Fatal("p still zero after CE mark")
+	}
+}
+
+func TestReceiverCEMarksAggregateWithinRTT(t *testing.T) {
+	r := newTestReceiver()
+	now := feed(r, 0, 0, 50, 0.001, 0.1) // RTT 100 ms
+	events := 0
+	// Ten marked packets over 10 ms — all within one RTT: one event.
+	for i := int64(0); i < 10; i++ {
+		if r.OnData(now, DataPacket{Seq: 50 + i, Size: 1000, SendTime: now, SenderRTT: 0.1, CE: true}) {
+			events++
+		}
+		now += 0.001
+	}
+	if events != 1 {
+		t.Fatalf("%d events from a within-RTT mark burst, want 1", events)
+	}
+}
+
+func TestReceiverCEMarksSeparateAcrossRTTs(t *testing.T) {
+	r := newTestReceiver()
+	rtt := 0.01
+	now := feed(r, 0, 0, 100, 0.001, rtt)
+	events := 0
+	seq := int64(100)
+	for round := 0; round < 4; round++ {
+		if r.OnData(now, DataPacket{Seq: seq, Size: 1000, SendTime: now, SenderRTT: rtt, CE: true}) {
+			events++
+		}
+		seq++
+		now += 0.001
+		now = feed(r, now, seq, 30, 0.001, rtt) // 30 ms ≫ RTT
+		seq += 30
+	}
+	if events != 4 {
+		t.Fatalf("%d events from well-separated marks, want 4", events)
+	}
+	// Intervals between mark-events are ~31 packets.
+	est := r.Estimator().(ALI)
+	ivs := est.Intervals()
+	if len(ivs) < 3 {
+		t.Fatalf("history: %v", ivs)
+	}
+	for _, iv := range ivs[:2] {
+		if iv < 25 || iv > 40 {
+			t.Fatalf("mark interval %v, want ≈ 31", iv)
+		}
+	}
+}
+
+func TestReceiverMixedLossAndMarks(t *testing.T) {
+	// A gap and a CE mark in the same RTT form a single event.
+	r := newTestReceiver()
+	now := feed(r, 0, 0, 50, 0.001, 0.1)
+	events := 0
+	if r.OnData(now, DataPacket{Seq: 51, Size: 1000, SendTime: now, SenderRTT: 0.1}) { // 50 lost
+		events++
+	}
+	now += 0.001
+	if r.OnData(now, DataPacket{Seq: 52, Size: 1000, SendTime: now, SenderRTT: 0.1, CE: true}) {
+		events++
+	}
+	if events != 1 {
+		t.Fatalf("gap + mark within one RTT gave %d events, want 1", events)
+	}
+}
+
+// --- Quiescent sender: rate validation (paper §7 / [HPF99]) ---
+
+func TestSenderOnIdleDecays(t *testing.T) {
+	s := newTestSender(nil)
+	for i := 0; i < 10; i++ {
+		s.OnFeedback(Feedback{P: 0.001, XRecv: 1e9, RTTSample: 0.1})
+	}
+	before := s.Rate()
+	interval := s.NoFeedbackTimeout()
+	after := s.OnIdle(2.5 * interval) // two full intervals of silence
+	if math.Abs(after-before/4) > before*0.01 {
+		t.Fatalf("rate after 2 idle intervals = %v, want ≈ %v", after, before/4)
+	}
+}
+
+func TestSenderOnIdleFloorsAtRestartRate(t *testing.T) {
+	s := newTestSender(nil)
+	for i := 0; i < 10; i++ {
+		s.OnFeedback(Feedback{P: 0.001, XRecv: 1e9, RTTSample: 0.1})
+	}
+	restart := 1000.0 / s.RTT().SRTT() // one packet per RTT
+	got := s.OnIdle(1e6)               // essentially forever
+	if math.Abs(got-restart) > 1e-6 {
+		t.Fatalf("post-idle floor = %v, want restart rate %v", got, restart)
+	}
+}
+
+func TestSenderOnIdleShortGapNoEffect(t *testing.T) {
+	s := newTestSender(nil)
+	s.OnFeedback(Feedback{P: 0.01, XRecv: 1e9, RTTSample: 0.1})
+	before := s.Rate()
+	if got := s.OnIdle(s.NoFeedbackTimeout() * 0.9); got != before {
+		t.Fatalf("sub-interval idle changed the rate: %v → %v", before, got)
+	}
+	if got := s.OnIdle(0); got != before {
+		t.Fatalf("zero idle changed the rate: %v", got)
+	}
+}
+
+func TestSenderOnIdleNeverRaises(t *testing.T) {
+	// A sender already below the restart rate must not be raised by the
+	// idle logic.
+	s := newTestSender(nil)
+	s.OnFeedback(Feedback{P: 0.9, XRecv: 100, RTTSample: 0.5})
+	before := s.Rate()
+	if got := s.OnIdle(1e6); got > before {
+		t.Fatalf("idle raised the rate: %v → %v", before, got)
+	}
+}
+
+func TestSenderOnIdleRampBackViaRecvCap(t *testing.T) {
+	// After decay, the receive-rate cap limits each feedback to at most
+	// doubling — the slow-start-like re-proving of the old rate.
+	s := newTestSender(nil)
+	for i := 0; i < 10; i++ {
+		s.OnFeedback(Feedback{P: 0.0001, XRecv: 1e9, RTTSample: 0.1})
+	}
+	s.OnIdle(1e6)
+	low := s.Rate()
+	got := s.OnFeedback(Feedback{P: 0.0001, XRecv: low, RTTSample: 0.1})
+	if got > 2*low+1e-9 {
+		t.Fatalf("post-idle feedback jumped %v → %v (> 2×)", low, got)
+	}
+}

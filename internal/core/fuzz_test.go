@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestReceiverArbitraryArrivalsInvariant drives the receiver with
+// arbitrary (possibly duplicated, reordered, gap-ridden, CE-marked)
+// arrival sequences and checks the invariants that must hold regardless:
+// no panic, p ∈ [0, 1], and a well-formed report whenever data flowed.
+func TestReceiverArbitraryArrivalsInvariant(t *testing.T) {
+	f := func(seqs []uint16, marks []bool, rttMs uint8) bool {
+		r := NewReceiver(ReceiverConfig{PacketSize: 1000})
+		rtt := float64(rttMs%200+1) / 1000
+		now := 0.0
+		for i, sq := range seqs {
+			ce := i < len(marks) && marks[i]
+			r.OnData(now, DataPacket{
+				Seq:       int64(sq % 2000),
+				Size:      1000,
+				SendTime:  now - rtt/2,
+				SenderRTT: rtt,
+				CE:        ce,
+			})
+			now += 0.001
+			p := r.P()
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		if len(seqs) > 0 {
+			rep, ok := r.MakeReport(now)
+			if !ok {
+				return false
+			}
+			if rep.XRecv <= 0 || math.IsNaN(rep.XRecv) || math.IsInf(rep.XRecv, 0) {
+				return false
+			}
+			if rep.P < 0 || rep.P > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSenderArbitraryFeedbackInvariant drives the sender with arbitrary
+// feedback values: the rate must stay positive, finite, and at or above
+// the backoff floor.
+func TestSenderArbitraryFeedbackInvariant(t *testing.T) {
+	f := func(ps, xs, rtts []uint16) bool {
+		s := NewSender(DefaultSenderConfig())
+		n := len(ps)
+		if len(xs) < n {
+			n = len(xs)
+		}
+		if len(rtts) < n {
+			n = len(rtts)
+		}
+		floor := 1000.0 / 64
+		for i := 0; i < n; i++ {
+			s.OnFeedback(Feedback{
+				P:         float64(ps[i]) / 65535, // [0, 1]
+				XRecv:     float64(xs[i]) * 100,
+				RTTSample: float64(rtts[i]%1000) / 1000,
+			})
+			r := s.Rate()
+			if r < floor-1e-9 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return false
+			}
+			iv := s.PacketInterval()
+			if iv <= 0 || math.IsNaN(iv) || math.IsInf(iv, 0) {
+				return false
+			}
+			if to := s.NoFeedbackTimeout(); to <= 0 || math.IsInf(to, 0) {
+				return false
+			}
+		}
+		s.OnNoFeedback()
+		s.OnIdle(1e9)
+		return s.Rate() > 0 && !math.IsNaN(s.Rate())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossHistoryArbitrarySequenceInvariant mixes loss events, seeds, and
+// open-interval updates arbitrarily: the estimate must remain finite,
+// positive once any interval exists, and within the plausible hull.
+func TestLossHistoryArbitrarySequenceInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		h := NewLossHistory(DefaultLossHistory())
+		maxIv := 1.0
+		for _, op := range ops {
+			v := float64(op%5000) + 1
+			switch op % 3 {
+			case 0:
+				h.OnLossEvent(v)
+				if v > maxIv {
+					maxIv = v
+				}
+			case 1:
+				h.SetOpen(v)
+				if v > maxIv {
+					maxIv = v
+				}
+			case 2:
+				h.Seed(v)
+				if v > maxIv {
+					maxIv = v
+				}
+			}
+			if !h.HaveLoss() {
+				continue
+			}
+			avg := h.AvgInterval()
+			if avg < 1-1e-9 || avg > maxIv+1e-9 || math.IsNaN(avg) {
+				return false
+			}
+			p := h.LossEventRate()
+			if p <= 0 || p > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+// LossHistoryConfig parameterizes the Average Loss Interval estimator.
+type LossHistoryConfig struct {
+	// N is the number of closed loss intervals averaged (paper: 8).
+	N int
+	// ConstantWeights gives every interval equal weight instead of the
+	// paper's decreasing tail — used by the Figure 18 predictor study.
+	ConstantWeights bool
+	// Discounting enables history discounting (§3.3, [FHPW00]): after the
+	// open interval exceeds twice the average, older intervals are
+	// smoothly de-weighted so the estimator tracks a sustained decrease
+	// in congestion. Enabled in the protocol proper.
+	Discounting bool
+	// DiscountThreshold floors the discount factor (RFC 3448: 0.25).
+	// Zero means 0.25.
+	DiscountThreshold float64
+}
+
+// DefaultLossHistory is the configuration evaluated throughout the paper:
+// eight intervals, decreasing weights on the older half, discounting on.
+func DefaultLossHistory() LossHistoryConfig {
+	return LossHistoryConfig{N: 8, Discounting: true}
+}
+
+// LossHistory computes the loss event rate with the full Average Loss
+// Interval method (§3.3): a weighted average of the last n loss intervals,
+// where the open interval s₀ (packets since the most recent loss event) is
+// included only when doing so increases the average — max(ŝ, ŝ_new) — and
+// history discounting de-weights old intervals after long loss-free runs.
+//
+// Interval lengths are in packets. The zero value is not ready; use
+// NewLossHistory.
+type LossHistory struct {
+	cfg     LossHistoryConfig
+	weights []float64 // w[0] = w_1 (most recent closed interval) … w[n-1] = w_n
+
+	closed  []float64 // closed[0] = s_1 most recent … at most N entries
+	df      []float64 // per-closed-interval accumulated discount factors
+	open    float64   // s₀
+	dfCur   float64   // discount factor currently applied to history
+	lastAvg float64   // previous AvgInterval result, the discount trigger
+}
+
+// Weights returns the paper's weight sequence for n intervals: 1 for the
+// newest ⌈n/2⌉, then linearly decreasing. For n = 8 this is
+// 1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2.
+func Weights(n int) []float64 {
+	w := make([]float64, n)
+	half := n / 2
+	for i := 1; i <= n; i++ {
+		if i <= half || half == 0 {
+			w[i-1] = 1
+		} else {
+			w[i-1] = 1 - float64(i-half)/float64(half+1)
+		}
+	}
+	return w
+}
+
+// NewLossHistory returns an empty history (no loss events seen).
+func NewLossHistory(cfg LossHistoryConfig) *LossHistory {
+	if cfg.N < 1 {
+		panic("core: loss history needs N ≥ 1")
+	}
+	if cfg.DiscountThreshold == 0 {
+		cfg.DiscountThreshold = 0.25
+	}
+	var w []float64
+	if cfg.ConstantWeights {
+		w = make([]float64, cfg.N)
+		for i := range w {
+			w[i] = 1
+		}
+	} else {
+		w = Weights(cfg.N)
+	}
+	return &LossHistory{cfg: cfg, weights: w, dfCur: 1}
+}
+
+// HaveLoss reports whether any loss interval exists (real or seeded).
+func (h *LossHistory) HaveLoss() bool { return len(h.closed) > 0 }
+
+// Seed installs a synthetic first interval (packets), used when slow start
+// terminates: the expected loss interval that would produce half the rate
+// at which the loss occurred (§3.4.1). Real loss-interval data then
+// replaces the synthetic value as it arrives.
+func (h *LossHistory) Seed(interval float64) {
+	if interval < 1 {
+		interval = 1
+	}
+	h.closed = h.closed[:0]
+	h.df = h.df[:0]
+	h.closed = append(h.closed, interval)
+	h.df = append(h.df, 1)
+	h.open = 0
+	h.dfCur = 1
+	h.lastAvg = 0
+}
+
+// OnLossEvent closes the open interval: the interval that was s₀ becomes
+// s₁ with the given final length (packets between the start of the
+// previous loss event and the start of this one), everything shifts down,
+// and a fresh open interval begins. Accumulated discounting is folded into
+// the per-interval factors at this point, per RFC 3448 §5.5.
+func (h *LossHistory) OnLossEvent(intervalLen float64) {
+	if intervalLen < 1 {
+		intervalLen = 1
+	}
+	// Fold the current discount into history before shifting.
+	if h.cfg.Discounting && h.dfCur < 1 {
+		for i := range h.df {
+			h.df[i] *= h.dfCur
+		}
+	}
+	h.closed = append(h.closed, 0)
+	h.df = append(h.df, 0)
+	copy(h.closed[1:], h.closed)
+	copy(h.df[1:], h.df)
+	h.closed[0] = intervalLen
+	h.df[0] = 1
+	if len(h.closed) > h.cfg.N {
+		h.closed = h.closed[:h.cfg.N]
+		h.df = h.df[:h.cfg.N]
+	}
+	h.open = 0
+	h.dfCur = 1
+	h.lastAvg = 0
+}
+
+// SetOpen updates the open interval s₀: the number of packets received
+// since the start of the most recent loss event.
+func (h *LossHistory) SetOpen(pkts float64) {
+	if pkts < 0 {
+		pkts = 0
+	}
+	h.open = pkts
+}
+
+// Open returns the current open interval s₀ in packets.
+func (h *LossHistory) Open() float64 { return h.open }
+
+// Intervals returns a copy of the closed intervals, most recent first.
+func (h *LossHistory) Intervals() []float64 {
+	out := make([]float64, len(h.closed))
+	copy(out, h.closed)
+	return out
+}
+
+// avgExcluding returns ŝ computed over the closed intervals only
+// (s₁ … s_n with weights w₁ … w_n and accumulated discounts).
+func (h *LossHistory) avgExcluding() float64 {
+	var itot, wtot float64
+	for i, s := range h.closed {
+		w := h.weights[i] * h.df[i]
+		itot += s * w
+		wtot += w
+	}
+	if wtot == 0 {
+		return 0
+	}
+	return itot / wtot
+}
+
+// AvgInterval returns the average loss interval max(ŝ, ŝ_new) in packets,
+// or 0 when no loss has been recorded.
+func (h *LossHistory) AvgInterval() float64 {
+	if len(h.closed) == 0 {
+		return 0
+	}
+	exc := h.avgExcluding()
+
+	// History discounting: once the open interval exceeds twice the
+	// average loss interval, de-weight the history when s₀ participates.
+	// The trigger compares against the previously reported average (RFC
+	// 3448 §5.5), which itself grows with s₀ — negative feedback that
+	// makes the discount deepen smoothly rather than in a step.
+	trigger := h.lastAvg
+	if trigger < exc {
+		trigger = exc
+	}
+	h.dfCur = 1
+	if h.cfg.Discounting && trigger > 0 && h.open > 2*trigger {
+		h.dfCur = 2 * trigger / h.open
+		if h.dfCur < h.cfg.DiscountThreshold {
+			h.dfCur = h.cfg.DiscountThreshold
+		}
+	}
+
+	// ŝ_new: shift every interval one weight down so s₀ takes w₁. The
+	// oldest interval falls off when the history is full.
+	var itot, wtot float64
+	itot = h.open * h.weights[0]
+	wtot = h.weights[0]
+	for i, s := range h.closed {
+		if i+1 >= len(h.weights) {
+			break
+		}
+		w := h.weights[i+1] * h.df[i] * h.dfCur
+		itot += s * w
+		wtot += w
+	}
+	inc := itot / wtot
+
+	avg := exc
+	if inc > avg {
+		avg = inc
+	}
+	h.lastAvg = avg
+	return avg
+}
+
+// LossEventRate returns p = 1/AvgInterval, or 0 when no loss has been
+// recorded (the sender stays in slow start on p = 0).
+func (h *LossHistory) LossEventRate() float64 {
+	avg := h.AvgInterval()
+	if avg <= 0 {
+		return 0
+	}
+	return 1 / avg
+}

@@ -1,0 +1,215 @@
+package core
+
+import "math"
+
+// ReceiverConfig parameterizes a TFRC receiver.
+type ReceiverConfig struct {
+	// PacketSize is the nominal segment size s in bytes, used only for
+	// seeding the loss history via the inverse equation.
+	PacketSize int
+	// Eq is the control equation used for seeding; nil means PFTK. It
+	// should match the sender's.
+	Eq ThroughputEq
+	// Estimator computes the loss event rate; nil means the paper's
+	// Average Loss Interval method with default configuration.
+	Estimator LossRateEstimator
+}
+
+// Report is the feedback a receiver sends at least once per round-trip
+// time (§3.1, §3.3): the loss event rate p, the receive rate over the
+// last feedback interval, and timestamp-echo fields from which the sender
+// derives an RTT sample.
+type Report struct {
+	P            float64 // loss event rate
+	XRecv        float64 // bytes/sec received over the last interval
+	EchoSeq      int64   // newest data sequence received
+	EchoSendTime float64 // sender timestamp of that packet
+	EchoDelay    float64 // receiver residence time of that packet
+}
+
+// RTTSample extracts the round-trip sample from a report given the
+// sender-side receive time of the report.
+func (r Report) RTTSample(now float64) float64 {
+	return now - r.EchoSendTime - r.EchoDelay
+}
+
+// Receiver is the TFRC receiver state machine (§3.3): it detects losses
+// from sequence gaps, aggregates losses within one round-trip time into
+// loss events, maintains the loss-interval history, measures the receive
+// rate, and builds feedback reports. The caller owns the feedback timer
+// (once per RTT, expedited on a new loss event).
+type Receiver struct {
+	cfg ReceiverConfig
+	est LossRateEstimator
+
+	haveData    bool
+	maxSeq      int64
+	maxSendTime float64 // sender timestamp of newest packet
+	maxArrival  float64 // our arrival time of newest packet
+	senderRTT   float64 // sender's RTT estimate stamped on data packets
+
+	haveEvent      bool
+	eventStartSeq  int64
+	eventStartTime float64
+
+	fbBytes    float64 // bytes since the last report
+	fbStart    float64 // time the current feedback interval began
+	lastXRecv  float64
+	lossSeeded bool
+}
+
+// NewReceiver returns a receiver with no data received yet.
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	if cfg.PacketSize <= 0 {
+		panic("core: receiver needs a positive packet size")
+	}
+	if cfg.Eq == nil {
+		cfg.Eq = PFTK
+	}
+	est := cfg.Estimator
+	if est == nil {
+		est = NewALI(DefaultLossHistory())
+	}
+	return &Receiver{cfg: cfg, est: est}
+}
+
+// DataPacket describes one arriving data packet.
+type DataPacket struct {
+	Seq       int64
+	Size      int
+	SendTime  float64 // sender clock
+	SenderRTT float64 // sender's current RTT estimate, for loss aggregation
+	// CE marks Congestion Experienced (ECN): the network signalled
+	// congestion without dropping. The receiver treats a mark exactly
+	// like a lost packet for loss-event accounting — the paper's §7
+	// ECN direction.
+	CE bool
+}
+
+// OnData processes an arrival at local time now. It returns true when the
+// packet revealed the start of a new loss event, in which case the caller
+// should send feedback immediately rather than waiting for the RTT timer.
+func (r *Receiver) OnData(now float64, pkt DataPacket) (newLossEvent bool) {
+	if pkt.SenderRTT > 0 {
+		r.senderRTT = pkt.SenderRTT
+	}
+	r.fbBytes += float64(pkt.Size)
+	if !r.haveData {
+		r.haveData = true
+		r.maxSeq = pkt.Seq
+		r.maxSendTime = pkt.SendTime
+		r.maxArrival = now
+		r.fbStart = now
+		return false
+	}
+	if pkt.Seq <= r.maxSeq {
+		// Duplicate or reordered: counted for the receive rate above,
+		// but the loss bookkeeping — tuned for the simulator's in-order
+		// paths — does not retract an already-declared loss.
+		return false
+	}
+	prevSeq, prevArrival := r.maxSeq, r.maxArrival
+	r.maxSeq = pkt.Seq
+	r.maxSendTime = pkt.SendTime
+	r.maxArrival = now
+
+	for lost := prevSeq + 1; lost < pkt.Seq; lost++ {
+		// Interpolate when the lost packet would have arrived (RFC 3448
+		// §5.2) to decide which round-trip it belongs to.
+		frac := float64(lost-prevSeq) / float64(pkt.Seq-prevSeq)
+		lossTime := prevArrival + frac*(now-prevArrival)
+		if r.congestionAt(lost, lossTime, now) {
+			newLossEvent = true
+		}
+	}
+	if pkt.CE && r.congestionAt(pkt.Seq, now, now) {
+		newLossEvent = true
+	}
+	if r.haveEvent {
+		r.est.SetOpen(float64(r.maxSeq - r.eventStartSeq))
+	}
+	return newLossEvent
+}
+
+// congestionAt folds one congestion indication (a lost or CE-marked
+// packet) into the loss-event history. Indications within one RTT of the
+// current event's start belong to it; anything later begins a new event.
+func (r *Receiver) congestionAt(seq int64, at, now float64) bool {
+	if r.haveEvent && at-r.eventStartTime < r.senderRTT {
+		return false
+	}
+	if !r.haveEvent {
+		// First congestion indication ever: slow start is over. Seed
+		// the history with the interval that would sustain half the
+		// rate at which it occurred (§3.4.1).
+		r.seedHistory(now)
+		r.haveEvent = true
+	} else {
+		r.est.OnLossEvent(float64(seq - r.eventStartSeq))
+	}
+	r.eventStartSeq = seq
+	r.eventStartTime = at
+	return true
+}
+
+func (r *Receiver) seedHistory(now float64) {
+	if r.lossSeeded {
+		return
+	}
+	r.lossSeeded = true
+	rate := r.currentXRecv(now)
+	rtt := r.senderRTT
+	if rtt <= 0 {
+		rtt = 0.1 // no estimate yet: seed against a nominal 100 ms path
+	}
+	if rate <= 0 {
+		r.est.Seed(1)
+		return
+	}
+	p := InverseP(r.cfg.Eq, float64(r.cfg.PacketSize), rtt, 4*rtt, rate/2)
+	r.est.Seed(1 / p)
+}
+
+func (r *Receiver) currentXRecv(now float64) float64 {
+	if el := now - r.fbStart; el > 0 && r.fbBytes > 0 {
+		return r.fbBytes / el
+	}
+	return r.lastXRecv
+}
+
+// P returns the current loss event rate estimate.
+func (r *Receiver) P() float64 { return r.est.P() }
+
+// Estimator exposes the loss-rate estimator for traces and experiments.
+func (r *Receiver) Estimator() LossRateEstimator { return r.est }
+
+// SenderRTT returns the sender's RTT estimate as stamped on the most
+// recent data packet — the feedback timer should be armed with this.
+func (r *Receiver) SenderRTT() float64 { return r.senderRTT }
+
+// HaveData reports whether any packet has arrived.
+func (r *Receiver) HaveData() bool { return r.haveData }
+
+// MakeReport builds the feedback report for local time now and starts a
+// new measurement interval. The receiver reports only if it received
+// packets since the last report; otherwise ok is false.
+func (r *Receiver) MakeReport(now float64) (rep Report, ok bool) {
+	if !r.haveData || r.fbBytes == 0 {
+		return Report{}, false
+	}
+	x := r.currentXRecv(now)
+	if x <= 0 || math.IsInf(x, 0) {
+		return Report{}, false
+	}
+	r.lastXRecv = x
+	rep = Report{
+		P:            r.est.P(),
+		XRecv:        x,
+		EchoSeq:      r.maxSeq,
+		EchoSendTime: r.maxSendTime,
+		EchoDelay:    now - r.maxArrival,
+	}
+	r.fbBytes = 0
+	r.fbStart = now
+	return rep, true
+}

@@ -1,0 +1,285 @@
+// Package exp implements one experiment per figure of the paper's
+// evaluation (Figures 2-21). Each experiment is a pure function from a
+// parameter struct to a result struct, callable from tests, benchmarks,
+// and the tfrcsim CLI; Print methods emit gnuplot-ready rows matching the
+// series the paper plots. Scaled-down defaults keep test and benchmark
+// runtimes laptop-friendly; the CLI can run paper-scale parameters.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tcp"
+	"tfrc/internal/tfrcsim"
+	"tfrc/internal/traffic"
+)
+
+// Scenario describes one dumbbell simulation mixing TCP and TFRC flows —
+// the shared substrate of Figures 6-14.
+type Scenario struct {
+	NTCP  int
+	NTFRC int
+
+	BottleneckBW  float64 // bits/sec
+	BottleneckDly float64 // one-way, seconds; default 0.025
+	Queue         netsim.QueueKind
+	QueueLimit    int     // packets; 0 → one bandwidth-delay product
+	REDMin        float64 // 0 → QueueLimit/10
+	REDMax        float64 // 0 → QueueLimit/2
+
+	// RTTJitterMin/Max give per-host access delays so base RTTs spread
+	// uniformly (Figure 9 footnote: RTTs uniform in [80, 120] ms). Zero
+	// values give 1 ms access links.
+	AccessDlyMin, AccessDlyMax float64
+
+	TCPVariant     tcp.Variant
+	TCPGranularity float64
+	TCPAggressive  bool // Solaris-like spurious-RTO sender (§4.3)
+	TFRC           tfrcsim.Config
+
+	// OnOffSources adds N Pareto ON/OFF background sources (§4.1.3).
+	OnOffSources int
+	OnOff        traffic.OnOffConfig
+
+	// MiceLoad adds short-TCP background at roughly this fraction of the
+	// bottleneck (§4.2), plus a small amount of reverse-path traffic.
+	MiceLoad float64
+
+	Duration float64 // seconds of simulated time
+	Warmup   float64 // measurement start
+	BinWidth float64 // base measurement bin (seconds); default 0.1
+
+	// StaggerStarts spreads flow start times over this many seconds
+	// (default: 10% of duration, max 10 s).
+	StaggerStarts float64
+
+	Seed int64
+}
+
+func (sc *Scenario) fill() {
+	if sc.BottleneckDly == 0 {
+		sc.BottleneckDly = 0.025
+	}
+	if sc.QueueLimit == 0 {
+		// One bandwidth-delay product at a nominal 100 ms RTT, in
+		// 1000-byte packets — mirrors the paper's buffer of 100 packets
+		// on the 15 Mb/s link.
+		sc.QueueLimit = int(math.Max(10, sc.BottleneckBW*0.1/(8*1000)))
+	}
+	if sc.REDMin == 0 {
+		sc.REDMin = math.Max(5, float64(sc.QueueLimit)/10)
+	}
+	if sc.REDMax == 0 {
+		sc.REDMax = float64(sc.QueueLimit) / 2
+	}
+	if sc.BinWidth == 0 {
+		sc.BinWidth = 0.1
+	}
+	if sc.TFRC.Sender.PacketSize == 0 {
+		sc.TFRC = tfrcsim.DefaultConfig()
+	}
+	if sc.StaggerStarts == 0 {
+		sc.StaggerStarts = math.Min(sc.Duration/10, 10)
+	}
+	if sc.OnOff.Rate == 0 {
+		sc.OnOff = traffic.DefaultOnOff()
+	}
+}
+
+// ScenarioResult carries everything the figure experiments extract.
+type ScenarioResult struct {
+	// TCPSeries and TFRCSeries are per-flow binned byte counts measured
+	// at the bottleneck from Warmup on.
+	TCPSeries  [][]float64
+	TFRCSeries [][]float64
+	BinWidth   float64
+	Bins       int
+
+	Utilization float64
+	DropRate    float64
+	QueueMean   float64
+	QueueMax    int
+	Queue       []netsim.QueueSample
+
+	// FairShare is the per-flow fair share of the bottleneck in
+	// bytes/sec counting only the monitored long-lived flows.
+	FairShare float64
+}
+
+// NormalizedMeanTCP returns the mean TCP throughput normalized so 1.0 is
+// a fair share — the z-axis of Figure 6.
+func (r *ScenarioResult) NormalizedMeanTCP() float64 {
+	return r.normalizedMean(r.TCPSeries)
+}
+
+// NormalizedMeanTFRC is the TFRC counterpart.
+func (r *ScenarioResult) NormalizedMeanTFRC() float64 {
+	return r.normalizedMean(r.TFRCSeries)
+}
+
+func (r *ScenarioResult) normalizedMean(series [][]float64) float64 {
+	if len(series) == 0 || r.FairShare == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range series {
+		sum += stats.Mean(s) / r.BinWidth / r.FairShare
+	}
+	return sum / float64(len(series))
+}
+
+// NormalizedPerFlow returns each flow's normalized throughput — the
+// points of Figure 7.
+func (r *ScenarioResult) NormalizedPerFlow(series [][]float64) []float64 {
+	out := make([]float64, len(series))
+	for i, s := range series {
+		out[i] = stats.Mean(s) / r.BinWidth / r.FairShare
+	}
+	return out
+}
+
+// RunScenario builds the dumbbell, starts the flows and background, runs
+// the clock, and harvests measurements.
+func RunScenario(sc Scenario) *ScenarioResult {
+	sc.fill()
+	rng := sim.NewRand(sc.Seed)
+	sched := sim.NewScheduler()
+
+	hosts := sc.NTCP + sc.NTFRC
+	extra := 0
+	if sc.OnOffSources > 0 || sc.MiceLoad > 0 {
+		extra = 1 // a dedicated host pair carries all background traffic
+	}
+	accessDly := make([]float64, hosts+extra)
+	for i := range accessDly {
+		if sc.AccessDlyMax > 0 {
+			accessDly[i] = rng.Uniform(sc.AccessDlyMin, sc.AccessDlyMax)
+		} else {
+			accessDly[i] = 0.001
+		}
+	}
+	red := netsim.DefaultRED(sc.QueueLimit)
+	red.MinThresh = sc.REDMin
+	red.MaxThresh = sc.REDMax
+	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
+		Hosts:         hosts + extra,
+		BottleneckBW:  sc.BottleneckBW,
+		BottleneckDly: sc.BottleneckDly,
+		Queue:         sc.Queue,
+		QueueLimit:    sc.QueueLimit,
+		RED:           red,
+		AccessDly:     accessDly,
+	}, sim.NewRand(sc.Seed+1))
+
+	mon := netsim.NewFlowMonitor(sc.BinWidth, sc.Warmup)
+	d.Forward.AddTap(mon.Tap())
+	um := netsim.NewUtilizationMonitor(d.Forward, sc.Warmup)
+	qm := netsim.NewQueueMonitor(d.Net, d.ForwardQ, 0.05, sc.Duration)
+
+	flow := 0
+	start := func() float64 { return rng.Uniform(0, sc.StaggerStarts) }
+
+	tcpFlows := make([]int, 0, sc.NTCP)
+	for i := 0; i < sc.NTCP; i++ {
+		h := i
+		tcp.NewSink(d.Net, d.Right[h], 1, flow, 40)
+		snd := tcp.NewSender(d.Net, d.Left[h], d.Right[h].ID, 1, 2, flow, tcp.Config{
+			Variant:       sc.TCPVariant,
+			Granularity:   sc.TCPGranularity,
+			AggressiveRTO: sc.TCPAggressive,
+			SendJitter:    0.001, // break deterministic phase effects
+			JitterSeed:    sc.Seed,
+		})
+		snd.Start(start())
+		tcpFlows = append(tcpFlows, flow)
+		flow++
+	}
+	tfrcFlows := make([]int, 0, sc.NTFRC)
+	for i := 0; i < sc.NTFRC; i++ {
+		h := sc.NTCP + i
+		tf := sc.TFRC
+		if tf.PacingJitter == 0 {
+			tf.PacingJitter = 0.05
+			tf.JitterSeed = sc.Seed
+		}
+		snd, _ := tfrcsim.Pair(d.Net, d.Left[h], d.Right[h], 1, 2, flow, tf)
+		snd.Start(start())
+		tfrcFlows = append(tfrcFlows, flow)
+		flow++
+	}
+
+	if extra > 0 {
+		bg := hosts // the background host pair index
+		traffic.NewSink(d.Net, d.Right[bg], 1)
+		traffic.NewSink(d.Net, d.Left[bg], 2) // reverse-path sink
+		for i := 0; i < sc.OnOffSources; i++ {
+			src := traffic.NewOnOff(d.Net, d.Left[bg], d.Right[bg].ID, 1, flow,
+				sc.OnOff, sim.NewRand(sc.Seed+100+int64(i)))
+			src.Start(rng.Uniform(0, 3))
+			flow++
+		}
+		if sc.MiceLoad > 0 {
+			// Sessions sized so offered load ≈ MiceLoad·bottleneck:
+			// rate = meanSize·pktSize·8/interarrival.
+			meanSize := 20.0
+			inter := meanSize * 1000 * 8 / (sc.MiceLoad * sc.BottleneckBW)
+			mice := traffic.NewMice(d.Net, d.Left[bg], d.Right[bg], flow, traffic.MiceConfig{
+				MeanInterarrival: inter,
+				MeanSize:         meanSize,
+				Variant:          tcp.Sack,
+				BasePort:         5000,
+			}, sim.NewRand(sc.Seed+7))
+			mice.Start(0.5)
+			flow++
+			// A whiff of reverse traffic so ACK paths are not pristine.
+			rev := traffic.NewOnOff(d.Net, d.Right[bg], d.Left[bg].ID, 2, flow,
+				traffic.OnOffConfig{MeanOn: 0.5, MeanOff: 4, Shape: 1.5,
+					Rate: 0.02 * sc.BottleneckBW, PacketSize: 1000},
+				sim.NewRand(sc.Seed+8))
+			rev.Start(1)
+			flow++
+		}
+	}
+
+	sched.RunUntil(sc.Duration)
+
+	res := &ScenarioResult{
+		BinWidth:    sc.BinWidth,
+		Bins:        int((sc.Duration - sc.Warmup) / sc.BinWidth),
+		Utilization: um.Utilization(sc.Duration),
+		DropRate:    mon.DropRate(),
+		QueueMean:   qm.Mean(),
+		QueueMax:    qm.Max(),
+		Queue:       qm.Samples,
+	}
+	longLived := float64(sc.NTCP + sc.NTFRC)
+	if longLived > 0 {
+		res.FairShare = sc.BottleneckBW / 8 / longLived
+	}
+	for _, f := range tcpFlows {
+		res.TCPSeries = append(res.TCPSeries, mon.Series(f, res.Bins))
+	}
+	for _, f := range tfrcFlows {
+		res.TFRCSeries = append(res.TFRCSeries, mon.Series(f, res.Bins))
+	}
+	return res
+}
+
+// printTable writes a simple aligned table: a header line, then rows.
+func printTable(w io.Writer, header string, rows [][]float64, format string) {
+	fmt.Fprintln(w, header)
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprintf(w, format, v)
+		}
+		fmt.Fprintln(w)
+	}
+}

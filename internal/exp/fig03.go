@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/core"
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tfrcsim"
+)
+
+// Fig03Params reproduces Figures 3 and 4: a single TFRC flow over a
+// Dummynet-like pipe (one bottleneck queue and delay — our emulated
+// substitute for the paper's FreeBSD Dummynet testbed) across a sweep of
+// buffer sizes. With a small RTT-EWMA weight and no inter-packet-spacing
+// adjustment the flow oscillates (Figure 3); enabling the √RTT spacing
+// adjustment damps the oscillation (Figure 4).
+type Fig03Params struct {
+	BufferSizes []int   // queue limits in packets
+	Bandwidth   float64 // bits/sec
+	BaseRTT     float64 // propagation round-trip, seconds
+	Duration    float64
+	Warmup      float64
+	BinWidth    float64 // rate-sampling bin
+	SqrtSpacing bool    // false → Figure 3, true → Figure 4
+	RTTWeight   float64 // paper: 0.05
+	Decrease    core.DecreasePolicy
+	Seed        int64
+}
+
+// DefaultFig03 uses the paper's EWMA weight 0.05 without the adjustment.
+func DefaultFig03() Fig03Params {
+	return Fig03Params{
+		BufferSizes: []int{2, 4, 8, 16, 32, 64},
+		Bandwidth:   2e6,
+		BaseRTT:     0.050,
+		Duration:    120,
+		Warmup:      40,
+		BinWidth:    0.2,
+		SqrtSpacing: false,
+		RTTWeight:   0.05,
+		Seed:        1,
+	}
+}
+
+// DefaultFig04 enables the inter-packet-spacing adjustment.
+func DefaultFig04() Fig03Params {
+	p := DefaultFig03()
+	p.SqrtSpacing = true
+	return p
+}
+
+// Fig03Curve is the send-rate trace for one buffer size plus its
+// oscillation measure.
+type Fig03Curve struct {
+	Buffer int
+	Series []float64 // send rate per bin, bytes/sec
+	CoV    float64   // oscillation metric over the measured window
+}
+
+// Fig03Result is the buffer sweep.
+type Fig03Result struct {
+	SqrtSpacing bool
+	BinWidth    float64
+	Curves      []Fig03Curve
+}
+
+// RunFig03 runs the sweep.
+func RunFig03(pr Fig03Params) *Fig03Result {
+	res := &Fig03Result{SqrtSpacing: pr.SqrtSpacing, BinWidth: pr.BinWidth}
+	for _, buf := range pr.BufferSizes {
+		sched := sim.NewScheduler()
+		nw := netsim.New(sched)
+		a, b := nw.NewNode(), nw.NewNode()
+		nw.Connect(a, b, pr.Bandwidth, pr.BaseRTT/2, func() netsim.Queue {
+			return netsim.NewDropTail(buf)
+		})
+		nw.BuildRoutes()
+		mon := netsim.NewFlowMonitor(pr.BinWidth, pr.Warmup)
+		a.LinkTo(b).AddTap(mon.Tap())
+
+		cfg := tfrcsim.DefaultConfig()
+		cfg.Sender.SqrtSpacing = pr.SqrtSpacing
+		cfg.Sender.RTTWeight = pr.RTTWeight
+		cfg.Sender.Decrease = pr.Decrease
+		snd, _ := tfrcsim.Pair(nw, a, b, 1, 2, 0, cfg)
+		snd.Start(0)
+		sched.RunUntil(pr.Duration)
+
+		bins := int((pr.Duration - pr.Warmup) / pr.BinWidth)
+		series := mon.Rate(0, bins)
+		res.Curves = append(res.Curves, Fig03Curve{
+			Buffer: buf,
+			Series: series,
+			CoV:    stats.CoV(series),
+		})
+	}
+	return res
+}
+
+// Print emits "buffer cov" summary rows and the traces.
+func (r *Fig03Result) Print(w io.Writer) {
+	fig := "3 (no inter-packet spacing adjustment)"
+	if r.SqrtSpacing {
+		fig = "4 (with inter-packet spacing adjustment)"
+	}
+	fmt.Fprintf(w, "# Figure %s: TFRC send-rate oscillation vs buffer size\n", fig)
+	fmt.Fprintln(w, "# buffer(pkts)\tsendRateCoV")
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "%d\t%.4f\n", c.Buffer, c.CoV)
+	}
+	fmt.Fprintln(w, "# traces: time(bin) rate(KB/s) per buffer size")
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "## buffer=%d\n", c.Buffer)
+		for i, v := range c.Series {
+			fmt.Fprintf(w, "%.1f\t%.1f\n", float64(i)*r.BinWidth, v/1000)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/tcp"
+)
+
+// Fig06Params reproduces Figure 6: n TCP and n TFRC flows share a
+// bottleneck across a grid of link rates and flow counts, for both
+// DropTail and RED queues; the metric is the mean TCP throughput
+// normalized by the fair share.
+type Fig06Params struct {
+	LinkMbps    []float64 // paper: 1..64
+	TotalFlows  []int     // paper: 2..128 (half TCP, half TFRC)
+	Queues      []netsim.QueueKind
+	Duration    float64 // paper: 150 s
+	MeasureTail float64 // paper: last 60 s
+	Seed        int64
+}
+
+// DefaultFig06 is a laptop-scale grid preserving the paper's span; the
+// CLI can pass the full one.
+func DefaultFig06() Fig06Params {
+	return Fig06Params{
+		LinkMbps:    []float64{1, 4, 16, 64},
+		TotalFlows:  []int{2, 8, 32},
+		Queues:      []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED},
+		Duration:    90,
+		MeasureTail: 45,
+		Seed:        1,
+	}
+}
+
+// PaperFig06 is the full grid from the paper.
+func PaperFig06() Fig06Params {
+	return Fig06Params{
+		LinkMbps:    []float64{1, 2, 4, 8, 16, 32, 64},
+		TotalFlows:  []int{2, 8, 32, 128},
+		Queues:      []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED},
+		Duration:    150,
+		MeasureTail: 60,
+		Seed:        1,
+	}
+}
+
+// Fig06Cell is one grid cell.
+type Fig06Cell struct {
+	Queue       netsim.QueueKind
+	LinkMbps    float64
+	Flows       int // total (TCP + TFRC)
+	NormTCP     float64
+	NormTFRC    float64
+	Utilization float64
+	DropRate    float64
+	PerFlowTCP  []float64 // normalized per-flow throughputs (Figure 7)
+	PerFlowTFRC []float64
+}
+
+// Fig06Result is the full surface.
+type Fig06Result struct{ Cells []Fig06Cell }
+
+// RunFig06Cell runs one cell of the grid.
+func RunFig06Cell(queue netsim.QueueKind, linkMbps float64, flows int, duration, tail float64, seed int64) Fig06Cell {
+	n := flows / 2
+	sc := Scenario{
+		NTCP:         n,
+		NTFRC:        n,
+		BottleneckBW: linkMbps * 1e6,
+		Queue:        queue,
+		TCPVariant:   tcp.Sack,
+		Duration:     duration,
+		Warmup:       duration - tail,
+		BinWidth:     0.5,
+		Seed:         seed,
+	}
+	res := RunScenario(sc)
+	return Fig06Cell{
+		Queue:       queue,
+		LinkMbps:    linkMbps,
+		Flows:       flows,
+		NormTCP:     res.NormalizedMeanTCP(),
+		NormTFRC:    res.NormalizedMeanTFRC(),
+		Utilization: res.Utilization,
+		DropRate:    res.DropRate,
+		PerFlowTCP:  res.NormalizedPerFlow(res.TCPSeries),
+		PerFlowTFRC: res.NormalizedPerFlow(res.TFRCSeries),
+	}
+}
+
+// RunFig06 runs the whole grid.
+func RunFig06(pr Fig06Params) *Fig06Result {
+	res := &Fig06Result{}
+	for _, q := range pr.Queues {
+		for _, bw := range pr.LinkMbps {
+			for _, fl := range pr.TotalFlows {
+				res.Cells = append(res.Cells,
+					RunFig06Cell(q, bw, fl, pr.Duration, pr.MeasureTail, pr.Seed))
+			}
+		}
+	}
+	return res
+}
+
+// Print emits the surface as rows.
+func (r *Fig06Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 6: normalized mean TCP throughput when competing with TFRC")
+	fmt.Fprintln(w, "# queue\tlink(Mbps)\tflows\tnormTCP\tnormTFRC\tutil\tdropRate")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t%.3f\t%.3f\t%.3f\t%.4f\n",
+			c.Queue, c.LinkMbps, c.Flows, c.NormTCP, c.NormTFRC, c.Utilization, c.DropRate)
+	}
+}
+
+// PrintFig07 emits the per-flow scatter for the 15 Mb/s RED column
+// (Figure 7): one row per flow.
+func PrintFig07(w io.Writer, cells []Fig06Cell) {
+	fmt.Fprintln(w, "# Figure 7: per-flow normalized throughput, RED")
+	fmt.Fprintln(w, "# flows\tprotocol\tnormThroughput")
+	for _, c := range cells {
+		for _, v := range c.PerFlowTCP {
+			fmt.Fprintf(w, "%d\tTCP\t%.3f\n", c.Flows, v)
+		}
+		for _, v := range c.PerFlowTFRC {
+			fmt.Fprintf(w, "%d\tTFRC\t%.3f\n", c.Flows, v)
+		}
+	}
+}
+
+// RunFig07 runs the 15 Mb/s RED column across flow counts — the paper's
+// Figure 7 slice of the Figure 6 grid.
+func RunFig07(totalFlows []int, duration, tail float64, seed int64) []Fig06Cell {
+	if len(totalFlows) == 0 {
+		totalFlows = []int{16, 32, 48, 64, 80, 96, 112, 128}
+	}
+	var cells []Fig06Cell
+	for _, fl := range totalFlows {
+		cells = append(cells, RunFig06Cell(netsim.QueueRED, 15, fl, duration, tail, seed))
+	}
+	return cells
+}

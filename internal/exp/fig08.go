@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tcp"
+)
+
+// Fig08Params reproduces Figure 8: throughput traces of individual TCP
+// and TFRC flows sharing a 15 Mb/s bottleneck with 32 flows total,
+// averaged over 0.15 s bins, for DropTail and RED queueing. The paper's
+// RED parameters (footnote 1) are min 25, max 125, max_p 0.1, gentle.
+type Fig08Params struct {
+	Queue     netsim.QueueKind
+	Flows     int     // total; half TCP half TFRC (paper: 32)
+	LinkMbps  float64 // paper: 15
+	Duration  float64 // paper: 30 s
+	TraceFrom float64 // paper: second half, 16 s
+	BinWidth  float64 // paper: 0.15 s
+	NTrace    int     // flows of each type to trace (paper: 4)
+	Seed      int64
+}
+
+// DefaultFig08 matches the paper at reduced duration.
+func DefaultFig08(q netsim.QueueKind) Fig08Params {
+	return Fig08Params{
+		Queue:     q,
+		Flows:     32,
+		LinkMbps:  15,
+		Duration:  30,
+		TraceFrom: 16,
+		BinWidth:  0.15,
+		NTrace:    4,
+		Seed:      1,
+	}
+}
+
+// Fig08Result carries the traced series plus smoothness summaries.
+type Fig08Result struct {
+	Queue      netsim.QueueKind
+	BinWidth   float64
+	TCPTraces  [][]float64 // bytes per bin
+	TFRCTraces [][]float64
+	CoVTCP     float64 // mean CoV across traced TCP flows
+	CoVTFRC    float64
+}
+
+// RunFig08 runs one trace simulation.
+func RunFig08(pr Fig08Params) *Fig08Result {
+	n := pr.Flows / 2
+	sc := Scenario{
+		NTCP:         n,
+		NTFRC:        n,
+		BottleneckBW: pr.LinkMbps * 1e6,
+		Queue:        pr.Queue,
+		QueueLimit:   250,
+		REDMin:       25,
+		REDMax:       125,
+		TCPVariant:   tcp.Sack,
+		Duration:     pr.Duration,
+		Warmup:       pr.TraceFrom,
+		BinWidth:     pr.BinWidth,
+		Seed:         pr.Seed,
+	}
+	res := RunScenario(sc)
+	out := &Fig08Result{Queue: pr.Queue, BinWidth: pr.BinWidth}
+	for i := 0; i < pr.NTrace && i < len(res.TCPSeries); i++ {
+		out.TCPTraces = append(out.TCPTraces, res.TCPSeries[i])
+	}
+	for i := 0; i < pr.NTrace && i < len(res.TFRCSeries); i++ {
+		out.TFRCTraces = append(out.TFRCTraces, res.TFRCSeries[i])
+	}
+	var ct, cf float64
+	for _, s := range out.TCPTraces {
+		ct += stats.CoV(s)
+	}
+	for _, s := range out.TFRCTraces {
+		cf += stats.CoV(s)
+	}
+	if len(out.TCPTraces) > 0 {
+		out.CoVTCP = ct / float64(len(out.TCPTraces))
+	}
+	if len(out.TFRCTraces) > 0 {
+		out.CoVTFRC = cf / float64(len(out.TFRCTraces))
+	}
+	return out
+}
+
+// Print emits the traces: "bin TF1..TFn TCP1..TCPn" in KB per bin.
+func (r *Fig08Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "# Figure 8: per-flow throughput traces, %s queue (KB per %.2fs bin)\n",
+		r.Queue, r.BinWidth)
+	fmt.Fprint(w, "# time")
+	for i := range r.TFRCTraces {
+		fmt.Fprintf(w, "\tTF%d", i+1)
+	}
+	for i := range r.TCPTraces {
+		fmt.Fprintf(w, "\tTCP%d", i+1)
+	}
+	fmt.Fprintln(w)
+	bins := 0
+	if len(r.TFRCTraces) > 0 {
+		bins = len(r.TFRCTraces[0])
+	}
+	for b := 0; b < bins; b++ {
+		fmt.Fprintf(w, "%.2f", float64(b)*r.BinWidth)
+		for _, s := range r.TFRCTraces {
+			fmt.Fprintf(w, "\t%.1f", s[b]/1000)
+		}
+		for _, s := range r.TCPTraces {
+			if b < len(s) {
+				fmt.Fprintf(w, "\t%.1f", s[b]/1000)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "# mean CoV: TFRC %.3f, TCP %.3f\n", r.CoVTFRC, r.CoVTCP)
+}

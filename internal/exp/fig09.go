@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tcp"
+)
+
+// Fig09Params reproduces Figures 9 and 10: equivalence ratio and
+// coefficient of variation as functions of the measurement timescale, for
+// 16 SACK TCP and 16 TFRC flows on a 15 Mb/s RED bottleneck with
+// per-flow base RTTs uniform in [80, 120] ms, averaged over several runs
+// with 90% confidence intervals (the paper uses 14 runs of 150 s,
+// measuring the last 100 s).
+type Fig09Params struct {
+	Runs       int
+	FlowsEach  int // TCP count = TFRC count (paper: 16)
+	Duration   float64
+	Warmup     float64
+	Timescales []float64
+	Seed       int64
+}
+
+// DefaultFig09 is a reduced-cost version of the paper's setup.
+func DefaultFig09() Fig09Params {
+	return Fig09Params{
+		Runs:       4,
+		FlowsEach:  16,
+		Duration:   60,
+		Warmup:     20,
+		Timescales: []float64{0.2, 0.5, 1, 2, 5, 10},
+		Seed:       1,
+	}
+}
+
+// PaperFig09 matches the paper's methodology.
+func PaperFig09() Fig09Params {
+	p := DefaultFig09()
+	p.Runs = 14
+	p.Duration = 150
+	p.Warmup = 50
+	return p
+}
+
+// MeanCI is a mean with its 90% confidence half-width.
+type MeanCI struct{ Mean, CI float64 }
+
+// Fig09Result carries one curve per pairing (Figure 9) and the CoV
+// curves (Figure 10).
+type Fig09Result struct {
+	Timescales []float64
+	TCPvTCP    []MeanCI
+	TFRCvTFRC  []MeanCI
+	TCPvTFRC   []MeanCI
+	CoVTCP     []MeanCI
+	CoVTFRC    []MeanCI
+}
+
+// RunFig09 runs the multi-run study.
+func RunFig09(pr Fig09Params) *Fig09Result {
+	nscale := len(pr.Timescales)
+	// per-timescale collections across runs
+	eqTT := make([][]float64, nscale)
+	eqFF := make([][]float64, nscale)
+	eqTF := make([][]float64, nscale)
+	covT := make([][]float64, nscale)
+	covF := make([][]float64, nscale)
+
+	base := 0.1
+	for run := 0; run < pr.Runs; run++ {
+		sc := Scenario{
+			NTCP:          pr.FlowsEach,
+			NTFRC:         pr.FlowsEach,
+			BottleneckBW:  15e6,
+			BottleneckDly: 0.025,
+			Queue:         netsim.QueueRED,
+			QueueLimit:    100,
+			REDMin:        10,
+			REDMax:        50,
+			AccessDlyMin:  0.0075,
+			AccessDlyMax:  0.0175,
+			TCPVariant:    tcp.Sack,
+			Duration:      pr.Duration,
+			Warmup:        pr.Warmup,
+			BinWidth:      base,
+			Seed:          pr.Seed + int64(run)*1000,
+		}
+		res := RunScenario(sc)
+		tcp0, tcp1 := res.TCPSeries[0], res.TCPSeries[1]
+		tf0, tf1 := res.TFRCSeries[0], res.TFRCSeries[1]
+		for i, ts := range pr.Timescales {
+			k := int(ts/base + 0.5)
+			if k < 1 {
+				k = 1
+			}
+			a, b := stats.Rebin(tcp0, k), stats.Rebin(tcp1, k)
+			f, g := stats.Rebin(tf0, k), stats.Rebin(tf1, k)
+			eqTT[i] = append(eqTT[i], stats.EquivalenceRatio(a, b))
+			eqFF[i] = append(eqFF[i], stats.EquivalenceRatio(f, g))
+			eqTF[i] = append(eqTF[i], stats.EquivalenceRatio(a, f))
+			covT[i] = append(covT[i], stats.CoV(a))
+			covF[i] = append(covF[i], stats.CoV(f))
+		}
+	}
+
+	res := &Fig09Result{Timescales: pr.Timescales}
+	collect := func(samples [][]float64) []MeanCI {
+		out := make([]MeanCI, nscale)
+		for i, xs := range samples {
+			m, ci := stats.MeanCI90(xs)
+			out[i] = MeanCI{m, ci}
+		}
+		return out
+	}
+	res.TCPvTCP = collect(eqTT)
+	res.TFRCvTFRC = collect(eqFF)
+	res.TCPvTFRC = collect(eqTF)
+	res.CoVTCP = collect(covT)
+	res.CoVTFRC = collect(covF)
+	return res
+}
+
+// Print emits both figures' rows.
+func (r *Fig09Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 9: equivalence ratio vs measurement timescale (mean ± 90% CI)")
+	fmt.Fprintln(w, "# timescale\tTFRCvTFRC\tci\tTCPvTCP\tci\tTFRCvTCP\tci")
+	for i, ts := range r.Timescales {
+		fmt.Fprintf(w, "%.1f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n", ts,
+			r.TFRCvTFRC[i].Mean, r.TFRCvTFRC[i].CI,
+			r.TCPvTCP[i].Mean, r.TCPvTCP[i].CI,
+			r.TCPvTFRC[i].Mean, r.TCPvTFRC[i].CI)
+	}
+	fmt.Fprintln(w, "# Figure 10: coefficient of variation vs timescale")
+	fmt.Fprintln(w, "# timescale\tTFRC\tci\tTCP\tci")
+	for i, ts := range r.Timescales {
+		fmt.Fprintf(w, "%.1f\t%.3f\t%.3f\t%.3f\t%.3f\n", ts,
+			r.CoVTFRC[i].Mean, r.CoVTFRC[i].CI,
+			r.CoVTCP[i].Mean, r.CoVTCP[i].CI)
+	}
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tcp"
+)
+
+// Fig11Params reproduces Figures 11-13: one long-lived TCP and one
+// long-lived TFRC flow monitored over self-similar ON/OFF background
+// traffic (mean ON 1 s, mean OFF 2 s, 500 kb/s while ON, Pareto shape
+// 1.5) on the 15 Mb/s RED bottleneck, sweeping the number of sources.
+type Fig11Params struct {
+	Sources    []int // paper: 50..150
+	Duration   float64
+	Warmup     float64
+	Timescales []float64
+	Runs       int
+	Seed       int64
+}
+
+// DefaultFig11 reduces the paper's 5000 s × 10 runs to test scale.
+func DefaultFig11() Fig11Params {
+	return Fig11Params{
+		Sources:    []int{60, 100, 130, 150},
+		Duration:   200,
+		Warmup:     50,
+		Timescales: []float64{0.5, 1, 2, 5, 10, 20, 50},
+		Runs:       2,
+		Seed:       1,
+	}
+}
+
+// PaperFig11 matches the paper's scale (long!).
+func PaperFig11() Fig11Params {
+	p := DefaultFig11()
+	p.Sources = []int{50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150}
+	p.Duration = 5000
+	p.Warmup = 100
+	p.Runs = 10
+	return p
+}
+
+// Fig11Row summarizes one source count.
+type Fig11Row struct {
+	Sources  int
+	LossRate MeanCI // bottleneck drop fraction (Figure 11)
+	// Per-timescale metrics (Figures 12 and 13), aligned with
+	// Params.Timescales.
+	EqTCPvTFRC []MeanCI
+	CoVTFRC    []MeanCI
+	CoVTCP     []MeanCI
+}
+
+// Fig11Result is the sweep.
+type Fig11Result struct {
+	Timescales []float64
+	Rows       []Fig11Row
+}
+
+// RunFig11 runs the sweep.
+func RunFig11(pr Fig11Params) *Fig11Result {
+	res := &Fig11Result{Timescales: pr.Timescales}
+	base := 0.1
+	for _, n := range pr.Sources {
+		loss := make([]float64, 0, pr.Runs)
+		eq := make([][]float64, len(pr.Timescales))
+		cvF := make([][]float64, len(pr.Timescales))
+		cvT := make([][]float64, len(pr.Timescales))
+		for run := 0; run < pr.Runs; run++ {
+			sc := Scenario{
+				NTCP:          1,
+				NTFRC:         1,
+				BottleneckBW:  15e6,
+				BottleneckDly: 0.025,
+				Queue:         netsim.QueueRED,
+				QueueLimit:    100,
+				REDMin:        10,
+				REDMax:        50,
+				TCPVariant:    tcp.Sack,
+				OnOffSources:  n,
+				Duration:      pr.Duration,
+				Warmup:        pr.Warmup,
+				BinWidth:      base,
+				Seed:          pr.Seed + int64(run)*977 + int64(n),
+			}
+			r := RunScenario(sc)
+			loss = append(loss, r.DropRate)
+			tcpS, tfS := r.TCPSeries[0], r.TFRCSeries[0]
+			for i, ts := range pr.Timescales {
+				k := int(ts/base + 0.5)
+				if k < 1 {
+					k = 1
+				}
+				a, f := stats.Rebin(tcpS, k), stats.Rebin(tfS, k)
+				eq[i] = append(eq[i], stats.EquivalenceRatio(a, f))
+				cvF[i] = append(cvF[i], stats.CoV(f))
+				cvT[i] = append(cvT[i], stats.CoV(a))
+			}
+		}
+		row := Fig11Row{Sources: n}
+		m, ci := stats.MeanCI90(loss)
+		row.LossRate = MeanCI{m, ci}
+		for i := range pr.Timescales {
+			m, ci := stats.MeanCI90(eq[i])
+			row.EqTCPvTFRC = append(row.EqTCPvTFRC, MeanCI{m, ci})
+			m, ci = stats.MeanCI90(cvF[i])
+			row.CoVTFRC = append(row.CoVTFRC, MeanCI{m, ci})
+			m, ci = stats.MeanCI90(cvT[i])
+			row.CoVTCP = append(row.CoVTCP, MeanCI{m, ci})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print emits all three figures' rows.
+func (r *Fig11Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 11: bottleneck loss rate vs number of ON/OFF sources")
+	fmt.Fprintln(w, "# sources\tlossRate\tci")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", row.Sources, row.LossRate.Mean, row.LossRate.CI)
+	}
+	fmt.Fprintln(w, "# Figure 12: TCP/TFRC equivalence ratio vs timescale, by source count")
+	fmt.Fprint(w, "# timescale")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "\tN=%d", row.Sources)
+	}
+	fmt.Fprintln(w)
+	for i, ts := range r.Timescales {
+		fmt.Fprintf(w, "%.1f", ts)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "\t%.3f", row.EqTCPvTFRC[i].Mean)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "# Figure 13: CoV vs timescale (TFRC, then TCP), by source count")
+	for i, ts := range r.Timescales {
+		fmt.Fprintf(w, "%.1f", ts)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "\t%.3f", row.CoVTFRC[i].Mean)
+		}
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "\t%.3f", row.CoVTCP[i].Mean)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/tcp"
+)
+
+// Fig14Params reproduces Figure 14: queue dynamics at a 15 Mb/s DropTail
+// bottleneck carrying 40 long-lived flows (start times spread over 20 s)
+// plus ~20% short-lived background TCP and a little reverse traffic —
+// once with all-TCP long-lived flows, once with all-TFRC.
+type Fig14Params struct {
+	Flows    int     // paper: 40
+	Stagger  float64 // paper: 20 s
+	Duration float64 // paper: ~25 s shown
+	LinkMbps float64
+	Queue    int // bottleneck buffer in packets
+	MiceLoad float64
+	Seed     int64
+}
+
+// DefaultFig14 matches the paper's setup.
+func DefaultFig14() Fig14Params {
+	return Fig14Params{
+		Flows:    40,
+		Stagger:  20,
+		Duration: 25,
+		LinkMbps: 15,
+		Queue:    250,
+		MiceLoad: 0.2,
+		Seed:     1,
+	}
+}
+
+// Fig14Side is one of the two runs.
+type Fig14Side struct {
+	Protocol    string
+	Queue       []netsim.QueueSample
+	QueueMean   float64
+	Utilization float64
+	DropRate    float64
+}
+
+// Fig14Result pairs the TCP and TFRC runs.
+type Fig14Result struct{ TCP, TFRC Fig14Side }
+
+func runFig14Side(pr Fig14Params, useTFRC bool) Fig14Side {
+	sc := Scenario{
+		BottleneckBW:  pr.LinkMbps * 1e6,
+		BottleneckDly: 0.010, // paper: RTTs roughly 45 ms
+		Queue:         netsim.QueueDropTail,
+		QueueLimit:    pr.Queue,
+		TCPVariant:    tcp.Sack,
+		MiceLoad:      pr.MiceLoad,
+		Duration:      pr.Duration,
+		Warmup:        0,
+		BinWidth:      0.15,
+		StaggerStarts: pr.Stagger,
+		Seed:          pr.Seed,
+	}
+	name := "TCP"
+	if useTFRC {
+		sc.NTFRC = pr.Flows
+		name = "TFRC"
+	} else {
+		sc.NTCP = pr.Flows
+	}
+	r := RunScenario(sc)
+	return Fig14Side{
+		Protocol:    name,
+		Queue:       r.Queue,
+		QueueMean:   r.QueueMean,
+		Utilization: r.Utilization,
+		DropRate:    r.DropRate,
+	}
+}
+
+// RunFig14 runs both sides.
+func RunFig14(pr Fig14Params) *Fig14Result {
+	return &Fig14Result{
+		TCP:  runFig14Side(pr, false),
+		TFRC: runFig14Side(pr, true),
+	}
+}
+
+// Print emits the queue traces and the summary comparison.
+func (r *Fig14Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 14: queue dynamics, 40 long-lived TCP vs TFRC flows, DropTail")
+	for _, side := range []Fig14Side{r.TCP, r.TFRC} {
+		fmt.Fprintf(w, "## %s: util %.3f, drop rate %.4f, mean queue %.1f pkts\n",
+			side.Protocol, side.Utilization, side.DropRate, side.QueueMean)
+		for _, s := range side.Queue {
+			fmt.Fprintf(w, "%.2f\t%d\n", s.Time, s.Len)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tcp"
+)
+
+// Path is an emulated Internet path profile — the substitution for the
+// paper's real-world measurement sites (§4.3, Figures 15-17). Each
+// profile captures what actually drove the paper's per-site differences:
+// bandwidth, base RTT, buffer, the peer TCP's flavor and timer behavior,
+// and background load.
+type Path struct {
+	Name           string
+	BW             float64 // bits/sec
+	RTT            float64 // base round-trip, seconds
+	QueueLimit     int     // DropTail buffer, packets
+	TCPVariant     tcp.Variant
+	TCPGranularity float64
+	TCPAggressive  bool
+	OnOffSources   int // light cross traffic
+}
+
+// Paths returns the catalogue standing in for the paper's measurement
+// sites. "UMASS (Solaris)" carries the aggressive-RTO sender that the
+// paper diagnosed as retransmitting spuriously; "Nokia, Boston" is the
+// heavily buffered T1.
+func Paths() []Path {
+	return []Path{
+		{Name: "UCL", BW: 2e6, RTT: 0.150, QueueLimit: 40,
+			TCPVariant: tcp.Sack, TCPGranularity: 0.1, OnOffSources: 4},
+		{Name: "Mannheim", BW: 5e6, RTT: 0.035, QueueLimit: 60,
+			TCPVariant: tcp.NewReno, TCPGranularity: 0.1, OnOffSources: 2},
+		{Name: "UMASS (Linux)", BW: 10e6, RTT: 0.070, QueueLimit: 100,
+			TCPVariant: tcp.Sack, TCPGranularity: 0.01, OnOffSources: 2},
+		{Name: "UMASS (Solaris)", BW: 10e6, RTT: 0.070, QueueLimit: 100,
+			TCPVariant: tcp.Reno, TCPGranularity: 0.01, TCPAggressive: true, OnOffSources: 2},
+		{Name: "Nokia, Boston", BW: 1.544e6, RTT: 0.060, QueueLimit: 30,
+			TCPVariant: tcp.Reno, TCPGranularity: 0.5, OnOffSources: 2},
+	}
+}
+
+func pathScenario(p Path, nTCP, nTFRC int, duration, warmup float64, seed int64) Scenario {
+	return Scenario{
+		NTCP:           nTCP,
+		NTFRC:          nTFRC,
+		BottleneckBW:   p.BW,
+		BottleneckDly:  p.RTT/2 - 0.002,
+		Queue:          netsim.QueueDropTail,
+		QueueLimit:     p.QueueLimit,
+		TCPVariant:     p.TCPVariant,
+		TCPGranularity: p.TCPGranularity,
+		TCPAggressive:  p.TCPAggressive,
+		OnOffSources:   p.OnOffSources,
+		Duration:       duration,
+		Warmup:         warmup,
+		BinWidth:       0.1,
+		Seed:           seed,
+	}
+}
+
+// Fig15Result is the Figure 15 trace: three TCP flows and one TFRC flow
+// on the transcontinental profile, bandwidth in 1 s bins.
+type Fig15Result struct {
+	BinWidth   float64
+	TCPTraces  [][]float64 // bytes per bin
+	TFRCTrace  []float64
+	MeanTCP    float64 // bytes/sec, averaged over the TCP flows
+	MeanTFRC   float64
+	CoVTCPMean float64
+	CoVTFRC    float64
+}
+
+// RunFig15 runs the trace experiment on the UCL-like path.
+func RunFig15(duration float64, seed int64) *Fig15Result {
+	if duration == 0 {
+		duration = 120
+	}
+	p := Paths()[0]
+	sc := pathScenario(p, 3, 1, duration, duration/6, seed)
+	sc.BinWidth = 1.0
+	r := RunScenario(sc)
+	out := &Fig15Result{BinWidth: 1.0, TFRCTrace: r.TFRCSeries[0]}
+	out.TCPTraces = r.TCPSeries
+	var covSum float64
+	for _, s := range r.TCPSeries {
+		out.MeanTCP += stats.Mean(s)
+		covSum += stats.CoV(s)
+	}
+	out.MeanTCP /= float64(len(r.TCPSeries))
+	out.CoVTCPMean = covSum / float64(len(r.TCPSeries))
+	out.MeanTFRC = stats.Mean(r.TFRCSeries[0])
+	out.CoVTFRC = stats.CoV(r.TFRCSeries[0])
+	return out
+}
+
+// Print emits "time tcp1 tcp2 tcp3 tfrc" rows in KB/s.
+func (r *Fig15Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 15: 3 TCP + 1 TFRC on the transcontinental path profile (KB/s)")
+	fmt.Fprintln(w, "# time\tTCP1\tTCP2\tTCP3\tTFRC")
+	for i := range r.TFRCTrace {
+		fmt.Fprintf(w, "%.0f", float64(i)*r.BinWidth)
+		for _, s := range r.TCPTraces {
+			fmt.Fprintf(w, "\t%.1f", s[i]/1000/r.BinWidth)
+		}
+		fmt.Fprintf(w, "\t%.1f\n", r.TFRCTrace[i]/1000/r.BinWidth)
+	}
+	fmt.Fprintf(w, "# mean: TCP %.1f KB/s (CoV %.3f), TFRC %.1f KB/s (CoV %.3f)\n",
+		r.MeanTCP/1000, r.CoVTCPMean, r.MeanTFRC/1000, r.CoVTFRC)
+}
+
+// Fig16Row carries the per-path equivalence and CoV curves (Figures 16
+// and 17).
+type Fig16Row struct {
+	Path    string
+	Eq      []float64 // TCP-vs-TFRC equivalence ratio per timescale
+	CoVTFRC []float64
+	CoVTCP  []float64
+}
+
+// Fig16Result is the per-path study.
+type Fig16Result struct {
+	Timescales []float64
+	Rows       []Fig16Row
+}
+
+// RunFig16 runs one TFRC against one TCP on every path profile.
+func RunFig16(timescales []float64, duration float64, seed int64) *Fig16Result {
+	if len(timescales) == 0 {
+		timescales = []float64{0.5, 1, 2, 5, 10, 20, 50}
+	}
+	if duration == 0 {
+		duration = 120
+	}
+	base := 0.1
+	res := &Fig16Result{Timescales: timescales}
+	for _, p := range Paths() {
+		sc := pathScenario(p, 1, 1, duration, duration/6, seed)
+		r := RunScenario(sc)
+		tcpS, tfS := r.TCPSeries[0], r.TFRCSeries[0]
+		row := Fig16Row{Path: p.Name}
+		for _, ts := range timescales {
+			k := int(ts/base + 0.5)
+			if k < 1 {
+				k = 1
+			}
+			a, f := stats.Rebin(tcpS, k), stats.Rebin(tfS, k)
+			row.Eq = append(row.Eq, stats.EquivalenceRatio(a, f))
+			row.CoVTFRC = append(row.CoVTFRC, stats.CoV(f))
+			row.CoVTCP = append(row.CoVTCP, stats.CoV(a))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print emits Figures 16 and 17 rows.
+func (r *Fig16Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 16: TCP equivalence with TFRC across path profiles")
+	fmt.Fprint(w, "# timescale")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "\t%q", row.Path)
+	}
+	fmt.Fprintln(w)
+	for i, ts := range r.Timescales {
+		fmt.Fprintf(w, "%.1f", ts)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "\t%.3f", row.Eq[i])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "# Figure 17: CoV across paths (TFRC block, then TCP block)")
+	for i, ts := range r.Timescales {
+		fmt.Fprintf(w, "%.1f", ts)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "\t%.3f", row.CoVTFRC[i])
+		}
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "\t%.3f", row.CoVTCP[i])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"tfrc/internal/core"
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tcp"
+	"tfrc/internal/tfrcsim"
+)
+
+// Fig18Params reproduces Figure 18: the quality of the loss estimator as
+// a one-step predictor of the future loss rate, for history sizes 2-32
+// loss intervals, with constant versus decreasing weights. Loss-interval
+// traces are harvested from a mix of simulated conditions (DropTail
+// congestion, RED congestion, and step-changing random loss), standing in
+// for the paper's set of Internet experiments.
+type Fig18Params struct {
+	HistorySizes []int
+	Duration     float64 // per trace source
+	Seed         int64
+}
+
+// DefaultFig18 matches the paper's history-size ladder.
+func DefaultFig18() Fig18Params {
+	return Fig18Params{HistorySizes: []int{2, 4, 8, 16, 32}, Duration: 150, Seed: 1}
+}
+
+// Fig18Point is one bar of the figure.
+type Fig18Point struct {
+	HistorySize     int
+	ConstantWeights bool
+	AvgError        float64
+	ErrStdDev       float64
+}
+
+// Fig18Result carries all bars plus the trace inventory.
+type Fig18Result struct {
+	Points    []Fig18Point
+	Intervals int // total intervals evaluated
+}
+
+// recEst wraps a loss estimator, recording every closed interval.
+type recEst struct {
+	core.LossRateEstimator
+	log *[]float64
+}
+
+func (r recEst) OnLossEvent(interval float64) {
+	*r.log = append(*r.log, interval)
+	r.LossRateEstimator.OnLossEvent(interval)
+}
+
+// bernoulliDropper drops data packets at a probability switchable at
+// runtime.
+type bernoulliDropper struct {
+	nw   *netsim.Network
+	next netsim.Agent
+	p    float64
+	rng  *sim.Rand
+}
+
+func (d *bernoulliDropper) Recv(pk *netsim.Packet) {
+	if pk.Kind == netsim.KindData && d.rng.Bernoulli(d.p) {
+		d.nw.Free(pk)
+		return
+	}
+	d.next.Recv(pk)
+}
+
+// collectTraces gathers loss-interval sequences from three conditions.
+func collectTraces(duration float64, seed int64) [][]float64 {
+	var traces [][]float64
+
+	// Condition 1: DropTail dumbbell shared with TCP.
+	// Condition 2: RED dumbbell shared with TCP.
+	for i, q := range []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED} {
+		var log []float64
+		cfg := tfrcsim.DefaultConfig()
+		cfg.Estimator = recEst{core.NewALI(core.DefaultLossHistory()), &log}
+		sc := Scenario{
+			NTCP:         2,
+			NTFRC:        1,
+			BottleneckBW: 4e6,
+			Queue:        q,
+			TCPVariant:   tcp.Sack,
+			TFRC:         cfg,
+			Duration:     duration,
+			BinWidth:     1,
+			Seed:         seed + int64(i),
+		}
+		RunScenario(sc)
+		traces = append(traces, log)
+	}
+
+	// Condition 3: step-changing Bernoulli loss on a clean pipe.
+	{
+		var log []float64
+		sched := sim.NewScheduler()
+		nw := netsim.New(sched)
+		a, b := nw.NewNode(), nw.NewNode()
+		nw.Connect(a, b, 1e8, 0.030, func() netsim.Queue { return netsim.NewDropTail(10000) })
+		nw.BuildRoutes()
+		cfg := tfrcsim.DefaultConfig()
+		cfg.Estimator = recEst{core.NewALI(core.DefaultLossHistory()), &log}
+		rcv := tfrcsim.NewReceiver(nw, b, 5, 0, cfg)
+		snd := tfrcsim.NewSender(nw, a, b.ID, 1, 2, 0, cfg)
+		drop := &bernoulliDropper{nw: nw, next: rcv, p: 0.02, rng: sim.NewRand(seed + 9)}
+		b.Attach(1, drop)
+		rates := []float64{0.05, 0.01, 0.08, 0.005, 0.03}
+		for i, r := range rates {
+			r := r
+			sched.At(duration*float64(i+1)/6, func() { drop.p = r })
+		}
+		snd.Start(0)
+		sched.RunUntil(duration)
+		traces = append(traces, log)
+	}
+	return traces
+}
+
+// RunFig18 harvests traces and evaluates every estimator configuration as
+// a one-step-ahead predictor: after each closed interval the estimator
+// predicts p̂, which is scored against the realized next interval's rate
+// 1/s_next.
+func RunFig18(pr Fig18Params) *Fig18Result {
+	traces := collectTraces(pr.Duration, pr.Seed)
+	res := &Fig18Result{}
+	for _, constant := range []bool{true, false} {
+		for _, n := range pr.HistorySizes {
+			var errs []float64
+			for _, tr := range traces {
+				if len(tr) < n+2 {
+					continue
+				}
+				h := core.NewLossHistory(core.LossHistoryConfig{
+					N:               n,
+					ConstantWeights: constant,
+				})
+				for k, iv := range tr {
+					if k >= n { // history warm: score the prediction
+						pHat := h.LossEventRate()
+						actual := 1 / iv
+						errs = append(errs, math.Abs(pHat-actual))
+					}
+					h.OnLossEvent(iv)
+				}
+			}
+			res.Points = append(res.Points, Fig18Point{
+				HistorySize:     n,
+				ConstantWeights: constant,
+				AvgError:        stats.Mean(errs),
+				ErrStdDev:       stats.StdDev(errs),
+			})
+			if len(errs) > res.Intervals {
+				res.Intervals = len(errs)
+			}
+		}
+	}
+	return res
+}
+
+// Print emits "history weights avgError errStdDev" rows.
+func (r *Fig18Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 18: loss-prediction error by history size and weighting")
+	fmt.Fprintln(w, "# history\tweights\tavgError\terrStdDev")
+	for _, p := range r.Points {
+		kind := "decreasing"
+		if p.ConstantWeights {
+			kind = "constant"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%.5f\t%.5f\n", p.HistorySize, kind, p.AvgError, p.ErrStdDev)
+	}
+}

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/tfrcsim"
+)
+
+// Fig19Params reproduces Figures 19-21 (Appendix A): a single TFRC flow
+// on an uncongested path with injected periodic loss that changes at a
+// known instant, tracing the sender's allowed rate.
+type Fig19Params struct {
+	// DropEveryBefore injects one loss per this many packets until
+	// SwitchTime (paper: 100).
+	DropEveryBefore int
+	// DropEveryAfter applies from SwitchTime on; 0 disables loss (the
+	// Figure 19 end-of-congestion case), 2 is Figure 20's persistent
+	// congestion.
+	DropEveryAfter int
+	SwitchTime     float64
+	Duration       float64
+	RTT            float64
+}
+
+// DefaultFig19 is the end-of-congestion run: every 100th packet dropped
+// until t = 10, then nothing.
+func DefaultFig19() Fig19Params {
+	return Fig19Params{DropEveryBefore: 100, DropEveryAfter: 0, SwitchTime: 10, Duration: 13, RTT: 0.05}
+}
+
+// DefaultFig20 is the persistent-congestion run: every 100th packet until
+// t = 10, then every 2nd.
+func DefaultFig20() Fig19Params {
+	return Fig19Params{DropEveryBefore: 100, DropEveryAfter: 2, SwitchTime: 10, Duration: 12, RTT: 0.05}
+}
+
+// Fig19Point samples the allowed sending rate.
+type Fig19Point struct {
+	Time       float64
+	RateBps    float64 // bytes/sec
+	PktsPerRTT float64
+}
+
+// Fig19Result is the rate trace plus derived summary numbers.
+type Fig19Result struct {
+	Points []Fig19Point
+	RTT    float64
+
+	// HalvedAfterRTTs counts round-trips from SwitchTime until the rate
+	// first drops to half its pre-switch value (Figure 20/21 metric);
+	// 0 if it never halves.
+	HalvedAfterRTTs int
+	// PreSwitchRate is the allowed rate just before the switch.
+	PreSwitchRate float64
+	// MaxIncreasePerRTT is the steepest observed rate increase after
+	// SwitchTime, in packets/RTT per RTT (Figure 19 metric).
+	MaxIncreasePerRTT float64
+}
+
+// RunFig19 runs the trace experiment.
+func RunFig19(pr Fig19Params) *Fig19Result {
+	sched := sim.NewScheduler()
+	nw := netsim.New(sched)
+	a, b := nw.NewNode(), nw.NewNode()
+	nw.Connect(a, b, 1e9, pr.RTT/2, func() netsim.Queue { return netsim.NewDropTail(100000) })
+	nw.BuildRoutes()
+
+	cfg := tfrcsim.DefaultConfig()
+	rcv := tfrcsim.NewReceiver(nw, b, 5, 0, cfg)
+	snd := tfrcsim.NewSender(nw, a, b.ID, 1, 2, 0, cfg)
+	drop := &periodicDropper{nw: nw, next: rcv, every: pr.DropEveryBefore}
+	b.Attach(1, drop)
+	sched.At(pr.SwitchTime, func() { drop.every = pr.DropEveryAfter })
+
+	res := &Fig19Result{RTT: pr.RTT}
+	pktSize := float64(snd.Core().PacketSize())
+	var sample func()
+	sample = func() {
+		rate := snd.Rate()
+		res.Points = append(res.Points, Fig19Point{
+			Time:       sched.Now(),
+			RateBps:    rate,
+			PktsPerRTT: rate * pr.RTT / pktSize,
+		})
+		sched.After(pr.RTT, sample)
+	}
+	sched.After(pr.RTT, sample)
+
+	snd.Start(0)
+	sched.RunUntil(pr.Duration)
+
+	// Derive the summary metrics from the trace.
+	for i := 1; i < len(res.Points); i++ {
+		pt := res.Points[i]
+		if pt.Time <= pr.SwitchTime {
+			res.PreSwitchRate = pt.RateBps
+			continue
+		}
+		if res.HalvedAfterRTTs == 0 && pt.RateBps <= res.PreSwitchRate/2 {
+			res.HalvedAfterRTTs = int((pt.Time - pr.SwitchTime) / pr.RTT)
+		}
+		if inc := pt.PktsPerRTT - res.Points[i-1].PktsPerRTT; inc > res.MaxIncreasePerRTT &&
+			res.Points[i-1].Time > pr.SwitchTime {
+			res.MaxIncreasePerRTT = inc
+		}
+	}
+	return res
+}
+
+// Print emits "time rate(pkts/RTT)" rows plus a summary.
+func (r *Fig19Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figures 19/20: allowed sending rate of a single TFRC flow")
+	fmt.Fprintln(w, "# time\trate(pkts/RTT)\trate(KB/s)")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%.2f\t%.2f\t%.1f\n", p.Time, p.PktsPerRTT, p.RateBps/1000)
+	}
+	fmt.Fprintf(w, "# max increase after switch: %.3f pkts/RTT per RTT\n", r.MaxIncreasePerRTT)
+	if r.HalvedAfterRTTs > 0 {
+		fmt.Fprintf(w, "# rate halved after %d RTTs\n", r.HalvedAfterRTTs)
+	}
+}
+
+// Fig21Row is one point of Figure 21: round-trips of persistent
+// congestion needed to halve the rate, by initial drop rate.
+type Fig21Row struct {
+	DropRate float64
+	RTTs     int
+}
+
+// Fig21Result is the sweep.
+type Fig21Result struct{ Rows []Fig21Row }
+
+// RunFig21 sweeps the pre-switch packet drop rate as in Figure 21,
+// switching to every-2nd-packet loss at t = 10 and counting round-trips
+// until the rate halves.
+func RunFig21(dropRates []float64, rtt float64) *Fig21Result {
+	if len(dropRates) == 0 {
+		dropRates = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25}
+	}
+	res := &Fig21Result{}
+	for _, p := range dropRates {
+		every := int(1/p + 0.5)
+		if every < 3 {
+			every = 3
+		}
+		r := RunFig19(Fig19Params{
+			DropEveryBefore: every,
+			DropEveryAfter:  2,
+			SwitchTime:      10,
+			Duration:        14,
+			RTT:             rtt,
+		})
+		res.Rows = append(res.Rows, Fig21Row{DropRate: p, RTTs: r.HalvedAfterRTTs})
+	}
+	return res
+}
+
+// Print emits "dropRate rttsToHalve" rows.
+func (r *Fig21Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 21: round-trips of persistent congestion to halve the rate")
+	fmt.Fprintln(w, "# dropRate\tRTTs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%.3f\t%d\n", row.DropRate, row.RTTs)
+	}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import "tfrc/internal/sim"
+
+// QueueKind selects the bottleneck queue discipline for a topology.
+type QueueKind int
+
+// Queue disciplines available to topology builders.
+const (
+	QueueDropTail QueueKind = iota
+	QueueRED
+)
+
+func (k QueueKind) String() string {
+	if k == QueueRED {
+		return "RED"
+	}
+	return "DropTail"
+}
+
+// DumbbellConfig describes the paper's standard single-bottleneck
+// evaluation topology: N left hosts and N right hosts joined through two
+// routers by one congested link. Access links are provisioned so that
+// drops happen only at the bottleneck (§4.1.2).
+type DumbbellConfig struct {
+	Hosts          int       // host pairs (left i talks to right i)
+	BottleneckBW   float64   // bits/sec
+	BottleneckDly  float64   // one-way propagation delay of the bottleneck
+	AccessBW       float64   // bits/sec; 0 → 10× bottleneck
+	AccessDly      []float64 // per-host access one-way delay; nil → 1 ms each
+	Queue          QueueKind
+	QueueLimit     int       // packets at the bottleneck (both directions)
+	RED            REDConfig // used when Queue == QueueRED; Limit overridden
+	AccessQueueLen int       // packets on access links; 0 → generous (1000)
+}
+
+// Dumbbell is the realized topology.
+type Dumbbell struct {
+	Net            *Network
+	Left, Right    []*Node
+	RouterL        *Node
+	RouterR        *Node
+	Forward        *Link // RouterL → RouterR: the congested direction
+	Reverse        *Link // RouterR → RouterL
+	ForwardQ, RevQ Queue
+	cfg            DumbbellConfig
+}
+
+// NewDumbbell builds the topology on a fresh network bound to sched. rng
+// drives RED's early-drop decisions.
+func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbbell {
+	if cfg.Hosts < 1 {
+		panic("netsim: dumbbell needs at least one host pair")
+	}
+	if cfg.QueueLimit < 1 {
+		panic("netsim: dumbbell needs a queue limit")
+	}
+	if cfg.AccessBW == 0 {
+		cfg.AccessBW = 10 * cfg.BottleneckBW
+	}
+	if cfg.AccessQueueLen == 0 {
+		cfg.AccessQueueLen = 1000
+	}
+	nw := New(sched)
+	d := &Dumbbell{Net: nw, cfg: cfg}
+	d.RouterL = nw.NewNode()
+	d.RouterR = nw.NewNode()
+
+	mkBottleneck := func() Queue {
+		switch cfg.Queue {
+		case QueueRED:
+			red := cfg.RED
+			red.Limit = cfg.QueueLimit
+			return NewRED(red, sched.Now, rng)
+		default:
+			return NewDropTail(cfg.QueueLimit)
+		}
+	}
+	d.Forward, d.Reverse = nw.Connect(d.RouterL, d.RouterR, cfg.BottleneckBW, cfg.BottleneckDly, mkBottleneck)
+	d.ForwardQ = d.Forward.Queue()
+	d.RevQ = d.Reverse.Queue()
+
+	accessDelay := func(i int) float64 {
+		if cfg.AccessDly == nil {
+			return 0.001
+		}
+		return cfg.AccessDly[i%len(cfg.AccessDly)]
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		l := nw.NewNode()
+		r := nw.NewNode()
+		mkAccess := func() Queue { return NewDropTail(cfg.AccessQueueLen) }
+		nw.Connect(l, d.RouterL, cfg.AccessBW, accessDelay(i), mkAccess)
+		nw.Connect(r, d.RouterR, cfg.AccessBW, accessDelay(i), mkAccess)
+		d.Left = append(d.Left, l)
+		d.Right = append(d.Right, r)
+	}
+	nw.BuildRoutes()
+	return d
+}
+
+// RTT returns the base (zero-queue) round-trip time between left host i
+// and its right peer, counting propagation only.
+func (d *Dumbbell) RTT(i int) float64 {
+	acc := 0.001
+	if d.cfg.AccessDly != nil {
+		acc = d.cfg.AccessDly[i%len(d.cfg.AccessDly)]
+	}
+	return 2 * (2*acc + d.cfg.BottleneckDly)
+}

@@ -1,0 +1,81 @@
+package netsim
+
+// TapEvent tells a link tap what happened to a packet at that link.
+type TapEvent uint8
+
+// Tap events.
+const (
+	TapArrive TapEvent = iota // packet offered to the link (pre-queue)
+	TapDrop                   // packet dropped by the queue discipline
+	TapDepart                 // packet finished serializing onto the wire
+)
+
+// Tap observes packets at a link. Taps must not retain the packet.
+type Tap func(ev TapEvent, now float64, p *Packet)
+
+// Link is a simplex link: a transmitter serializing packets at Bandwidth
+// bits/sec feeding a fixed propagation delay, with a queue discipline
+// absorbing bursts while the transmitter is busy.
+type Link struct {
+	net   *Network
+	to    *Node
+	bw    float64 // bits per second
+	delay float64 // propagation delay, seconds
+	queue Queue
+	busy  bool
+	taps  []Tap
+}
+
+// Bandwidth returns the link rate in bits per second.
+func (l *Link) Bandwidth() float64 { return l.bw }
+
+// Delay returns the propagation delay in seconds.
+func (l *Link) Delay() float64 { return l.delay }
+
+// Queue returns the attached queue discipline.
+func (l *Link) Queue() Queue { return l.queue }
+
+// AddTap registers an observer for this link's packet events.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+func (l *Link) emit(ev TapEvent, p *Packet) {
+	if len(l.taps) == 0 {
+		return
+	}
+	now := l.net.sched.Now()
+	for _, t := range l.taps {
+		t(ev, now, p)
+	}
+}
+
+// Send offers a packet to the link. If the transmitter is idle the packet
+// starts serializing immediately; otherwise it is queued, and may be
+// dropped by the discipline. Dropped packets are returned to the pool.
+func (l *Link) Send(p *Packet) {
+	l.emit(TapArrive, p)
+	if !l.busy {
+		l.busy = true
+		l.startTx(p)
+		return
+	}
+	if !l.queue.Enqueue(p) {
+		l.emit(TapDrop, p)
+		l.net.pool.Put(p)
+	}
+}
+
+func (l *Link) startTx(p *Packet) {
+	txTime := float64(p.Size) * 8 / l.bw
+	l.net.sched.After(txTime, func() { l.txDone(p) })
+}
+
+func (l *Link) txDone(p *Packet) {
+	l.emit(TapDepart, p)
+	to := l.to
+	l.net.sched.After(l.delay, func() { to.receive(p) })
+	if next := l.queue.Dequeue(); next != nil {
+		l.startTx(next)
+	} else {
+		l.busy = false
+	}
+}

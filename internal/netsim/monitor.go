@@ -1,0 +1,190 @@
+package netsim
+
+// FlowMonitor accumulates per-flow byte counts departing a link into
+// fixed-width time bins — the substrate for the paper's R_τ(t) send-rate
+// time series (Eq. 2) and the Figure 8 throughput traces.
+type FlowMonitor struct {
+	binWidth float64
+	start    float64
+	bins     map[int][]float64 // flow → bytes per bin
+	drops    map[int]int
+	arrivals map[int]int
+	departs  map[int]int
+}
+
+// NewFlowMonitor returns a monitor with the given bin width (seconds),
+// with bin 0 starting at time start.
+func NewFlowMonitor(binWidth, start float64) *FlowMonitor {
+	if binWidth <= 0 {
+		panic("netsim: FlowMonitor bin width must be positive")
+	}
+	return &FlowMonitor{
+		binWidth: binWidth,
+		start:    start,
+		bins:     make(map[int][]float64),
+		drops:    make(map[int]int),
+		arrivals: make(map[int]int),
+		departs:  make(map[int]int),
+	}
+}
+
+// Tap returns a link tap feeding this monitor.
+func (m *FlowMonitor) Tap() Tap {
+	return func(ev TapEvent, now float64, p *Packet) {
+		switch ev {
+		case TapArrive:
+			m.arrivals[p.Flow]++
+		case TapDrop:
+			m.drops[p.Flow]++
+		case TapDepart:
+			m.departs[p.Flow]++
+			if now < m.start {
+				return
+			}
+			bin := int((now - m.start) / m.binWidth)
+			series := m.bins[p.Flow]
+			for len(series) <= bin {
+				series = append(series, 0)
+			}
+			series[bin] += float64(p.Size)
+			m.bins[p.Flow] = series
+		}
+	}
+}
+
+// Series returns the per-bin byte counts for a flow, padded to nbins.
+func (m *FlowMonitor) Series(flow, nbins int) []float64 {
+	s := m.bins[flow]
+	out := make([]float64, nbins)
+	copy(out, s)
+	return out
+}
+
+// Rate returns the flow's series converted to bytes/sec, padded to nbins.
+func (m *FlowMonitor) Rate(flow, nbins int) []float64 {
+	out := m.Series(flow, nbins)
+	for i := range out {
+		out[i] /= m.binWidth
+	}
+	return out
+}
+
+// TotalBytes returns all bytes the flow moved through the link since
+// start.
+func (m *FlowMonitor) TotalBytes(flow int) float64 {
+	var sum float64
+	for _, b := range m.bins[flow] {
+		sum += b
+	}
+	return sum
+}
+
+// Drops returns the number of packets of a flow dropped at the link.
+func (m *FlowMonitor) Drops(flow int) int { return m.drops[flow] }
+
+// Stats aggregates arrivals, departures, and drops across all flows.
+func (m *FlowMonitor) Stats() (arrivals, departs, drops int) {
+	for _, v := range m.arrivals {
+		arrivals += v
+	}
+	for _, v := range m.departs {
+		departs += v
+	}
+	for _, v := range m.drops {
+		drops += v
+	}
+	return
+}
+
+// DropRate returns total drops divided by total arrivals at the link.
+func (m *FlowMonitor) DropRate() float64 {
+	arr, _, dr := m.Stats()
+	if arr == 0 {
+		return 0
+	}
+	return float64(dr) / float64(arr)
+}
+
+// QueueSample is one observation of a queue's occupancy.
+type QueueSample struct {
+	Time float64
+	Len  int // packets
+}
+
+// QueueMonitor samples a queue's length at a fixed period — the substrate
+// for the Figure 14 queue-dynamics traces.
+type QueueMonitor struct {
+	Samples []QueueSample
+}
+
+// NewQueueMonitor starts sampling q every period seconds until the
+// scheduler stops running or end is reached (end ≤ 0 means forever).
+func NewQueueMonitor(nw *Network, q Queue, period, end float64) *QueueMonitor {
+	m := &QueueMonitor{}
+	var tick func()
+	tick = func() {
+		now := nw.Now()
+		if end > 0 && now > end {
+			return
+		}
+		m.Samples = append(m.Samples, QueueSample{Time: now, Len: q.Len()})
+		nw.Scheduler().After(period, tick)
+	}
+	nw.Scheduler().After(period, tick)
+	return m
+}
+
+// Mean returns the average sampled queue length in packets.
+func (m *QueueMonitor) Mean() float64 {
+	if len(m.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range m.Samples {
+		sum += float64(s.Len)
+	}
+	return sum / float64(len(m.Samples))
+}
+
+// Max returns the largest sampled queue length in packets.
+func (m *QueueMonitor) Max() int {
+	max := 0
+	for _, s := range m.Samples {
+		if s.Len > max {
+			max = s.Len
+		}
+	}
+	return max
+}
+
+// UtilizationMonitor measures the fraction of link capacity used between
+// start and the last departure it sees.
+type UtilizationMonitor struct {
+	bw      float64
+	start   float64
+	bytes   float64
+	lastDep float64
+}
+
+// NewUtilizationMonitor attaches a utilization tap to the link, counting
+// departures from time start onward.
+func NewUtilizationMonitor(l *Link, start float64) *UtilizationMonitor {
+	m := &UtilizationMonitor{bw: l.Bandwidth(), start: start}
+	l.AddTap(func(ev TapEvent, now float64, p *Packet) {
+		if ev == TapDepart && now >= start {
+			m.bytes += float64(p.Size)
+			m.lastDep = now
+		}
+	})
+	return m
+}
+
+// Utilization returns delivered bits over capacity·elapsed, measured up to
+// time end.
+func (m *UtilizationMonitor) Utilization(end float64) float64 {
+	elapsed := end - m.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return m.bytes * 8 / (m.bw * elapsed)
+}

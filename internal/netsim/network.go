@@ -1,0 +1,205 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"tfrc/internal/sim"
+)
+
+// Agent consumes packets delivered to a (node, port) binding. An agent
+// takes ownership of packets passed to Recv and must return them to the
+// network's pool once done.
+type Agent interface {
+	Recv(p *Packet)
+}
+
+// Node is a network element: hosts run agents on ports, routers simply
+// forward. A packet addressed to the node is delivered to the agent bound
+// to its destination port; anything else is forwarded along the static
+// route toward its destination.
+type Node struct {
+	ID    NodeID
+	net   *Network
+	links map[NodeID]*Link // neighbor → outbound link
+	route []*Link          // destination NodeID → next-hop link
+	ports map[int]Agent
+}
+
+// Attach binds an agent to a local port.
+func (n *Node) Attach(port int, a Agent) {
+	if _, dup := n.ports[port]; dup {
+		panic(fmt.Sprintf("netsim: node %d port %d already bound", n.ID, port))
+	}
+	n.ports[port] = a
+}
+
+// Detach unbinds a port. Detaching an unbound port is a no-op, so callers
+// recycling ports (e.g. short-flow generators) need not track liveness.
+func (n *Node) Detach(port int) {
+	delete(n.ports, port)
+}
+
+// LinkTo returns the outbound link to a directly connected neighbor, or
+// nil if the nodes are not adjacent.
+func (n *Node) LinkTo(neighbor *Node) *Link { return n.links[neighbor.ID] }
+
+// Send injects a packet originated by a local agent into the network.
+func (n *Node) Send(p *Packet) {
+	if p.Dst == n.ID {
+		// Local delivery without touching any link.
+		n.deliver(p)
+		return
+	}
+	n.forward(p)
+}
+
+func (n *Node) receive(p *Packet) {
+	if p.Dst == n.ID {
+		n.deliver(p)
+		return
+	}
+	n.forward(p)
+}
+
+func (n *Node) deliver(p *Packet) {
+	a := n.ports[p.DstPort]
+	if a == nil {
+		// No consumer: silently discard, as a real host would.
+		n.net.pool.Put(p)
+		return
+	}
+	a.Recv(p)
+}
+
+const maxHops = 64
+
+func (n *Node) forward(p *Packet) {
+	p.hops++
+	if p.hops > maxHops {
+		panic(fmt.Sprintf("netsim: packet flow=%d exceeded %d hops (routing loop?)", p.Flow, maxHops))
+	}
+	if int(p.Dst) >= len(n.route) || n.route[p.Dst] == nil {
+		panic(fmt.Sprintf("netsim: node %d has no route to %d", n.ID, p.Dst))
+	}
+	n.route[p.Dst].Send(p)
+}
+
+// Network owns the topology, the packet pool, and the scheduler binding.
+type Network struct {
+	sched *sim.Scheduler
+	pool  Pool
+	nodes []*Node
+}
+
+// New returns an empty network driven by the given scheduler.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{sched: sched}
+}
+
+// Scheduler returns the driving scheduler.
+func (nw *Network) Scheduler() *sim.Scheduler { return nw.sched }
+
+// Now returns the current simulated time.
+func (nw *Network) Now() float64 { return nw.sched.Now() }
+
+// Pool returns the shared packet pool.
+func (nw *Network) Pool() *Pool { return &nw.pool }
+
+// NewNode adds a node to the topology.
+func (nw *Network) NewNode() *Node {
+	n := &Node{
+		ID:    NodeID(len(nw.nodes)),
+		net:   nw,
+		links: make(map[NodeID]*Link),
+		ports: make(map[int]Agent),
+	}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Nodes returns all nodes in creation order.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Connect joins a and b with a pair of simplex links sharing bandwidth
+// (bits/sec) and propagation delay (seconds). Each direction gets its own
+// queue from mkQueue. It returns the a→b and b→a links. Call BuildRoutes
+// after the topology is complete.
+func (nw *Network) Connect(a, b *Node, bw, delay float64, mkQueue func() Queue) (ab, ba *Link) {
+	if bw <= 0 || delay < 0 {
+		panic("netsim: link needs positive bandwidth and non-negative delay")
+	}
+	ab = &Link{net: nw, to: b, bw: bw, delay: delay, queue: mkQueue()}
+	ba = &Link{net: nw, to: a, bw: bw, delay: delay, queue: mkQueue()}
+	a.links[b.ID] = ab
+	b.links[a.ID] = ba
+	// Let capacity-aware disciplines know their drain rate.
+	type ptcSetter interface{ SetPTC(float64) }
+	for _, l := range []*Link{ab, ba} {
+		if s, ok := l.queue.(ptcSetter); ok {
+			s.SetPTC(l.bw / (8 * 1000)) // nominal 1000-byte packets
+		}
+	}
+	return ab, ba
+}
+
+// BuildRoutes computes shortest-path (hop count) next-hop tables for every
+// node with breadth-first search. It must be called after the last Connect
+// and panics if the topology is disconnected.
+func (nw *Network) BuildRoutes() {
+	n := len(nw.nodes)
+	neighbors := func(nd *Node) []NodeID {
+		ids := make([]NodeID, 0, len(nd.links))
+		for id := range nd.links {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	for _, src := range nw.nodes {
+		src.route = make([]*Link, n)
+		// BFS from src recording the first hop toward each destination.
+		// Neighbors are visited in sorted order so equal-cost ties break
+		// deterministically.
+		visited := make([]bool, n)
+		visited[src.ID] = true
+		type hop struct {
+			node  *Node
+			first *Link
+		}
+		queue := make([]hop, 0, n)
+		for _, nbr := range neighbors(src) {
+			l := src.links[nbr]
+			visited[nbr] = true
+			src.route[nbr] = l
+			queue = append(queue, hop{nw.nodes[nbr], l})
+		}
+		for len(queue) > 0 {
+			h := queue[0]
+			queue = queue[1:]
+			for _, nbr := range neighbors(h.node) {
+				if !visited[nbr] {
+					visited[nbr] = true
+					src.route[nbr] = h.first
+					queue = append(queue, hop{nw.nodes[nbr], h.first})
+				}
+			}
+		}
+		for id, ok := range visited {
+			if !ok {
+				panic(fmt.Sprintf("netsim: node %d unreachable from node %d", id, src.ID))
+			}
+		}
+	}
+}
+
+// NewPacket draws a packet from the pool, pre-stamped with the current
+// time as its send time.
+func (nw *Network) NewPacket() *Packet {
+	p := nw.pool.Get()
+	p.SendTime = nw.sched.Now()
+	return p
+}
+
+// Free returns a packet to the pool.
+func (nw *Network) Free(p *Packet) { nw.pool.Put(p) }

@@ -1,0 +1,128 @@
+// Package netsim is a packet-level network simulator in the style of ns-2:
+// nodes exchange packets over simplex links with configurable bandwidth,
+// propagation delay, and queue discipline (DropTail or RED). Static
+// shortest-path routes are computed once per topology. Taps on links and
+// per-flow monitors provide the measurement substrate for the experiments.
+package netsim
+
+import "fmt"
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// PacketKind labels what a packet carries. The simulator itself only cares
+// about Size; kinds exist for monitors and for agents demultiplexing.
+type PacketKind uint8
+
+// Packet kinds.
+const (
+	KindData     PacketKind = iota // transport payload (TCP or TFRC data)
+	KindAck                        // TCP cumulative/selective acknowledgment
+	KindFeedback                   // TFRC receiver report
+	KindCBR                        // constant/ON-OFF bit-rate background
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindFeedback:
+		return "feedback"
+	case KindCBR:
+		return "cbr"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// SackBlock is a half-open range [Start, End) of selectively acknowledged
+// sequence numbers carried on an ACK.
+type SackBlock struct {
+	Start, End int64
+}
+
+// MaxSackBlocks bounds the SACK information carried per ACK, mirroring the
+// three-block limit of a standard TCP options field.
+const MaxSackBlocks = 3
+
+// Packet is the unit of transmission. Like an ns-2 packet it carries the
+// union of all protocol headers as value fields so the hot path never
+// allocates; agents use only the fields of their protocol. Packets are
+// recycled through a Pool — holding a *Packet after handing it to the
+// network or the pool is a bug.
+type Packet struct {
+	Kind PacketKind
+	Flow int   // global flow identifier, used by monitors
+	Size int   // bytes on the wire, including headers
+	Seq  int64 // data sequence number, in packets (ns-2 convention)
+
+	Src, Dst         NodeID
+	SrcPort, DstPort int
+
+	SendTime float64 // time the packet left the origin
+
+	// TCP header fields.
+	Ack      int64 // cumulative ACK: next expected sequence number
+	Sack     [MaxSackBlocks]SackBlock
+	NumSack  int
+	EchoTime float64 // timestamp echoed by the receiver (RTTM)
+
+	// TFRC data field: the sender's current RTT estimate, which the
+	// receiver needs to aggregate losses within one round-trip into a
+	// single loss event (§3.5.1).
+	SenderRTT float64
+
+	// ECN bits (the paper's §7 names ECN as the natural next step for
+	// equation-based control): ECT marks an ECN-capable transport, CE
+	// is set by an ECN-enabled RED queue instead of dropping.
+	ECT bool
+	CE  bool
+
+	// TFRC feedback fields (paper §3.1: the receiver reports the loss
+	// event rate and the rate at which data arrived, echoing the newest
+	// data packet's timestamp plus its residence time at the receiver).
+	LossEventRate float64 // p
+	RecvRate      float64 // X_recv in bytes/sec over the last RTT
+	EchoSeq       int64   // sequence of the most recent data packet
+	EchoDelay     float64 // time the echoed packet spent at the receiver
+
+	hops int // forwarding count, guards against routing loops
+}
+
+// reset clears a packet for reuse.
+func (p *Packet) reset() {
+	*p = Packet{}
+}
+
+// Pool recycles packets. It is deliberately not safe for concurrent use:
+// the simulator is single-threaded and the pool sits on the hot path.
+type Pool struct {
+	free []*Packet
+	live int
+}
+
+// Get returns a zeroed packet.
+func (pl *Pool) Get() *Packet {
+	pl.live++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return new(Packet)
+}
+
+// Put returns a packet to the pool.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pl.live--
+	p.reset()
+	pl.free = append(pl.free, p)
+}
+
+// Live returns the number of packets currently checked out, useful for
+// leak assertions in tests.
+func (pl *Pool) Live() int { return pl.live }

@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tfrc/internal/sim"
+)
+
+func mkPkt(size int, flow int) *Packet {
+	return &Packet{Size: size, Flow: flow}
+}
+
+func TestDropTailFIFO(t *testing.T) {
+	q := NewDropTail(4)
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(mkPkt(100, i)) {
+			t.Fatalf("enqueue %d rejected below limit", i)
+		}
+	}
+	if q.Enqueue(mkPkt(100, 99)) {
+		t.Fatal("enqueue accepted above limit")
+	}
+	if q.Len() != 4 || q.Bytes() != 400 {
+		t.Fatalf("len=%d bytes=%d, want 4/400", q.Len(), q.Bytes())
+	}
+	for i := 0; i < 4; i++ {
+		p := q.Dequeue()
+		if p == nil || p.Flow != i {
+			t.Fatalf("dequeue %d: got %+v", i, p)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Fatal("dequeue from empty queue returned a packet")
+	}
+	if q.Len() != 0 || q.Bytes() != 0 {
+		t.Fatalf("empty queue reports len=%d bytes=%d", q.Len(), q.Bytes())
+	}
+}
+
+func TestDropTailWrapAround(t *testing.T) {
+	// Exercise the ring buffer across many push/pop cycles.
+	q := NewDropTail(3)
+	seq := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Enqueue(mkPkt(10, seq+i)) {
+				t.Fatal("unexpected drop")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			p := q.Dequeue()
+			if p.Flow != seq+i {
+				t.Fatalf("round %d: got flow %d, want %d", round, p.Flow, seq+i)
+			}
+		}
+		seq += 3
+	}
+}
+
+func TestDropTailPropertyConservation(t *testing.T) {
+	// Property: every accepted packet comes out exactly once, in order.
+	f := func(ops []bool) bool {
+		q := NewDropTail(8)
+		next, expect := 0, 0
+		inFlight := 0
+		for _, push := range ops {
+			if push {
+				if q.Enqueue(mkPkt(1, next)) {
+					inFlight++
+				}
+				next++
+			} else if p := q.Dequeue(); p != nil {
+				inFlight--
+				if p.Flow < expect {
+					return false
+				}
+				expect = p.Flow + 1
+			}
+			if q.Len() != inFlight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropTailBadLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("limit 0 did not panic")
+		}
+	}()
+	NewDropTail(0)
+}
+
+func TestREDBelowMinThreshNeverDrops(t *testing.T) {
+	now := 0.0
+	cfg := DefaultRED(100)
+	q := NewRED(cfg, func() float64 { return now }, sim.NewRand(1))
+	// Keep instantaneous queue at ≤ 5 packets: avg stays below min 25.
+	for i := 0; i < 10000; i++ {
+		now += 0.001
+		if !q.Enqueue(mkPkt(1000, 0)) {
+			t.Fatalf("RED dropped below min threshold at %d (avg=%v)", i, q.AvgQueue())
+		}
+		if q.Len() > 5 {
+			q.Dequeue()
+			q.Dequeue()
+		}
+	}
+}
+
+func TestREDDropsUnderOverload(t *testing.T) {
+	now := 0.0
+	cfg := DefaultRED(60)
+	cfg.MinThresh, cfg.MaxThresh = 5, 15
+	q := NewRED(cfg, func() float64 { return now }, sim.NewRand(2))
+	drops := 0
+	for i := 0; i < 5000; i++ {
+		now += 0.0001
+		if !q.Enqueue(mkPkt(1000, 0)) {
+			drops++
+		}
+		if i%3 == 0 {
+			q.Dequeue() // drain slower than arrivals: persistent overload
+		}
+	}
+	if drops == 0 {
+		t.Fatal("RED never dropped under persistent overload")
+	}
+	if q.Len() > 60 {
+		t.Fatalf("RED exceeded its physical limit: %d", q.Len())
+	}
+}
+
+func TestREDEarlyDropBeforeOverflow(t *testing.T) {
+	// RED should start dropping while the instantaneous queue is still
+	// below the physical limit — that is its entire point.
+	now := 0.0
+	cfg := DefaultRED(1000)
+	cfg.MinThresh, cfg.MaxThresh = 5, 15
+	q := NewRED(cfg, func() float64 { return now }, sim.NewRand(3))
+	sawEarly := false
+	for i := 0; i < 3000; i++ {
+		now += 0.0001
+		if !q.Enqueue(mkPkt(1000, 0)) && q.Len() < 1000 {
+			sawEarly = true
+			break
+		}
+	}
+	if !sawEarly {
+		t.Fatal("no early drop observed")
+	}
+}
+
+func TestREDAvgDecaysWhenIdle(t *testing.T) {
+	now := 0.0
+	cfg := DefaultRED(100)
+	q := NewRED(cfg, func() float64 { return now }, sim.NewRand(4))
+	q.SetPTC(1000) // 1000 pkts/sec drain rate
+	for i := 0; i < 200; i++ {
+		now += 0.0001
+		q.Enqueue(mkPkt(1000, 0))
+	}
+	high := q.AvgQueue()
+	if high == 0 {
+		t.Fatal("avg did not rise")
+	}
+	for q.Dequeue() != nil {
+	}
+	now += 10 // ten idle seconds
+	q.Enqueue(mkPkt(1000, 0))
+	if q.AvgQueue() > high/10 {
+		t.Fatalf("avg %v did not decay from %v across idle period", q.AvgQueue(), high)
+	}
+}
+
+func TestREDGentleRampReachesOne(t *testing.T) {
+	// With avg pinned above 2·maxthresh every arrival must drop.
+	now := 0.0
+	cfg := DefaultRED(10000)
+	cfg.MinThresh, cfg.MaxThresh, cfg.Wq = 2, 4, 0.5
+	q := NewRED(cfg, func() float64 { return now }, sim.NewRand(5))
+	// Fill without draining so avg races past 8.
+	for i := 0; i < 100; i++ {
+		now += 0.0001
+		q.Enqueue(mkPkt(1000, 0))
+	}
+	if q.AvgQueue() < 2*cfg.MaxThresh {
+		t.Skipf("avg only reached %v", q.AvgQueue())
+	}
+	for i := 0; i < 20; i++ {
+		now += 0.0001
+		if q.Enqueue(mkPkt(1000, 0)) {
+			t.Fatal("accepted a packet with avg ≥ 2·maxthresh")
+		}
+	}
+}
+
+func TestREDConfigValidation(t *testing.T) {
+	now := func() float64 { return 0 }
+	rng := sim.NewRand(1)
+	for name, cfg := range map[string]REDConfig{
+		"zero limit":   {MinThresh: 1, MaxThresh: 2, Wq: 0.1, Limit: 0},
+		"min ≥ max":    {MinThresh: 2, MaxThresh: 2, Wq: 0.1, Limit: 10},
+		"bad wq":       {MinThresh: 1, MaxThresh: 2, Wq: 0, Limit: 10},
+		"wq above one": {MinThresh: 1, MaxThresh: 2, Wq: 1.5, Limit: 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewRED(cfg, now, rng)
+		}()
+	}
+}

@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"math"
+
+	"tfrc/internal/sim"
+)
+
+// REDConfig parameterizes Random Early Detection per Floyd & Jacobson
+// (1993) with the optional "gentle" extension used throughout the paper's
+// simulations.
+type REDConfig struct {
+	MinThresh float64 // avg queue (pkts) below which no packet is marked
+	MaxThresh float64 // avg queue at which mark probability reaches MaxP
+	MaxP      float64 // mark probability at MaxThresh
+	Wq        float64 // EWMA weight for the average queue estimator
+	Gentle    bool    // ramp drop prob from MaxP to 1 between max and 2·max
+	Limit     int     // physical buffer limit in packets
+	MeanPkt   int     // mean packet size (bytes) for idle-time compensation
+	Wait      bool    // spread drops: avoid dropping twice within 1/p pkts
+	// ECN marks ECN-capable (ECT) packets with Congestion Experienced
+	// instead of early-dropping them. Forced drops (buffer overflow,
+	// avg beyond the gentle region) still drop.
+	ECN bool
+}
+
+// DefaultRED mirrors the parameters in the paper's Figure 8 footnote:
+// min_thresh 25, max_thresh 5·min, max_p 0.1, gentle on.
+func DefaultRED(limit int) REDConfig {
+	return REDConfig{
+		MinThresh: 25,
+		MaxThresh: 125,
+		MaxP:      0.1,
+		Wq:        0.002,
+		Gentle:    true,
+		Limit:     limit,
+		MeanPkt:   1000,
+		Wait:      true,
+	}
+}
+
+// RED is a Random Early Detection queue. The average queue size is updated
+// on every arrival, with idle-time compensation driven by the link's
+// packet transmission rate (set via SetPTC when the queue is attached to a
+// link).
+type RED struct {
+	fifo
+	cfg REDConfig
+
+	rng *sim.Rand
+	now func() float64
+
+	avg       float64
+	count     int // packets since the last early drop
+	idleStart float64
+	idle      bool
+	ptc       float64 // link capacity in packets/sec for idle compensation
+
+	// Marked counts packets admitted with CE set instead of dropped.
+	Marked int
+}
+
+// NewRED returns a RED queue. now supplies the current simulated time and
+// rng drives the early-drop coin flips.
+func NewRED(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
+	if cfg.Limit < 1 {
+		panic("netsim: RED limit must be ≥ 1")
+	}
+	if cfg.MaxThresh <= cfg.MinThresh {
+		panic("netsim: RED max threshold must exceed min threshold")
+	}
+	if cfg.Wq <= 0 || cfg.Wq > 1 {
+		panic("netsim: RED Wq must be in (0, 1]")
+	}
+	return &RED{
+		fifo: newFIFO(cfg.Limit),
+		cfg:  cfg,
+		rng:  rng,
+		now:  now,
+		idle: true,
+	}
+}
+
+// SetPTC informs the queue of the outbound link capacity in packets per
+// second, used to age the average during idle periods. Link.SetQueue calls
+// this automatically.
+func (q *RED) SetPTC(pktPerSec float64) { q.ptc = pktPerSec }
+
+// AvgQueue returns the current EWMA queue estimate in packets.
+func (q *RED) AvgQueue() float64 { return q.avg }
+
+// Enqueue implements Queue.
+func (q *RED) Enqueue(p *Packet) bool {
+	q.updateAvg()
+	if q.n >= q.cfg.Limit {
+		q.count = 0
+		return false // buffer overflow: forced drop
+	}
+	if q.dropEarly() {
+		if q.cfg.ECN && p.ECT && q.avg < 2*q.cfg.MaxThresh {
+			// Congestion signal without loss: mark and admit.
+			p.CE = true
+			q.Marked++
+		} else {
+			return false
+		}
+	}
+	q.push(p)
+	return true
+}
+
+func (q *RED) updateAvg() {
+	if q.idle {
+		// The queue has been empty: decay the average as if m small
+		// packets had passed through an empty queue.
+		m := 0.0
+		if q.ptc > 0 {
+			m = (q.now() - q.idleStart) * q.ptc
+		}
+		q.avg *= math.Pow(1-q.cfg.Wq, m)
+		q.idle = false
+	}
+	q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*float64(q.n)
+}
+
+func (q *RED) dropEarly() bool {
+	cfg := &q.cfg
+	switch {
+	case q.avg < cfg.MinThresh:
+		q.count = -1
+		return false
+	case q.avg < cfg.MaxThresh:
+		q.count++
+		pb := cfg.MaxP * (q.avg - cfg.MinThresh) / (cfg.MaxThresh - cfg.MinThresh)
+		return q.flip(pb)
+	case cfg.Gentle && q.avg < 2*cfg.MaxThresh:
+		q.count++
+		pb := cfg.MaxP + (q.avg-cfg.MaxThresh)/cfg.MaxThresh*(1-cfg.MaxP)
+		return q.flip(pb)
+	default:
+		q.count = 0
+		return true
+	}
+}
+
+// flip applies the ns-2 inter-drop spreading: with Wait enabled a drop is
+// suppressed until count·pb ≥ 1, making inter-drop gaps closer to uniform
+// than geometric.
+func (q *RED) flip(pb float64) bool {
+	if pb <= 0 {
+		return false
+	}
+	var pa float64
+	cp := float64(q.count) * pb
+	if q.cfg.Wait {
+		if cp < 1 {
+			return false
+		}
+		pa = pb / (2 - cp)
+	} else {
+		if cp < 1 {
+			pa = pb / (1 - cp)
+		} else {
+			pa = 1
+		}
+	}
+	if pa < 0 {
+		pa = 1
+	}
+	if q.rng.Float64() < pa {
+		q.count = 0
+		return true
+	}
+	return false
+}
+
+// Dequeue implements Queue.
+func (q *RED) Dequeue() *Packet {
+	p := q.pop()
+	if q.n == 0 && !q.idle {
+		q.idle = true
+		q.idleStart = q.now()
+	}
+	return p
+}
+
+// Len implements Queue.
+func (q *RED) Len() int { return q.n }
+
+// Bytes implements Queue.
+func (q *RED) Bytes() int { return q.bytes }

@@ -1,0 +1,163 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// an event scheduler with a binary-heap event queue, a simulation clock,
+// cancellable timers, and seeded random-variate helpers.
+//
+// The engine is single-threaded by design. Determinism comes from three
+// properties: events fire in (time, insertion-sequence) order, all
+// randomness is drawn from explicitly seeded sources, and no wall-clock
+// time is consulted anywhere.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a simulated time.
+type Event struct {
+	at    float64
+	seq   uint64
+	index int // heap index; -1 when not queued
+	fn    func()
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.at }
+
+// Scheduled reports whether the event is still pending in the queue.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the simulation clock and the pending event queue.
+// The zero value is not ready for use; call NewScheduler.
+type Scheduler struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	free    []*Event // recycled Event structs
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{queue: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a protocol bug rather than a recoverable
+// condition.
+func (s *Scheduler) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = new(Event)
+	}
+	e.at = t
+	e.fn = fn
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Scheduler) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op, which lets protocol code keep a single timer handle.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.fn = nil
+	s.free = append(s.free, e)
+}
+
+// Step runs the earliest pending event and advances the clock to it.
+// It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	fn := e.fn
+	e.fn = nil
+	s.free = append(s.free, e)
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// Stop makes Run and RunUntil return before the next event fires.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ end, leaves later events queued,
+// and advances the clock to end.
+func (s *Scheduler) RunUntil(end float64) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= end {
+		s.Step()
+	}
+	if !s.stopped && s.now < end {
+		s.now = end
+	}
+}

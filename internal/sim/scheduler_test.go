@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4, 0.5, 2.5}
+	for _, at := range times {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(got), len(times))
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtEqualTimes(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(1.0, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSchedulerAfterUsesCurrentTime(t *testing.T) {
+	s := NewScheduler()
+	var fired float64
+	s.At(2, func() {
+		s.After(3, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 5 {
+		t.Fatalf("After fired at %v, want 5", fired)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.At(1, func() { ran = true })
+	s.Cancel(e)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event still fired")
+	}
+	// Double-cancel and cancel-after-fire must be safe.
+	s.Cancel(e)
+	e2 := s.At(2, func() {})
+	s.Run()
+	s.Cancel(e2)
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=2.5, want 2", len(fired))
+	}
+	if s.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", s.Now())
+	}
+	s.RunUntil(10)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if s.Len() != 7 {
+		t.Fatalf("queue has %d events, want 7", s.Len())
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestSchedulerEventReuse(t *testing.T) {
+	// Recycled Event structs must not resurrect stale callbacks.
+	s := NewScheduler()
+	bad := false
+	e := s.At(1, func() { bad = true })
+	s.Cancel(e)
+	ok := false
+	s.At(1, func() { ok = true })
+	s.Run()
+	if bad || !ok {
+		t.Fatalf("event reuse broken: bad=%v ok=%v", bad, ok)
+	}
+}
+
+func TestSchedulerPropertyOrdered(t *testing.T) {
+	// Property: for any set of event times, firing order is sorted.
+	f := func(raw []uint16) bool {
+		s := NewScheduler()
+		var got []float64
+		for _, v := range raw {
+			at := float64(v) / 100
+			s.At(at, func() { got = append(got, at) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(got) && len(got) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetStop(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Reset(1)
+	tm.Reset(2) // supersedes the first arm
+	if d, ok := tm.Deadline(); !ok || d != 2 {
+		t.Fatalf("deadline = %v,%v want 2,true", d, ok)
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want 1", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after fire")
+	}
+	tm.Reset(1)
+	tm.Stop()
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("stopped timer fired; count = %d", fired)
+	}
+	if _, ok := tm.Deadline(); ok {
+		t.Fatal("idle timer reports a deadline")
+	}
+}
+
+func TestTimerRearmFromCallback(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var tm *Timer
+	tm = NewTimer(s, func() {
+		n++
+		if n < 5 {
+			tm.Reset(1)
+		}
+	})
+	tm.Reset(1)
+	s.Run()
+	if n != 5 {
+		t.Fatalf("periodic rearm ran %d times, want 5", n)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", s.Now())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(0.080, 0.120)
+		if v < 0.080 || v >= 0.120 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestRandParetoMean(t *testing.T) {
+	r := NewRand(7)
+	const mean, alpha, n = 1.0, 1.5, 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Pareto(mean, alpha)
+	}
+	got := sum / n
+	// Heavy tail converges slowly; allow 15%.
+	if got < mean*0.85 || got > mean*1.15 {
+		t.Fatalf("Pareto sample mean = %v, want ≈ %v", got, mean)
+	}
+}
+
+func TestRandParetoShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto with alpha ≤ 1 did not panic")
+		}
+	}()
+	NewRand(1).Pareto(1, 1)
+}
+
+func TestRandExponentialMean(t *testing.T) {
+	r := NewRand(3)
+	const mean, n = 2.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(mean)
+	}
+	if got := sum / n; got < mean*0.97 || got > mean*1.03 {
+		t.Fatalf("Exponential sample mean = %v, want ≈ %v", got, mean)
+	}
+}
+
+func TestRandBernoulli(t *testing.T) {
+	r := NewRand(9)
+	hits := 0
+	const n, p = 100000, 0.3
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < p-0.01 || got > p+0.01 {
+		t.Fatalf("Bernoulli rate = %v, want ≈ %v", got, p)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	r := rand.New(rand.NewSource(1))
+	// Keep a standing population of events, pop one, push one.
+	for i := 0; i < 1024; i++ {
+		s.At(r.Float64(), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(r.Float64(), func() {})
+		s.Step()
+	}
+}

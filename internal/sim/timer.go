@@ -1,0 +1,54 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to a scheduler. It wraps the
+// raw Event API so protocol code can re-arm a single logical timer (an RTO,
+// a feedback timer, a no-feedback timer) without tracking event handles.
+// The zero value is unusable; use NewTimer.
+type Timer struct {
+	sched *Scheduler
+	fn    func()
+	ev    *Event
+}
+
+// NewTimer returns a stopped timer that runs fn when it expires.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	return &Timer{sched: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d seconds from now, cancelling any
+// pending expiry.
+func (t *Timer) Reset(d float64) {
+	t.Stop()
+	t.ev = t.sched.After(d, t.fire)
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at float64) {
+	t.Stop()
+	t.ev = t.sched.At(at, t.fire)
+}
+
+// Stop cancels a pending expiry. Stopping an idle timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sched.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev != nil && t.ev.Scheduled() }
+
+// Deadline returns the expiry time of an armed timer and true, or 0 and
+// false for an idle timer.
+func (t *Timer) Deadline() (float64, bool) {
+	if !t.Pending() {
+		return 0, false
+	}
+	return t.ev.Time(), true
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}

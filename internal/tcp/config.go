@@ -1,0 +1,105 @@
+package tcp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Variant selects the loss-recovery behavior of a sender.
+type Variant int
+
+// TCP variants, in increasing order of loss-recovery sophistication.
+const (
+	// Tahoe retransmits on three duplicate ACKs but always collapses to
+	// slow start.
+	Tahoe Variant = iota
+	// Reno adds fast recovery, but halves the window once per window of
+	// data and typically needs a timeout when several packets are lost
+	// in one window (§3.5.1).
+	Reno
+	// NewReno stays in fast recovery across partial ACKs, retransmitting
+	// one hole per RTT without further window reductions.
+	NewReno
+	// Sack uses selective-acknowledgment scoreboards to retransmit all
+	// holes within one recovery episode — the flavor used for the
+	// paper's headline simulations.
+	Sack
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Tahoe:
+		return "tahoe"
+	case Reno:
+		return "reno"
+	case NewReno:
+		return "newreno"
+	case Sack:
+		return "sack"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Config parameterizes a TCP sender.
+type Config struct {
+	// Variant selects loss recovery; the zero value is Tahoe.
+	Variant Variant
+	// PacketSize is the segment size in bytes (default 1000).
+	PacketSize int
+	// AckSize is the bytes of a pure ACK on the reverse path (default 40).
+	AckSize int
+	// InitialWindow in packets (default 2, as in the paper's era).
+	InitialWindow float64
+	// MaxWindow caps the congestion window in packets (default 10000).
+	MaxWindow float64
+	// Granularity is the retransmit-timer clock tick in seconds. RTO
+	// values are rounded up to a multiple of it. The paper's FreeBSD
+	// stacks used a conservative 500 ms tick; its simulations use finer
+	// clocks. Default 0.1.
+	Granularity float64
+	// MinRTO floors the retransmit timer (default: max(2·Granularity, 0.2),
+	// or whatever is set here if positive).
+	MinRTO float64
+	// AggressiveRTO mimics the paper's misbehaving Solaris 2.7 sender
+	// (§4.3): a severely under-estimated RTO that fires spuriously and
+	// retransmits unnecessarily, hurting its own throughput.
+	AggressiveRTO bool
+	// SendJitter adds a uniform random processing delay in [0, SendJitter)
+	// seconds before each transmission — ns-2's overhead_ parameter.
+	// Deterministic simulations with identical RTTs phase-lock at
+	// DropTail queues (one flow's bursts always meeting a full buffer);
+	// a sub-millisecond jitter restores the incoherence real systems
+	// have. Packet ordering is preserved. 0 disables.
+	SendJitter float64
+	// JitterSeed seeds the jitter stream (mixed with the flow id) so
+	// runs remain reproducible.
+	JitterSeed int64
+}
+
+func (c *Config) fill() {
+	if c.PacketSize == 0 {
+		c.PacketSize = 1000
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 40
+	}
+	if c.InitialWindow == 0 {
+		c.InitialWindow = 2
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 10000
+	}
+	if c.Granularity == 0 {
+		c.Granularity = 0.1
+	}
+	if c.MinRTO == 0 {
+		// Real stacks floor the RTO well above the clock tick (Linux:
+		// 200 ms) so queue-induced RTT swings do not fire the timer
+		// spuriously. The aggressive (Solaris-like) variant keeps a
+		// bare one-tick floor — that is precisely its pathology.
+		c.MinRTO = math.Max(2*c.Granularity, 0.2)
+		if c.AggressiveRTO {
+			c.MinRTO = c.Granularity
+		}
+	}
+}

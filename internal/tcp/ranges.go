@@ -1,0 +1,104 @@
+// Package tcp implements one-way TCP data senders and ACK sinks for the
+// simulator, in the style of ns-2's Tahoe/Reno/NewReno/Sack1 agents:
+// sequence numbers count packets, an infinite backlog is assumed, and the
+// congestion window is a float in packet units. These are the baselines
+// the paper evaluates TFRC against, including variants with coarse (500 ms
+// FreeBSD-like) and aggressive (Solaris-like) retransmit timers.
+package tcp
+
+import "sort"
+
+// rangeSet is an ordered set of disjoint half-open int64 intervals,
+// used for the sink's received-sequence record and the sender's
+// SACK scoreboard.
+type rangeSet struct {
+	r []srange
+}
+
+type srange struct{ start, end int64 }
+
+// add inserts [start, end), merging overlapping and adjacent ranges.
+func (s *rangeSet) add(start, end int64) {
+	if start >= end {
+		return
+	}
+	i := sort.Search(len(s.r), func(i int) bool { return s.r[i].end >= start })
+	j := i
+	for j < len(s.r) && s.r[j].start <= end {
+		if s.r[j].start < start {
+			start = s.r[j].start
+		}
+		if s.r[j].end > end {
+			end = s.r[j].end
+		}
+		j++
+	}
+	s.r = append(s.r[:i], append([]srange{{start, end}}, s.r[j:]...)...)
+}
+
+// contains reports whether seq is covered.
+func (s *rangeSet) contains(seq int64) bool {
+	i := sort.Search(len(s.r), func(i int) bool { return s.r[i].end > seq })
+	return i < len(s.r) && s.r[i].start <= seq
+}
+
+// covered reports whether all of [start, end) is covered.
+func (s *rangeSet) covered(start, end int64) bool {
+	i := sort.Search(len(s.r), func(i int) bool { return s.r[i].end > start })
+	return i < len(s.r) && s.r[i].start <= start && s.r[i].end >= end
+}
+
+// firstGapAtOrAfter returns the lowest seq ≥ from that is not covered.
+func (s *rangeSet) firstGapAtOrAfter(from int64) int64 {
+	for _, rg := range s.r {
+		if rg.end <= from {
+			continue
+		}
+		if rg.start > from {
+			return from
+		}
+		from = rg.end
+	}
+	return from
+}
+
+// dropBelow discards state below seq (already cumulatively acked).
+func (s *rangeSet) dropBelow(seq int64) {
+	i := 0
+	for i < len(s.r) && s.r[i].end <= seq {
+		i++
+	}
+	s.r = s.r[i:]
+	if len(s.r) > 0 && s.r[0].start < seq {
+		s.r[0].start = seq
+	}
+}
+
+// countIn returns how many sequence numbers within [start, end) are
+// covered.
+func (s *rangeSet) countIn(start, end int64) int64 {
+	var n int64
+	for _, rg := range s.r {
+		lo, hi := rg.start, rg.end
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			n += hi - lo
+		}
+	}
+	return n
+}
+
+// newest returns up to max ranges, most recently useful first (highest
+// sequence ranges first), for filling a SACK option.
+func (s *rangeSet) newest(max int) []srange {
+	out := make([]srange, 0, max)
+	for i := len(s.r) - 1; i >= 0 && len(out) < max; i-- {
+		out = append(out, s.r[i])
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeSetAddMerge(t *testing.T) {
+	var s rangeSet
+	s.add(5, 10)
+	s.add(20, 25)
+	s.add(10, 20) // bridges the gap
+	if len(s.r) != 1 || s.r[0] != (srange{5, 25}) {
+		t.Fatalf("ranges = %v, want [{5 25}]", s.r)
+	}
+}
+
+func TestRangeSetContains(t *testing.T) {
+	var s rangeSet
+	s.add(3, 7)
+	for seq, want := range map[int64]bool{2: false, 3: true, 6: true, 7: false} {
+		if got := s.contains(seq); got != want {
+			t.Fatalf("contains(%d) = %v", seq, got)
+		}
+	}
+}
+
+func TestRangeSetCovered(t *testing.T) {
+	var s rangeSet
+	s.add(0, 10)
+	s.add(15, 20)
+	if !s.covered(2, 8) {
+		t.Fatal("covered(2,8) false")
+	}
+	if s.covered(8, 16) {
+		t.Fatal("covered(8,16) true across a gap")
+	}
+}
+
+func TestRangeSetFirstGap(t *testing.T) {
+	var s rangeSet
+	s.add(0, 5)
+	s.add(7, 9)
+	if g := s.firstGapAtOrAfter(0); g != 5 {
+		t.Fatalf("gap = %d, want 5", g)
+	}
+	if g := s.firstGapAtOrAfter(7); g != 9 {
+		t.Fatalf("gap = %d, want 9", g)
+	}
+	if g := s.firstGapAtOrAfter(100); g != 100 {
+		t.Fatalf("gap = %d, want 100", g)
+	}
+}
+
+func TestRangeSetDropBelow(t *testing.T) {
+	var s rangeSet
+	s.add(0, 10)
+	s.add(15, 20)
+	s.dropBelow(5)
+	if len(s.r) != 2 || s.r[0] != (srange{5, 10}) {
+		t.Fatalf("after dropBelow(5): %v", s.r)
+	}
+	s.dropBelow(12)
+	if len(s.r) != 1 || s.r[0] != (srange{15, 20}) {
+		t.Fatalf("after dropBelow(12): %v", s.r)
+	}
+}
+
+func TestRangeSetCountIn(t *testing.T) {
+	var s rangeSet
+	s.add(0, 10)
+	s.add(20, 30)
+	if n := s.countIn(5, 25); n != 10 {
+		t.Fatalf("countIn = %d, want 10", n)
+	}
+}
+
+func TestRangeSetNewest(t *testing.T) {
+	var s rangeSet
+	s.add(0, 2)
+	s.add(4, 6)
+	s.add(8, 10)
+	s.add(12, 14)
+	got := s.newest(3)
+	if len(got) != 3 || got[0] != (srange{12, 14}) || got[2] != (srange{4, 6}) {
+		t.Fatalf("newest(3) = %v", got)
+	}
+}
+
+func TestRangeSetPropertyMatchesNaive(t *testing.T) {
+	// Property: the interval set agrees with a naive map-of-seqs model.
+	f := func(ops []uint8) bool {
+		var s rangeSet
+		naive := map[int64]bool{}
+		rng := rand.New(rand.NewSource(int64(len(ops))))
+		for _, op := range ops {
+			start := int64(op % 50)
+			length := int64(rng.Intn(5)) + 1
+			s.add(start, start+length)
+			for q := start; q < start+length; q++ {
+				naive[q] = true
+			}
+		}
+		for q := int64(0); q < 60; q++ {
+			if s.contains(q) != naive[q] {
+				return false
+			}
+		}
+		// firstGap agrees with naive scan.
+		for from := int64(0); from < 60; from += 7 {
+			g := s.firstGapAtOrAfter(from)
+			for q := from; q < g; q++ {
+				if !naive[q] {
+					return false
+				}
+			}
+			if naive[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+package tcp
+
+import (
+	"math"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+)
+
+// Sender is a one-way TCP data sender with an infinite backlog (an FTP
+// source). Sequence numbers count packets. It implements slow start,
+// congestion avoidance, fast retransmit, and per-variant loss recovery,
+// with an RFC 6298-style retransmit timer quantized to a configurable
+// clock granularity.
+type Sender struct {
+	cfg  Config
+	net  *netsim.Network
+	node *netsim.Node
+	dst  netsim.NodeID
+	dprt int // destination (sink) port
+	sprt int // our port, where ACKs arrive
+	flow int
+
+	cwnd     float64
+	ssthresh float64
+	next     int64 // next sequence to transmit (ns-2's t_seqno_)
+	maxSent  int64 // highest sequence ever transmitted, plus one
+	cumack   int64 // everything below is acked
+	dupacks  int
+
+	inRecovery bool
+	recover    int64
+	lastCut    int64 // highest seq at the most recent window cut: at
+	// most one cut per window of data (ns-2 bug_fix_)
+	pipe   int64    // Sack recovery: estimate of packets in flight
+	sacked rangeSet // receiver-held blocks above cumack
+	rtxed  rangeSet // holes retransmitted during this recovery
+
+	rtx     *sim.Timer
+	backoff float64
+	srtt    float64
+	rttvar  float64
+	hasRTT  bool
+
+	// Counters for experiments.
+	Sent      int64 // data packets sent, including retransmissions
+	Rtx       int64 // retransmissions
+	Timeouts  int64
+	FastRecov int64
+	started   bool
+	stopped   bool
+
+	limit int64 // 0 = infinite backlog; else stop after this many packets
+
+	jitter   *sim.Rand // non-nil when SendJitter > 0
+	lastSend float64   // latest scheduled departure, preserves ordering
+
+	// OnComplete, if set, runs once when a limited transfer is fully
+	// acknowledged.
+	OnComplete func()
+}
+
+// NewSender creates a sender on node, addressing the sink at dst:dstPort.
+// ACKs must be routed back to srcPort on node (Attach does this). flow
+// tags all packets for monitors.
+func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort, srcPort, flow int, cfg Config) *Sender {
+	cfg.fill()
+	s := &Sender{
+		cfg:      cfg,
+		net:      nw,
+		node:     node,
+		dst:      dst,
+		dprt:     dstPort,
+		sprt:     srcPort,
+		flow:     flow,
+		cwnd:     cfg.InitialWindow,
+		ssthresh: cfg.MaxWindow,
+		backoff:  1,
+	}
+	s.rtx = sim.NewTimer(nw.Scheduler(), s.onTimeout)
+	if cfg.SendJitter > 0 {
+		s.jitter = sim.NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x9e3779b9)
+	}
+	node.Attach(srcPort, s)
+	return s
+}
+
+// NewSenderLimited creates a sender that transfers exactly limit packets
+// and then stops — a finite transfer (web "mouse", short session). When
+// the final packet is acknowledged the sender detaches from its port and
+// invokes OnComplete.
+func NewSenderLimited(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort, srcPort, flow int, cfg Config, limit int64) *Sender {
+	s := NewSender(nw, node, dst, dstPort, srcPort, flow, cfg)
+	if limit < 1 {
+		limit = 1
+	}
+	s.limit = limit
+	return s
+}
+
+// Start begins transmission at the given simulated time.
+func (s *Sender) Start(at float64) {
+	s.net.Scheduler().At(at, func() {
+		s.started = true
+		s.trySend()
+	})
+}
+
+// Stop halts transmission permanently (used to model finite transfers).
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.rtx.Stop()
+}
+
+// Cwnd returns the congestion window in packets.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() float64 { return s.srtt }
+
+// RTO returns the current retransmit timeout including clock rounding.
+func (s *Sender) RTO() float64 { return s.rto() }
+
+func (s *Sender) window() float64 {
+	return math.Min(s.cwnd, s.cfg.MaxWindow)
+}
+
+func (s *Sender) flight() int64 { return s.next - s.cumack }
+
+// Recv handles an arriving ACK.
+func (s *Sender) Recv(p *netsim.Packet) {
+	if p.Kind != netsim.KindAck {
+		s.net.Free(p)
+		return
+	}
+	ack := p.Ack
+	for i := 0; i < p.NumSack; i++ {
+		s.sacked.add(p.Sack[i].Start, p.Sack[i].End)
+	}
+	if p.EchoTime > 0 {
+		s.sampleRTT(s.net.Now() - p.EchoTime)
+	}
+	s.net.Free(p)
+
+	switch {
+	case ack > s.cumack:
+		s.onNewAck(ack)
+	case ack == s.cumack && s.flight() > 0:
+		s.onDupAck()
+	}
+	s.trySend()
+}
+
+func (s *Sender) onNewAck(ack int64) {
+	newly := ack - s.cumack
+	s.cumack = ack
+	if s.next < ack {
+		// Original transmissions beat the go-back-N resend: skip ahead.
+		s.next = ack
+	}
+	s.sacked.dropBelow(ack)
+	s.rtxed.dropBelow(ack)
+	s.backoff = 1
+
+	if s.limit > 0 && s.cumack >= s.limit {
+		// Finite transfer complete: release the port for reuse.
+		s.Stop()
+		s.node.Detach(s.sprt)
+		if s.OnComplete != nil {
+			s.OnComplete()
+		}
+		return
+	}
+
+	if s.inRecovery {
+		if ack >= s.recover {
+			s.exitRecovery()
+		} else {
+			s.onPartialAck(newly)
+			s.resetTimer()
+			return
+		}
+	} else {
+		s.dupacks = 0
+		s.grow()
+	}
+	s.dupacks = 0
+	s.resetTimer()
+}
+
+// grow opens the window: slow start below ssthresh, congestion avoidance
+// above.
+func (s *Sender) grow() {
+	if s.cwnd < s.ssthresh {
+		s.cwnd += 1
+		if s.cwnd > s.ssthresh {
+			s.cwnd = s.ssthresh
+		}
+	} else {
+		s.cwnd += 1 / s.cwnd
+	}
+	if s.cwnd > s.cfg.MaxWindow {
+		s.cwnd = s.cfg.MaxWindow
+	}
+}
+
+func (s *Sender) exitRecovery() {
+	s.inRecovery = false
+	s.cwnd = s.ssthresh
+	s.rtxed = rangeSet{}
+}
+
+func (s *Sender) onPartialAck(newly int64) {
+	switch s.cfg.Variant {
+	case Reno:
+		// Classic Reno leaves recovery on the first new ACK even if it
+		// is partial; remaining losses must be found by timeout or a
+		// fresh fast retransmit — the double-halving behavior §3.5.1
+		// describes.
+		s.exitRecovery()
+		s.dupacks = 0
+	case NewReno:
+		// Retransmit the next hole, deflate by the amount acked.
+		s.cwnd = math.Max(s.cwnd-float64(newly)+1, 1)
+		s.retransmit(s.cumack)
+	case Sack:
+		// The partial ACK removes newly packets from the network.
+		s.pipe -= newly
+		if s.pipe < 0 {
+			s.pipe = 0
+		}
+	}
+}
+
+func (s *Sender) onDupAck() {
+	s.dupacks++
+	if s.inRecovery {
+		switch s.cfg.Variant {
+		case Reno, NewReno:
+			s.cwnd++ // window inflation: a dupack means a packet left
+		case Sack:
+			if s.pipe > 0 {
+				s.pipe--
+			}
+		}
+		return
+	}
+	if s.dupacks < 3 {
+		return
+	}
+	// At most one window cut per window of data (ns-2's bug_fix_):
+	// further dupack runs before the cut point is acked are echoes of
+	// the same congestion episode.
+	if s.cumack < s.lastCut {
+		return
+	}
+	// Fast retransmit.
+	s.FastRecov++
+	s.ssthresh = math.Max(float64(s.flight())/2, 2)
+	s.recover = s.next
+	s.lastCut = s.next
+	switch s.cfg.Variant {
+	case Tahoe:
+		s.cwnd = 1
+		s.dupacks = 0
+		s.retransmit(s.cumack)
+	case Reno, NewReno:
+		s.inRecovery = true
+		s.cwnd = s.ssthresh + 3
+		s.retransmit(s.cumack)
+	case Sack:
+		s.inRecovery = true
+		s.cwnd = s.ssthresh
+		s.pipe = s.flight() - 3
+		if s.pipe < 0 {
+			s.pipe = 0
+		}
+		s.retransmit(s.cumack)
+		s.pipe++
+	}
+	s.resetTimer()
+}
+
+func (s *Sender) onTimeout() {
+	if s.stopped || s.flight() == 0 {
+		return
+	}
+	s.Timeouts++
+	s.ssthresh = math.Max(float64(s.flight())/2, 2)
+	s.cwnd = 1
+	s.dupacks = 0
+	s.lastCut = s.next
+	s.inRecovery = false
+	s.sacked = rangeSet{}
+	s.rtxed = rangeSet{}
+	s.backoff = math.Min(s.backoff*2, 64)
+	// Go back N: resume transmission from the cumulative ACK and let
+	// slow start walk back through the holes (ns-2: t_seqno_ =
+	// highest_ack_). Without this, every lost hole would cost its own
+	// timeout.
+	s.next = s.cumack
+	s.trySend()
+	s.resetTimer()
+}
+
+func (s *Sender) sampleRTT(r float64) {
+	if r <= 0 {
+		return
+	}
+	if !s.hasRTT {
+		s.hasRTT = true
+		s.srtt = r
+		s.rttvar = r / 2
+		return
+	}
+	const alpha, beta = 1.0 / 8, 1.0 / 4
+	s.rttvar = (1-beta)*s.rttvar + beta*math.Abs(r-s.srtt)
+	s.srtt = (1-alpha)*s.srtt + alpha*r
+}
+
+// rto returns the quantized retransmit timeout. The aggressive variant
+// under-provisions the variance term and uses a minimal floor, modelling
+// the spuriously retransmitting Solaris 2.7 sender from §4.3.
+func (s *Sender) rto() float64 {
+	if !s.hasRTT {
+		return math.Max(1.0, s.cfg.MinRTO)
+	}
+	k := 4.0
+	if s.cfg.AggressiveRTO {
+		k = 0.5
+	}
+	raw := s.srtt + k*s.rttvar
+	g := s.cfg.Granularity
+	quantized := math.Ceil(raw/g) * g
+	return math.Max(quantized, s.cfg.MinRTO)
+}
+
+func (s *Sender) resetTimer() {
+	if s.flight() == 0 {
+		s.rtx.Stop()
+		return
+	}
+	s.rtx.Reset(s.rto() * s.backoff)
+}
+
+func (s *Sender) retransmit(seq int64) {
+	s.rtxed.add(seq, seq+1)
+	s.emit(seq, true)
+}
+
+// trySend transmits whatever the window (or the recovery pipe) allows.
+func (s *Sender) trySend() {
+	if !s.started || s.stopped {
+		return
+	}
+	if s.inRecovery && s.cfg.Variant == Sack {
+		for s.pipe < int64(s.window()) {
+			seq, isRtx, ok := s.nextSackSend()
+			if !ok {
+				break
+			}
+			if isRtx {
+				s.retransmit(seq)
+			} else {
+				s.next++
+				s.emit(seq, false)
+			}
+			s.pipe++
+		}
+		return
+	}
+	for s.flight() < int64(s.window()) {
+		if s.limit > 0 && s.next >= s.limit {
+			return
+		}
+		seq := s.next
+		s.next++
+		s.emit(seq, seq < s.maxSent)
+	}
+}
+
+// nextSackSend picks the next segment during SACK recovery: the first
+// un-SACKed, un-retransmitted hole below recover that the scoreboard
+// considers lost, else new data. A hole counts as lost only when at least
+// three packets above it have been selectively acknowledged (the RFC 3517
+// IsLost rule with DupThresh = 3); anything less may simply still be in
+// flight.
+func (s *Sender) nextSackSend() (seq int64, isRtx, ok bool) {
+	hole := s.cumack
+	for hole < s.recover {
+		if !s.sacked.contains(hole) && !s.rtxed.contains(hole) {
+			if s.sacked.countIn(hole+1, s.recover) < 3 {
+				break // not yet deemed lost: send new data instead
+			}
+			return hole, true, true
+		}
+		hole++
+		hole = s.sacked.firstGapAtOrAfter(hole)
+	}
+	if s.limit > 0 && s.next >= s.limit {
+		return 0, false, false
+	}
+	return s.next, false, true
+}
+
+func (s *Sender) emit(seq int64, isRtx bool) {
+	p := s.net.NewPacket()
+	p.Kind = netsim.KindData
+	p.Flow = s.flow
+	p.Size = s.cfg.PacketSize
+	p.Seq = seq
+	p.Src = s.node.ID
+	p.Dst = s.dst
+	p.SrcPort = s.sprt
+	p.DstPort = s.dprt
+	s.Sent++
+	if isRtx {
+		s.Rtx++
+	}
+	if seq >= s.maxSent {
+		s.maxSent = seq + 1
+	}
+	// Arm the timer directly: resetTimer consults flight(), which does
+	// not yet include this packet.
+	if !s.rtx.Pending() {
+		s.rtx.Reset(s.rto() * s.backoff)
+	}
+	if s.jitter == nil {
+		s.node.Send(p)
+		return
+	}
+	// Phase-breaking processing delay, monotone so packets stay ordered.
+	now := s.net.Now()
+	at := now + s.jitter.Float64()*s.cfg.SendJitter
+	if at < s.lastSend {
+		at = s.lastSend
+	}
+	s.lastSend = at + 1e-9
+	node := s.node
+	s.net.Scheduler().At(at, func() { node.Send(p) })
+}

@@ -1,0 +1,75 @@
+package tcp
+
+import "tfrc/internal/netsim"
+
+// Sink is a TCP receiver: it acknowledges every data packet with the
+// cumulative ACK, up to three SACK blocks describing out-of-order data,
+// and a timestamp echo for the sender's RTT sampling. It has an infinite
+// receive window.
+type Sink struct {
+	net     *netsim.Network
+	node    *netsim.Node
+	ackSize int
+	flow    int
+
+	received rangeSet
+	next     int64 // cumulative ACK: lowest sequence not yet received
+
+	// Delivered counts in-order goodput in packets; Received counts all
+	// arriving data packets including duplicates.
+	Delivered int64
+	Received  int64
+}
+
+// NewSink attaches a sink to node:port. ACKs carry the given flow id (the
+// data flow's id, so monitors can pair them).
+func NewSink(nw *netsim.Network, node *netsim.Node, port, flow, ackSize int) *Sink {
+	if ackSize == 0 {
+		ackSize = 40
+	}
+	s := &Sink{net: nw, node: node, ackSize: ackSize, flow: flow}
+	node.Attach(port, s)
+	return s
+}
+
+// CumAck returns the current cumulative acknowledgment (next expected
+// sequence).
+func (s *Sink) CumAck() int64 { return s.next }
+
+// Recv handles one data packet and emits the corresponding ACK.
+func (s *Sink) Recv(p *netsim.Packet) {
+	if p.Kind != netsim.KindData {
+		s.net.Free(p)
+		return
+	}
+	s.Received++
+	if p.Seq >= s.next && !s.received.contains(p.Seq) {
+		s.received.add(p.Seq, p.Seq+1)
+		if p.Seq == s.next {
+			old := s.next
+			s.next = s.received.firstGapAtOrAfter(s.next)
+			s.Delivered += s.next - old
+			s.received.dropBelow(s.next)
+		}
+	}
+
+	ack := s.net.NewPacket()
+	ack.Kind = netsim.KindAck
+	ack.Flow = s.flow
+	ack.Size = s.ackSize
+	ack.Ack = s.next
+	ack.EchoTime = p.SendTime
+	ack.Src = s.node.ID
+	ack.Dst = p.Src
+	ack.SrcPort = p.DstPort
+	ack.DstPort = p.SrcPort
+	for _, rg := range s.received.newest(netsim.MaxSackBlocks) {
+		if rg.end <= s.next {
+			continue
+		}
+		ack.Sack[ack.NumSack] = netsim.SackBlock{Start: rg.start, End: rg.end}
+		ack.NumSack++
+	}
+	s.net.Free(p)
+	s.node.Send(ack)
+}

@@ -1,0 +1,99 @@
+package tfrcsim
+
+import (
+	"testing"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+)
+
+// ecnRig builds a single TFRC flow over an ECN-enabled RED bottleneck.
+func ecnRig(t *testing.T, ecn bool) (drops, marked int, util float64, p float64) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	nw := netsim.New(sched)
+	a, b := nw.NewNode(), nw.NewNode()
+	redCfg := netsim.DefaultRED(60)
+	redCfg.MinThresh, redCfg.MaxThresh = 5, 25
+	redCfg.ECN = true // queue supports ECN; the flow opts in via cfg.ECN
+	var red *netsim.RED
+	nw.Connect(a, b, 2e6, 0.020, func() netsim.Queue {
+		red = netsim.NewRED(redCfg, sched.Now, sim.NewRand(1))
+		return red
+	})
+	nw.BuildRoutes()
+	mon := netsim.NewFlowMonitor(1, 10)
+	lnk := a.LinkTo(b)
+	lnk.AddTap(mon.Tap())
+	um := netsim.NewUtilizationMonitor(lnk, 10)
+
+	cfg := DefaultConfig()
+	cfg.ECN = ecn
+	snd, rcv := Pair(nw, a, b, 1, 2, 0, cfg)
+	snd.Start(0)
+	sched.RunUntil(60)
+	fwdRED := a.LinkTo(b).Queue().(*netsim.RED)
+	return mon.Drops(0), fwdRED.Marked, um.Utilization(60), rcv.P()
+}
+
+func TestECNMarksReplaceDrops(t *testing.T) {
+	drops, marked, util, p := ecnRig(t, true)
+	if marked == 0 {
+		t.Fatal("ECN flow was never marked")
+	}
+	if p <= 0 {
+		t.Fatal("marks did not register as congestion")
+	}
+	if util < 0.7 {
+		t.Fatalf("utilization %v with ECN", util)
+	}
+	// Early drops are replaced by marks; only forced (overflow) drops
+	// remain, which should be a small minority of congestion signals.
+	if drops > marked/2 {
+		t.Fatalf("drops %d vs marks %d: marking not doing its job", drops, marked)
+	}
+
+	// The non-ECN flow on the same queue takes real losses instead.
+	drops2, marked2, _, p2 := ecnRig(t, false)
+	if marked2 != 0 {
+		t.Fatalf("non-ECT packets were marked: %d", marked2)
+	}
+	if drops2 == 0 || p2 <= 0 {
+		t.Fatalf("non-ECN control run saw no congestion (drops=%d p=%v)", drops2, p2)
+	}
+	if drops >= drops2 {
+		t.Fatalf("ECN did not reduce packet loss: %d vs %d", drops, drops2)
+	}
+}
+
+func TestECNRateStillBounded(t *testing.T) {
+	// ECN must not make the flow more aggressive: its long-run rate
+	// stays within ~25% of the non-ECN flow's on the same bottleneck.
+	rate := func(ecn bool) float64 {
+		sched := sim.NewScheduler()
+		nw := netsim.New(sched)
+		a, b := nw.NewNode(), nw.NewNode()
+		redCfg := netsim.DefaultRED(60)
+		redCfg.MinThresh, redCfg.MaxThresh = 5, 25
+		redCfg.ECN = true
+		nw.Connect(a, b, 2e6, 0.020, func() netsim.Queue {
+			return netsim.NewRED(redCfg, sched.Now, sim.NewRand(1))
+		})
+		nw.BuildRoutes()
+		mon := netsim.NewFlowMonitor(1, 20)
+		a.LinkTo(b).AddTap(mon.Tap())
+		cfg := DefaultConfig()
+		cfg.ECN = ecn
+		snd, _ := Pair(nw, a, b, 1, 2, 0, cfg)
+		snd.Start(0)
+		sched.RunUntil(80)
+		return mon.TotalBytes(0) / 60
+	}
+	with, without := rate(true), rate(false)
+	if with > without*1.25 {
+		t.Fatalf("ECN rate %v ≫ non-ECN %v", with, without)
+	}
+	if with < without*0.5 {
+		t.Fatalf("ECN rate %v ≪ non-ECN %v", with, without)
+	}
+}

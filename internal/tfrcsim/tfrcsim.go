@@ -1,0 +1,320 @@
+// Package tfrcsim binds the TFRC state machines of internal/core to the
+// packet-level simulator: a paced rate-based data sender and a feedback-
+// generating receiver, the simulator-side counterpart of the paper's ns-2
+// agents.
+package tfrcsim
+
+import (
+	"math"
+
+	"tfrc/internal/core"
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+)
+
+// Config bundles the protocol parameters for one TFRC connection.
+type Config struct {
+	// Sender configures the rate-control state machine.
+	Sender core.SenderConfig
+	// Estimator overrides the receiver's loss-rate estimator (nil: the
+	// paper's Average Loss Interval method).
+	Estimator core.LossRateEstimator
+	// FeedbackEvery scales the receiver's feedback interval in units of
+	// the sender's RTT estimate (default 1 = once per RTT, §3).
+	FeedbackEvery float64
+	// BurstPairs, when true, sends two packets every two inter-packet
+	// intervals — the paper's §4.1 experiment showing burstier TFRC
+	// competes differently with small-window TCP.
+	BurstPairs bool
+	// PacingJitter perturbs each inter-packet gap by a uniform factor
+	// in [1-j, 1+j], breaking simulator phase effects at DropTail
+	// queues (the real-world role the paper ascribes to small queueing
+	// variations downstream of the bottleneck, §4.3). 0 disables.
+	PacingJitter float64
+	// JitterSeed seeds the jitter stream (mixed with the flow id).
+	JitterSeed int64
+	// ECN marks data packets ECN-capable; an ECN-enabled RED queue then
+	// signals congestion by marking instead of dropping, and the
+	// receiver counts marks as loss events (paper §7).
+	ECN bool
+}
+
+// DefaultConfig returns the paper's standard configuration.
+func DefaultConfig() Config {
+	return Config{Sender: core.DefaultSenderConfig(), FeedbackEvery: 1}
+}
+
+// Sender is the TFRC data-sending agent.
+type Sender struct {
+	cfg  Config
+	net  *netsim.Network
+	node *netsim.Node
+	dst  netsim.NodeID
+	dprt int
+	sprt int
+	flow int
+
+	core    *core.Sender
+	seq     int64
+	sendTmr *sim.Timer
+	noFbTmr *sim.Timer
+	jitter  *sim.Rand
+	started bool
+	stopped bool
+
+	// Counters for experiments.
+	Sent      int64
+	Feedbacks int64
+	NoFbCuts  int64
+
+	// OnRateChange, when set, observes every rate update (bytes/sec)
+	// for the Figure 19/20 trace experiments.
+	OnRateChange func(now, rate float64)
+}
+
+// NewSender creates the agent on node, addressing its receiver at
+// dst:dstPort; feedback must come back to srcPort.
+func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort, srcPort, flow int, cfg Config) *Sender {
+	if cfg.FeedbackEvery == 0 {
+		cfg.FeedbackEvery = 1
+	}
+	s := &Sender{
+		cfg:  cfg,
+		net:  nw,
+		node: node,
+		dst:  dst,
+		dprt: dstPort,
+		sprt: srcPort,
+		flow: flow,
+		core: core.NewSender(cfg.Sender),
+	}
+	s.sendTmr = sim.NewTimer(nw.Scheduler(), s.onSend)
+	s.noFbTmr = sim.NewTimer(nw.Scheduler(), s.onNoFeedback)
+	if cfg.PacingJitter > 0 {
+		s.jitter = sim.NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x7f4a7c15)
+	}
+	node.Attach(srcPort, s)
+	return s
+}
+
+// Start begins transmission at the given simulated time.
+func (s *Sender) Start(at float64) {
+	s.net.Scheduler().At(at, func() {
+		s.started = true
+		s.onSend()
+		s.noFbTmr.Reset(s.core.NoFeedbackTimeout())
+	})
+}
+
+// Stop halts the sender permanently.
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.sendTmr.Stop()
+	s.noFbTmr.Stop()
+}
+
+// Rate returns the sender's current allowed rate in bytes/sec.
+func (s *Sender) Rate() float64 { return s.core.Rate() }
+
+// Core exposes the rate-control state machine for traces and tests.
+func (s *Sender) Core() *core.Sender { return s.core }
+
+func (s *Sender) onSend() {
+	if s.stopped {
+		return
+	}
+	n := 1
+	if s.cfg.BurstPairs {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		s.emit()
+	}
+	gap := s.core.PacketInterval() * float64(n)
+	if s.jitter != nil {
+		gap *= 1 + s.cfg.PacingJitter*(2*s.jitter.Float64()-1)
+	}
+	s.sendTmr.Reset(gap)
+}
+
+func (s *Sender) emit() {
+	p := s.net.NewPacket()
+	p.Kind = netsim.KindData
+	p.Flow = s.flow
+	p.Size = s.core.PacketSize()
+	p.Seq = s.seq
+	p.Src = s.node.ID
+	p.Dst = s.dst
+	p.SrcPort = s.sprt
+	p.DstPort = s.dprt
+	if s.core.RTT().Valid() {
+		p.SenderRTT = s.core.RTT().SRTT()
+	}
+	p.ECT = s.cfg.ECN
+	s.seq++
+	s.Sent++
+	s.node.Send(p)
+}
+
+// Recv handles a feedback packet from the receiver.
+func (s *Sender) Recv(p *netsim.Packet) {
+	if p.Kind != netsim.KindFeedback || s.stopped {
+		s.net.Free(p)
+		return
+	}
+	now := s.net.Now()
+	rep := core.Report{
+		P:            p.LossEventRate,
+		XRecv:        p.RecvRate,
+		EchoSeq:      p.EchoSeq,
+		EchoSendTime: p.EchoTime,
+		EchoDelay:    p.EchoDelay,
+	}
+	s.Feedbacks++
+	s.core.OnFeedback(core.Feedback{
+		P:         rep.P,
+		XRecv:     rep.XRecv,
+		RTTSample: rep.RTTSample(now),
+	})
+	s.net.Free(p)
+	if s.OnRateChange != nil {
+		s.OnRateChange(now, s.core.Rate())
+	}
+	s.noFbTmr.Reset(s.core.NoFeedbackTimeout())
+	// A rate increase shortens the inter-packet gap; pull the pending
+	// send forward if the new spacing says so.
+	if dl, ok := s.sendTmr.Deadline(); ok {
+		next := now + s.core.PacketInterval()
+		if next < dl {
+			s.sendTmr.ResetAt(next)
+		}
+	}
+}
+
+func (s *Sender) onNoFeedback() {
+	if s.stopped {
+		return
+	}
+	s.NoFbCuts++
+	s.core.OnNoFeedback()
+	if s.OnRateChange != nil {
+		s.OnRateChange(s.net.Now(), s.core.Rate())
+	}
+	s.noFbTmr.Reset(s.core.NoFeedbackTimeout())
+}
+
+// Receiver is the TFRC feedback-generating agent.
+type Receiver struct {
+	cfg  Config
+	net  *netsim.Network
+	node *netsim.Node
+	port int
+	flow int
+
+	core  *core.Receiver
+	fbTmr *sim.Timer
+	peer  netsim.NodeID
+	pport int
+
+	// Reports counts feedback packets sent.
+	Reports int64
+}
+
+// NewReceiver attaches a TFRC receiver at node:port.
+func NewReceiver(nw *netsim.Network, node *netsim.Node, port, flow int, cfg Config) *Receiver {
+	if cfg.FeedbackEvery == 0 {
+		cfg.FeedbackEvery = 1
+	}
+	pktSize := cfg.Sender.PacketSize
+	if pktSize == 0 {
+		pktSize = 1000
+	}
+	r := &Receiver{
+		cfg:  cfg,
+		net:  nw,
+		node: node,
+		port: port,
+		flow: flow,
+		core: core.NewReceiver(core.ReceiverConfig{
+			PacketSize: pktSize,
+			Eq:         cfg.Sender.Eq,
+			Estimator:  cfg.Estimator,
+		}),
+	}
+	r.fbTmr = sim.NewTimer(nw.Scheduler(), r.sendFeedback)
+	node.Attach(port, r)
+	return r
+}
+
+// Core exposes the receiver state machine for traces and tests.
+func (r *Receiver) Core() *core.Receiver { return r.core }
+
+// P returns the receiver's current loss event rate estimate.
+func (r *Receiver) P() float64 { return r.core.P() }
+
+// Recv handles one data packet.
+func (r *Receiver) Recv(p *netsim.Packet) {
+	if p.Kind != netsim.KindData {
+		r.net.Free(p)
+		return
+	}
+	now := r.net.Now()
+	first := !r.core.HaveData()
+	newLoss := r.core.OnData(now, core.DataPacket{
+		Seq:       p.Seq,
+		Size:      p.Size,
+		SendTime:  p.SendTime,
+		SenderRTT: p.SenderRTT,
+		CE:        p.CE,
+	})
+	r.peer = p.Src
+	r.pport = p.SrcPort
+	r.net.Free(p)
+	if first || newLoss {
+		// Bootstrap the sender's RTT estimate immediately, and expedite
+		// the report when a new loss event begins.
+		r.sendFeedback()
+		return
+	}
+	if !r.fbTmr.Pending() {
+		r.fbTmr.Reset(r.interval())
+	}
+}
+
+func (r *Receiver) interval() float64 {
+	rtt := r.core.SenderRTT()
+	if rtt <= 0 {
+		rtt = 0.1 // until the sender's estimate converges
+	}
+	return math.Max(rtt*r.cfg.FeedbackEvery, 1e-4)
+}
+
+func (r *Receiver) sendFeedback() {
+	now := r.net.Now()
+	rep, ok := r.core.MakeReport(now)
+	if ok {
+		p := r.net.NewPacket()
+		p.Kind = netsim.KindFeedback
+		p.Flow = r.flow
+		p.Size = 40
+		p.Src = r.node.ID
+		p.Dst = r.peer
+		p.SrcPort = r.port
+		p.DstPort = r.pport
+		p.LossEventRate = rep.P
+		p.RecvRate = rep.XRecv
+		p.EchoSeq = rep.EchoSeq
+		p.EchoTime = rep.EchoSendTime
+		p.EchoDelay = rep.EchoDelay
+		r.Reports++
+		r.node.Send(p)
+	}
+	r.fbTmr.Reset(r.interval())
+}
+
+// Pair wires a TFRC connection between two nodes: data flows src → dst.
+func Pair(nw *netsim.Network, src, dst *netsim.Node, dstPort, srcPort, flow int, cfg Config) (*Sender, *Receiver) {
+	recv := NewReceiver(nw, dst, dstPort, flow, cfg)
+	send := NewSender(nw, src, dst.ID, dstPort, srcPort, flow, cfg)
+	return send, recv
+}

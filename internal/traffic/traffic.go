@@ -1,0 +1,252 @@
+// Package traffic provides the background-load generators used by the
+// paper's evaluation: ON/OFF UDP sources with heavy-tailed (Pareto)
+// ON/OFF durations that produce self-similar aggregate traffic (§4.1.3,
+// after Willinger et al.), plain CBR sources, and short-lived TCP "mice"
+// sessions for the web-like background in §4.2.
+package traffic
+
+import (
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/tcp"
+)
+
+// OnOffConfig parameterizes one ON/OFF source.
+type OnOffConfig struct {
+	// MeanOn and MeanOff are the mean sojourn times in seconds (paper:
+	// 1 s ON, 2 s OFF).
+	MeanOn, MeanOff float64
+	// Shape is the Pareto shape parameter (must exceed 1; 1.5 yields
+	// the classic self-similar aggregate).
+	Shape float64
+	// Rate is the sending rate while ON, in bits/sec (paper: 500 kb/s).
+	Rate float64
+	// PacketSize in bytes (default 1000).
+	PacketSize int
+}
+
+// DefaultOnOff returns the paper's §4.1.3 source parameters.
+func DefaultOnOff() OnOffConfig {
+	return OnOffConfig{MeanOn: 1, MeanOff: 2, Shape: 1.5, Rate: 500e3, PacketSize: 1000}
+}
+
+// OnOff is a UDP-like unreliable source alternating between Pareto ON
+// periods, during which it emits packets at a constant rate, and Pareto
+// OFF periods of silence.
+type OnOff struct {
+	cfg  OnOffConfig
+	net  *netsim.Network
+	node *netsim.Node
+	dst  netsim.NodeID
+	port int
+	flow int
+	rng  *sim.Rand
+
+	on      bool
+	until   float64 // end of the current ON period
+	Sent    int64
+	stopped bool
+}
+
+// NewOnOff creates a source on node sending to dst:port while ON. Each
+// source should get its own rng so sources are independent.
+func NewOnOff(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, flow int, cfg OnOffConfig, rng *sim.Rand) *OnOff {
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = 1000
+	}
+	if cfg.Rate <= 0 || cfg.MeanOn <= 0 || cfg.MeanOff <= 0 {
+		panic("traffic: ON/OFF source needs positive rate and sojourn times")
+	}
+	return &OnOff{cfg: cfg, net: nw, node: node, dst: dst, port: port, flow: flow, rng: rng}
+}
+
+// Start begins the ON/OFF cycle at the given time (starting OFF, so
+// sources desynchronize naturally).
+func (o *OnOff) Start(at float64) {
+	o.net.Scheduler().At(at, o.startOff)
+}
+
+// Stop permanently silences the source at its next event.
+func (o *OnOff) Stop() { o.stopped = true }
+
+func (o *OnOff) startOff() {
+	if o.stopped {
+		return
+	}
+	o.on = false
+	off := o.rng.Pareto(o.cfg.MeanOff, o.cfg.Shape)
+	o.net.Scheduler().After(off, o.startOn)
+}
+
+func (o *OnOff) startOn() {
+	if o.stopped {
+		return
+	}
+	o.on = true
+	o.until = o.net.Now() + o.rng.Pareto(o.cfg.MeanOn, o.cfg.Shape)
+	o.emit()
+}
+
+func (o *OnOff) emit() {
+	if o.stopped {
+		return
+	}
+	now := o.net.Now()
+	if now >= o.until {
+		o.startOff()
+		return
+	}
+	p := o.net.NewPacket()
+	p.Kind = netsim.KindCBR
+	p.Flow = o.flow
+	p.Size = o.cfg.PacketSize
+	p.Src = o.node.ID
+	p.Dst = o.dst
+	p.DstPort = o.port
+	o.Sent++
+	o.node.Send(p)
+	gap := float64(o.cfg.PacketSize) * 8 / o.cfg.Rate
+	o.net.Scheduler().After(gap, o.emit)
+}
+
+// CBR is a constant-bit-rate source.
+type CBR struct {
+	net        *netsim.Network
+	node       *netsim.Node
+	dst        netsim.NodeID
+	port, flow int
+	size       int
+	gap        float64
+	Sent       int64
+	stopped    bool
+}
+
+// NewCBR creates a source emitting size-byte packets at rate bits/sec.
+func NewCBR(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, flow, size int, rate float64) *CBR {
+	if rate <= 0 || size <= 0 {
+		panic("traffic: CBR needs positive rate and size")
+	}
+	return &CBR{
+		net: nw, node: node, dst: dst, port: port, flow: flow,
+		size: size, gap: float64(size) * 8 / rate,
+	}
+}
+
+// Start begins emission at the given time.
+func (c *CBR) Start(at float64) { c.net.Scheduler().At(at, c.emit) }
+
+// Stop silences the source.
+func (c *CBR) Stop() { c.stopped = true }
+
+func (c *CBR) emit() {
+	if c.stopped {
+		return
+	}
+	p := c.net.NewPacket()
+	p.Kind = netsim.KindCBR
+	p.Flow = c.flow
+	p.Size = c.size
+	p.Src = c.node.ID
+	p.Dst = c.dst
+	p.DstPort = c.port
+	c.Sent++
+	c.node.Send(p)
+	c.net.Scheduler().After(c.gap, c.emit)
+}
+
+// Sink discards arriving packets, freeing them back to the pool. Attach
+// one wherever background traffic terminates.
+type Sink struct {
+	net      *netsim.Network
+	Received int64
+	Bytes    int64
+}
+
+// NewSink attaches a discarding sink at node:port.
+func NewSink(nw *netsim.Network, node *netsim.Node, port int) *Sink {
+	s := &Sink{net: nw}
+	node.Attach(port, s)
+	return s
+}
+
+// Recv implements netsim.Agent.
+func (s *Sink) Recv(p *netsim.Packet) {
+	s.Received++
+	s.Bytes += int64(p.Size)
+	s.net.Free(p)
+}
+
+// MiceConfig parameterizes a stream of short TCP transfers sharing a
+// node pair: the "background forward TCP traffic" of §4.2.
+type MiceConfig struct {
+	// MeanInterarrival between session starts (exponential), seconds.
+	MeanInterarrival float64
+	// MeanSize in packets per transfer (exponential, min 1).
+	MeanSize float64
+	// Variant for the transfers (default Sack).
+	Variant tcp.Variant
+	// BasePort: each concurrent session needs two ports; the generator
+	// uses BasePort + 2k and BasePort + 2k + 1 cyclically.
+	BasePort int
+	// MaxConcurrent bounds live sessions (default 64).
+	MaxConcurrent int
+}
+
+// Mice launches short TCP sessions between src and dst.
+type Mice struct {
+	cfg  MiceConfig
+	net  *netsim.Network
+	src  *netsim.Node
+	dst  *netsim.Node
+	flow int
+	rng  *sim.Rand
+
+	slot     int
+	Sessions int64
+	stopped  bool
+}
+
+// NewMice creates the generator; flow tags all its packets.
+func NewMice(nw *netsim.Network, src, dst *netsim.Node, flow int, cfg MiceConfig, rng *sim.Rand) *Mice {
+	if cfg.MeanInterarrival <= 0 || cfg.MeanSize <= 0 {
+		panic("traffic: mice need positive interarrival and size")
+	}
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 64
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 1000
+	}
+	return &Mice{cfg: cfg, net: nw, src: src, dst: dst, flow: flow, rng: rng}
+}
+
+// Start schedules the first session at the given time.
+func (m *Mice) Start(at float64) {
+	m.net.Scheduler().At(at, m.spawn)
+}
+
+// Stop halts new session creation.
+func (m *Mice) Stop() { m.stopped = true }
+
+func (m *Mice) spawn() {
+	if m.stopped {
+		return
+	}
+	m.Sessions++
+	k := m.slot % m.cfg.MaxConcurrent
+	m.slot++
+	sinkPort := m.cfg.BasePort + 2*k
+	srcPort := m.cfg.BasePort + 2*k + 1
+	size := int64(m.rng.Exponential(m.cfg.MeanSize)) + 1
+
+	// Fresh sink and sender per session. Ports are recycled: evict any
+	// stragglers still bound to this slot (a slow old session simply
+	// dies; with MaxConcurrent slots that is rare and harmless for
+	// background load).
+	m.src.Detach(srcPort)
+	m.dst.Detach(sinkPort)
+	tcp.NewSink(m.net, m.dst, sinkPort, m.flow, 40)
+	snd := tcp.NewSenderLimited(m.net, m.src, m.dst.ID, sinkPort, srcPort, m.flow, tcp.Config{Variant: m.cfg.Variant}, size)
+	snd.Start(m.net.Now())
+	m.net.Scheduler().After(m.rng.Exponential(m.cfg.MeanInterarrival), m.spawn)
+}

@@ -1,0 +1,149 @@
+package traffic
+
+import (
+	"testing"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/tcp"
+)
+
+func twoNodes(t *testing.T, bw float64) (*sim.Scheduler, *netsim.Network, *netsim.Node, *netsim.Node) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	nw := netsim.New(sched)
+	a, b := nw.NewNode(), nw.NewNode()
+	nw.Connect(a, b, bw, 0.005, func() netsim.Queue { return netsim.NewDropTail(1000) })
+	nw.BuildRoutes()
+	return sched, nw, a, b
+}
+
+func TestCBRRate(t *testing.T) {
+	sched, nw, a, b := twoNodes(t, 10e6)
+	sink := NewSink(nw, b, 1)
+	src := NewCBR(nw, a, b.ID, 1, 0, 1000, 800e3) // 100 pkt/s
+	src.Start(0)
+	sched.RunUntil(10)
+	// 100 pkt/s for 10 s = 1000 packets (±1 boundary).
+	if sink.Received < 999 || sink.Received > 1001 {
+		t.Fatalf("received %d, want ≈ 1000", sink.Received)
+	}
+	src.Stop()
+	before := sink.Received
+	sched.RunUntil(12)
+	if sink.Received > before+1 {
+		t.Fatal("CBR kept sending after Stop")
+	}
+}
+
+func TestOnOffLongRunAverage(t *testing.T) {
+	// Mean rate over a long run ≈ Rate·MeanOn/(MeanOn+MeanOff) = 1/3 of
+	// 500 kb/s. Heavy tails converge slowly: accept ±40%.
+	sched, nw, a, b := twoNodes(t, 10e6)
+	sink := NewSink(nw, b, 1)
+	src := NewOnOff(nw, a, b.ID, 1, 0, DefaultOnOff(), sim.NewRand(3))
+	src.Start(0)
+	const dur = 2000.0
+	sched.RunUntil(dur)
+	gotRate := float64(sink.Bytes) * 8 / dur
+	want := 500e3 / 3
+	if gotRate < want*0.6 || gotRate > want*1.4 {
+		t.Fatalf("mean rate %v b/s, want ≈ %v", gotRate, want)
+	}
+}
+
+func TestOnOffBurstsAtConfiguredRate(t *testing.T) {
+	// Within an ON period packets are spaced at exactly size·8/rate.
+	sched, nw, a, b := twoNodes(t, 100e6)
+	var times []float64
+	b.Attach(1, agentFunc(func(p *netsim.Packet) {
+		times = append(times, sched.Now())
+		nw.Free(p)
+	}))
+	src := NewOnOff(nw, a, b.ID, 1, 0, DefaultOnOff(), sim.NewRand(1))
+	src.Start(0)
+	sched.RunUntil(30)
+	if len(times) < 10 {
+		t.Fatalf("only %d packets", len(times))
+	}
+	wantGap := 1000.0 * 8 / 500e3 // 16 ms
+	inBurst := 0
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < wantGap*1.01 && gap > wantGap*0.99 {
+			inBurst++
+		}
+	}
+	if inBurst < len(times)/2 {
+		t.Fatalf("only %d of %d gaps at the ON rate", inBurst, len(times))
+	}
+}
+
+type agentFunc func(p *netsim.Packet)
+
+func (f agentFunc) Recv(p *netsim.Packet) { f(p) }
+
+func TestOnOffStop(t *testing.T) {
+	sched, nw, a, b := twoNodes(t, 10e6)
+	sink := NewSink(nw, b, 1)
+	src := NewOnOff(nw, a, b.ID, 1, 0, DefaultOnOff(), sim.NewRand(2))
+	src.Start(0)
+	sched.RunUntil(5)
+	src.Stop()
+	at := sink.Received
+	sched.RunUntil(20)
+	if sink.Received > at+1 {
+		t.Fatalf("source kept sending after Stop: %d → %d", at, sink.Received)
+	}
+}
+
+func TestMiceGenerateSessions(t *testing.T) {
+	sched, nw, a, b := twoNodes(t, 10e6)
+	mice := NewMice(nw, a, b, 7, MiceConfig{
+		MeanInterarrival: 0.2,
+		MeanSize:         10,
+		Variant:          tcp.Sack,
+		BasePort:         1000,
+	}, sim.NewRand(5))
+	mon := netsim.NewFlowMonitor(1, 0)
+	a.LinkTo(b).AddTap(mon.Tap())
+	mice.Start(0)
+	sched.RunUntil(20)
+	if mice.Sessions < 50 {
+		t.Fatalf("only %d sessions in 20 s at 5/s", mice.Sessions)
+	}
+	// Mean load ≈ sessions·meanSize·pktSize bytes.
+	got := mon.TotalBytes(7)
+	if got < 100000 {
+		t.Fatalf("mice moved only %v bytes", got)
+	}
+	mice.Stop()
+	at := mice.Sessions
+	sched.RunUntil(30)
+	if mice.Sessions != at {
+		t.Fatal("mice kept spawning after Stop")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sched, nw, a, b := twoNodes(t, 1e6)
+	_ = sched
+	for name, fn := range map[string]func(){
+		"onoff": func() {
+			NewOnOff(nw, a, b.ID, 1, 0, OnOffConfig{}, sim.NewRand(1))
+		},
+		"cbr": func() { NewCBR(nw, a, b.ID, 1, 0, 1000, 0) },
+		"mice": func() {
+			NewMice(nw, a, b, 0, MiceConfig{}, sim.NewRand(1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad config did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// PipeConfig describes one direction of an emulated path — the same
+// knobs as a Dummynet pipe: link rate, propagation delay, a FIFO queue of
+// bounded depth, and optional random loss.
+type PipeConfig struct {
+	// Bandwidth in bits/sec; 0 means infinitely fast.
+	Bandwidth float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Queue bounds the packets awaiting serialization (default 100).
+	Queue int
+	// Loss is an independent per-packet drop probability.
+	Loss float64
+	// Seed drives the loss coin flips.
+	Seed int64
+}
+
+func (c *PipeConfig) fill() {
+	if c.Queue == 0 {
+		c.Queue = 100
+	}
+}
+
+// Pipe returns two connected endpoints, each a net.PacketConn. Datagrams
+// written to one arrive at the other after the configured impairments;
+// each direction has its own pipe state. Addresses are synthetic.
+func Pipe(cfg PipeConfig) (a, b net.PacketConn) {
+	cfg.fill()
+	ea := &EmuConn{name: "emu-a", inbox: make(chan []byte, 1024)}
+	eb := &EmuConn{name: "emu-b", inbox: make(chan []byte, 1024)}
+	ea.out = newPipeDir(cfg, eb)
+	eb.out = newPipeDir(cfg, ea)
+	return ea, eb
+}
+
+// pipeDir is one direction's impairment state.
+type pipeDir struct {
+	cfg  PipeConfig
+	dst  *EmuConn
+	mu   sync.Mutex
+	rng  *rand.Rand
+	free time.Time // when the virtual transmitter is next idle
+	// Drops counts packets lost to queue overflow or random loss.
+	Drops int
+}
+
+func newPipeDir(cfg PipeConfig, dst *EmuConn) *pipeDir {
+	return &pipeDir{cfg: cfg, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+}
+
+// send applies the impairments to one datagram.
+func (d *pipeDir) send(p []byte) {
+	d.mu.Lock()
+	now := time.Now()
+	if d.cfg.Loss > 0 && d.rng.Float64() < d.cfg.Loss {
+		d.Drops++
+		d.mu.Unlock()
+		return
+	}
+	start := now
+	if d.free.After(now) {
+		start = d.free
+	}
+	var txTime time.Duration
+	if d.cfg.Bandwidth > 0 {
+		txTime = time.Duration(float64(len(p)) * 8 / d.cfg.Bandwidth * float64(time.Second))
+	}
+	depart := start.Add(txTime)
+	// Queue-depth check expressed in time: if the backlog ahead exceeds
+	// Queue packets' worth of serialization, the buffer is full.
+	if d.cfg.Bandwidth > 0 {
+		maxBacklog := time.Duration(float64(d.cfg.Queue) * 12000 / d.cfg.Bandwidth * float64(time.Second))
+		if start.Sub(now) > maxBacklog {
+			d.Drops++
+			d.mu.Unlock()
+			return
+		}
+	}
+	d.free = depart
+	d.mu.Unlock()
+
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	deliverAt := depart.Add(d.cfg.Delay)
+	time.AfterFunc(time.Until(deliverAt), func() { d.dst.deliver(buf) })
+}
+
+// EmuAddr is the synthetic address of an emulated endpoint.
+type EmuAddr string
+
+// Network implements net.Addr.
+func (a EmuAddr) Network() string { return "emu" }
+
+// String implements net.Addr.
+func (a EmuAddr) String() string { return string(a) }
+
+// EmuConn is one endpoint of an emulated path. It implements
+// net.PacketConn.
+type EmuConn struct {
+	name  string
+	out   *pipeDir
+	inbox chan []byte
+
+	mu       sync.Mutex
+	closed   bool
+	deadline time.Time
+}
+
+func (c *EmuConn) deliver(p []byte) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case c.inbox <- p:
+	default: // receiver hopelessly behind: drop at the host
+	}
+}
+
+// Drops returns how many packets this endpoint's outbound pipe lost.
+func (c *EmuConn) Drops() int {
+	c.out.mu.Lock()
+	defer c.out.mu.Unlock()
+	return c.out.Drops
+}
+
+// SetLoss changes the outbound random-loss probability at runtime —
+// handy for scripting congestion episodes in demos and tests.
+func (c *EmuConn) SetLoss(p float64) {
+	c.out.mu.Lock()
+	c.out.cfg.Loss = p
+	c.out.mu.Unlock()
+}
+
+// SetBandwidth changes the outbound link rate at runtime (bits/sec;
+// 0 = infinitely fast).
+func (c *EmuConn) SetBandwidth(bps float64) {
+	c.out.mu.Lock()
+	c.out.cfg.Bandwidth = bps
+	c.out.mu.Unlock()
+}
+
+// ReadFrom implements net.PacketConn.
+func (c *EmuConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	c.mu.Lock()
+	dl := c.deadline
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, nil, net.ErrClosed
+	}
+	var timeout <-chan time.Time
+	if !dl.IsZero() {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case b, ok := <-c.inbox:
+		if !ok {
+			return 0, nil, net.ErrClosed
+		}
+		n := copy(p, b)
+		return n, EmuAddr(peerName(c.name)), nil
+	case <-timeout:
+		return 0, nil, errTimeout{}
+	}
+}
+
+// WriteTo implements net.PacketConn. The destination address is ignored:
+// an emulated endpoint has exactly one peer.
+func (c *EmuConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	c.out.send(p)
+	return len(p), nil
+}
+
+// Close implements net.PacketConn.
+func (c *EmuConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (c *EmuConn) LocalAddr() net.Addr { return EmuAddr(c.name) }
+
+// SetDeadline implements net.PacketConn (read side only; writes never
+// block).
+func (c *EmuConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (c *EmuConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn; emulated writes never block.
+func (c *EmuConn) SetWriteDeadline(time.Time) error { return nil }
+
+func peerName(name string) string {
+	if name == "emu-a" {
+		return "emu-b"
+	}
+	return "emu-a"
+}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string   { return "wire: i/o timeout" }
+func (errTimeout) Timeout() bool   { return true }
+func (errTimeout) Temporary() bool { return true }

@@ -1,0 +1,391 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"tfrc/internal/core"
+)
+
+// Config parameterizes a wire sender or receiver pair.
+type Config struct {
+	// PacketSize is the data packet size in bytes including the TFRC
+	// header (default 1000).
+	PacketSize int
+	// Sender tunes the rate-control machine; zero value means the
+	// paper's defaults with the configured PacketSize.
+	Sender core.SenderConfig
+	// MaxRate optionally caps the sending rate in bytes/sec (application
+	// limit); 0 means uncapped.
+	MaxRate float64
+}
+
+func (c *Config) fill() {
+	if c.PacketSize == 0 {
+		c.PacketSize = 1000
+	}
+	if c.Sender.PacketSize == 0 {
+		c.Sender = core.DefaultSenderConfig()
+		c.Sender.PacketSize = c.PacketSize
+	}
+}
+
+// Source supplies application payload for outgoing data packets. Fill
+// writes up to len(b) bytes and returns how many; returning 0 still sends
+// a padded packet (TFRC is unreliable and rate-driven, so the stream
+// keeps its clock even when the encoder has nothing new — callers wanting
+// true quiescence should stop the sender instead).
+type Source interface {
+	Fill(b []byte) int
+}
+
+// ZeroSource pads every packet with zeroes — a stand-in for media data.
+type ZeroSource struct{}
+
+// Fill implements Source.
+func (ZeroSource) Fill(b []byte) int { return len(b) }
+
+// Sender streams TFRC-paced data over a PacketConn.
+type Sender struct {
+	cfg  Config
+	conn net.PacketConn
+	dst  net.Addr
+	src  Source
+
+	mu    sync.Mutex
+	core  *core.Sender
+	seq   uint32
+	start time.Time
+
+	// Stats, updated atomically under mu.
+	sent      int64
+	feedbacks int64
+	noFbCuts  int64
+
+	done chan struct{}
+	kick chan struct{} // recvLoop → sendLoop: the allowed rate rose
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewSender creates a sender streaming to dst over conn. src may be nil
+// (zero padding).
+func NewSender(conn net.PacketConn, dst net.Addr, src Source, cfg Config) *Sender {
+	cfg.fill()
+	if src == nil {
+		src = ZeroSource{}
+	}
+	return &Sender{
+		cfg:   cfg,
+		conn:  conn,
+		dst:   dst,
+		src:   src,
+		core:  core.NewSender(cfg.Sender),
+		start: time.Now(),
+		done:  make(chan struct{}),
+		kick:  make(chan struct{}, 1),
+	}
+}
+
+// Run starts the send and feedback loops and blocks until Stop is called
+// or the connection fails persistently.
+func (s *Sender) Run() {
+	s.wg.Add(2)
+	go s.recvLoop()
+	go s.sendLoop()
+	s.wg.Wait()
+}
+
+// Stop terminates the loops. The connection is not closed (the caller
+// owns it) but pending reads are abandoned via a short deadline.
+func (s *Sender) Stop() {
+	s.once.Do(func() {
+		close(s.done)
+		s.conn.SetReadDeadline(time.Now())
+	})
+}
+
+// Rate returns the current allowed sending rate in bytes/sec.
+func (s *Sender) Rate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Rate()
+}
+
+// RTT returns the smoothed round-trip estimate (0 before feedback).
+func (s *Sender) RTT() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.core.RTT().Valid() {
+		return 0
+	}
+	return time.Duration(s.core.RTT().SRTT() * float64(time.Second))
+}
+
+// Stats returns packets sent, feedback packets processed, and
+// no-feedback rate cuts.
+func (s *Sender) Stats() (sent, feedbacks, noFbCuts int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent, s.feedbacks, s.noFbCuts
+}
+
+func (s *Sender) sendLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 0, s.cfg.PacketSize)
+	payload := make([]byte, s.cfg.PacketSize-dataHeaderLen)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	noFb := time.NewTimer(2 * time.Second)
+	defer noFb.Stop()
+	var lastSend time.Time
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			// The rate rose: pull the pending send forward if the new
+			// spacing says so.
+			s.mu.Lock()
+			gap := time.Duration(s.core.PacketInterval() * float64(time.Second))
+			s.mu.Unlock()
+			if remaining := time.Until(lastSend.Add(gap)); remaining >= 0 {
+				timer.Reset(remaining)
+			} else {
+				timer.Reset(0)
+			}
+		case <-noFb.C:
+			s.mu.Lock()
+			s.core.OnNoFeedback()
+			s.noFbCuts++
+			d := time.Duration(s.core.NoFeedbackTimeout() * float64(time.Second))
+			s.mu.Unlock()
+			noFb.Reset(d)
+		case <-timer.C:
+			n := s.src.Fill(payload)
+			s.mu.Lock()
+			hdr := DataHeader{
+				Seq:      s.seq,
+				SendTime: time.Now(),
+			}
+			if s.core.RTT().Valid() {
+				hdr.SenderRTT = time.Duration(s.core.RTT().SRTT() * float64(time.Second))
+			}
+			s.seq++
+			s.sent++
+			gap := s.core.PacketInterval()
+			if s.cfg.MaxRate > 0 {
+				if floor := float64(s.cfg.PacketSize) / s.cfg.MaxRate; gap < floor {
+					gap = floor
+				}
+			}
+			s.mu.Unlock()
+			pkt := AppendData(buf, hdr, payload[:n])
+			s.conn.WriteTo(pkt, s.dst)
+			lastSend = time.Now()
+			timer.Reset(time.Duration(gap * float64(time.Second)))
+		}
+	}
+}
+
+func (s *Sender) recvLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		s.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		fb, err := ParseFeedback(buf[:n])
+		if err != nil {
+			continue
+		}
+		rtt := time.Since(fb.EchoSendTime) - fb.EchoDelay
+		s.mu.Lock()
+		s.feedbacks++
+		before := s.core.Rate()
+		s.core.OnFeedback(core.Feedback{
+			P:         fb.LossEventRate,
+			XRecv:     fb.RecvRate,
+			RTTSample: rtt.Seconds(),
+		})
+		rose := s.core.Rate() > before
+		s.mu.Unlock()
+		if rose {
+			select {
+			case s.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Receiver consumes TFRC data from a PacketConn and returns feedback.
+type Receiver struct {
+	cfg  Config
+	conn net.PacketConn
+
+	mu    sync.Mutex
+	core  *core.Receiver
+	peer  net.Addr
+	start time.Time
+
+	// OnData, if set, observes every delivered payload in arrival order.
+	OnData func(seq uint32, payload []byte)
+
+	received int64
+	reports  int64
+
+	done chan struct{}
+	once sync.Once
+}
+
+// NewReceiver creates a receiver on conn.
+func NewReceiver(conn net.PacketConn, cfg Config) *Receiver {
+	cfg.fill()
+	return &Receiver{
+		cfg:  cfg,
+		conn: conn,
+		core: core.NewReceiver(core.ReceiverConfig{
+			PacketSize: cfg.PacketSize,
+			Eq:         cfg.Sender.Eq,
+		}),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+}
+
+func (r *Receiver) now() float64 { return time.Since(r.start).Seconds() }
+
+// Stop terminates Run.
+func (r *Receiver) Stop() {
+	r.once.Do(func() {
+		close(r.done)
+		r.conn.SetReadDeadline(time.Now())
+	})
+}
+
+// P returns the current loss event rate estimate.
+func (r *Receiver) P() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.core.P()
+}
+
+// Stats returns data packets received and reports sent.
+func (r *Receiver) Stats() (received, reports int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received, r.reports
+}
+
+// Run reads data packets and emits feedback until Stop. Feedback goes
+// out once per sender RTT, expedited at the start of a loss event.
+func (r *Receiver) Run() {
+	buf := make([]byte, 65536)
+	fbBuf := make([]byte, 0, feedbackPacketLen)
+	var fbTimer *time.Timer
+	fbC := make(chan struct{}, 1)
+	armFb := func(d time.Duration) {
+		if fbTimer != nil {
+			fbTimer.Stop()
+		}
+		fbTimer = time.AfterFunc(d, func() {
+			select {
+			case fbC <- struct{}{}:
+			default:
+			}
+		})
+	}
+	defer func() {
+		if fbTimer != nil {
+			fbTimer.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-fbC:
+			r.sendFeedback(&fbBuf)
+			armFb(r.feedbackInterval())
+		default:
+		}
+		r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, from, err := r.conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		hdr, payload, err := ParseData(buf[:n])
+		if err != nil {
+			continue
+		}
+		r.mu.Lock()
+		first := !r.core.HaveData()
+		r.peer = from
+		r.received++
+		newLoss := r.core.OnData(r.now(), core.DataPacket{
+			Seq:       int64(hdr.Seq),
+			Size:      n,
+			SendTime:  hdr.SendTime.Sub(r.start).Seconds(),
+			SenderRTT: hdr.SenderRTT.Seconds(),
+		})
+		r.mu.Unlock()
+		if r.OnData != nil {
+			r.OnData(hdr.Seq, payload)
+		}
+		if first || newLoss {
+			r.sendFeedback(&fbBuf)
+			armFb(r.feedbackInterval())
+		}
+	}
+}
+
+func (r *Receiver) feedbackInterval() time.Duration {
+	r.mu.Lock()
+	rtt := r.core.SenderRTT()
+	r.mu.Unlock()
+	if rtt <= 0 {
+		return 100 * time.Millisecond
+	}
+	d := time.Duration(rtt * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+func (r *Receiver) sendFeedback(buf *[]byte) {
+	r.mu.Lock()
+	rep, ok := r.core.MakeReport(r.now())
+	peer := r.peer
+	if ok {
+		r.reports++
+	}
+	r.mu.Unlock()
+	if !ok || peer == nil {
+		return
+	}
+	fb := FeedbackPacket{
+		LossEventRate: rep.P,
+		RecvRate:      rep.XRecv,
+		EchoSeq:       uint32(rep.EchoSeq),
+		EchoSendTime:  r.start.Add(time.Duration(rep.EchoSendTime * float64(time.Second))),
+		EchoDelay:     time.Duration(rep.EchoDelay * float64(time.Second)),
+	}
+	*buf = AppendFeedback(*buf, fb)
+	r.conn.WriteTo(*buf, peer)
+}

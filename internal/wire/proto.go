@@ -1,0 +1,137 @@
+// Package wire is a real-transport TFRC implementation — the counterpart
+// of the paper's publicly released user-space implementation. It runs the
+// internal/core state machines over any net.PacketConn (UDP in practice),
+// with a compact binary wire format for data and feedback packets, a
+// paced sender driven by wall-clock timers, and a receiver that detects
+// loss events and returns reports once per round-trip time.
+//
+// The package also provides an in-process network emulator (Pipe) with
+// Dummynet-like bandwidth, delay, queue, and random-loss impairments, so
+// examples and tests exercise the exact wire code paths without root
+// privileges or real WANs.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Packet type identifiers on the wire.
+const (
+	typeData     = 0x01
+	typeFeedback = 0x02
+)
+
+// protocol magic prevents misparsing stray datagrams.
+const magic = 0x54 // 'T'
+
+// Header sizes in bytes.
+const (
+	dataHeaderLen     = 2 + 4 + 8 + 4
+	feedbackPacketLen = 2 + 8 + 8 + 4 + 8 + 4
+)
+
+// DataHeader is the header of a TFRC data packet: sequence number, a
+// sender timestamp, and the sender's current RTT estimate, which the
+// receiver needs to group losses into loss events (§3.5.1).
+type DataHeader struct {
+	Seq       uint32
+	SendTime  time.Time
+	SenderRTT time.Duration
+}
+
+// ErrNotTFRC reports a datagram that is not a TFRC packet.
+var ErrNotTFRC = errors.New("wire: not a TFRC packet")
+
+// ErrTruncated reports a datagram too short for its declared type.
+var ErrTruncated = errors.New("wire: truncated packet")
+
+// AppendData encodes hdr and payload into buf (reusing its storage) and
+// returns the wire bytes.
+func AppendData(buf []byte, hdr DataHeader, payload []byte) []byte {
+	buf = buf[:0]
+	buf = append(buf, magic, typeData)
+	buf = binary.BigEndian.AppendUint32(buf, hdr.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(hdr.SendTime.UnixMicro()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(hdr.SenderRTT.Microseconds()))
+	return append(buf, payload...)
+}
+
+// ParseData decodes a data packet, returning its header and payload. The
+// payload aliases b.
+func ParseData(b []byte) (DataHeader, []byte, error) {
+	if len(b) < 2 || b[0] != magic {
+		return DataHeader{}, nil, ErrNotTFRC
+	}
+	if b[1] != typeData {
+		return DataHeader{}, nil, fmt.Errorf("%w: type %#x", ErrNotTFRC, b[1])
+	}
+	if len(b) < dataHeaderLen {
+		return DataHeader{}, nil, ErrTruncated
+	}
+	hdr := DataHeader{
+		Seq:       binary.BigEndian.Uint32(b[2:]),
+		SendTime:  time.UnixMicro(int64(binary.BigEndian.Uint64(b[6:]))),
+		SenderRTT: time.Duration(binary.BigEndian.Uint32(b[14:])) * time.Microsecond,
+	}
+	return hdr, b[dataHeaderLen:], nil
+}
+
+// FeedbackPacket is the receiver report (§3.1): loss event rate, receive
+// rate, and the timestamp echo for RTT measurement.
+type FeedbackPacket struct {
+	LossEventRate float64
+	RecvRate      float64 // bytes/sec
+	EchoSeq       uint32
+	EchoSendTime  time.Time
+	EchoDelay     time.Duration
+}
+
+// AppendFeedback encodes fb into buf.
+func AppendFeedback(buf []byte, fb FeedbackPacket) []byte {
+	buf = buf[:0]
+	buf = append(buf, magic, typeFeedback)
+	buf = binary.BigEndian.AppendUint64(buf, floatBits(fb.LossEventRate))
+	buf = binary.BigEndian.AppendUint64(buf, floatBits(fb.RecvRate))
+	buf = binary.BigEndian.AppendUint32(buf, fb.EchoSeq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(fb.EchoSendTime.UnixMicro()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(fb.EchoDelay.Microseconds()))
+	return buf
+}
+
+// ParseFeedback decodes a feedback packet.
+func ParseFeedback(b []byte) (FeedbackPacket, error) {
+	if len(b) < 2 || b[0] != magic {
+		return FeedbackPacket{}, ErrNotTFRC
+	}
+	if b[1] != typeFeedback {
+		return FeedbackPacket{}, fmt.Errorf("%w: type %#x", ErrNotTFRC, b[1])
+	}
+	if len(b) < feedbackPacketLen {
+		return FeedbackPacket{}, ErrTruncated
+	}
+	return FeedbackPacket{
+		LossEventRate: floatFromBits(binary.BigEndian.Uint64(b[2:])),
+		RecvRate:      floatFromBits(binary.BigEndian.Uint64(b[10:])),
+		EchoSeq:       binary.BigEndian.Uint32(b[18:]),
+		EchoSendTime:  time.UnixMicro(int64(binary.BigEndian.Uint64(b[22:]))),
+		EchoDelay:     time.Duration(binary.BigEndian.Uint32(b[30:])) * time.Microsecond,
+	}, nil
+}
+
+// IsFeedback reports whether the datagram is a TFRC feedback packet.
+func IsFeedback(b []byte) bool {
+	return len(b) >= 2 && b[0] == magic && b[1] == typeFeedback
+}
+
+// IsData reports whether the datagram is a TFRC data packet.
+func IsData(b []byte) bool {
+	return len(b) >= 2 && b[0] == magic && b[1] == typeData
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

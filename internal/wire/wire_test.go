@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmuPipeDelivers(t *testing.T) {
+	a, b := Pipe(PipeConfig{Delay: 5 * time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("ping")
+	start := time.Now()
+	if _, err := a.WriteTo(msg, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	n, from, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping" {
+		t.Fatalf("got %q", buf[:n])
+	}
+	if from.String() != "emu-a" || from.Network() != "emu" {
+		t.Fatalf("from = %v", from)
+	}
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("delivered in %v, want ≥ ~5ms", el)
+	}
+}
+
+func TestEmuPipeLoss(t *testing.T) {
+	a, b := Pipe(PipeConfig{Loss: 1.0}) // drop everything
+	defer a.Close()
+	defer b.Close()
+	a.WriteTo([]byte("x"), nil)
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := b.ReadFrom(make([]byte, 10)); err == nil {
+		t.Fatal("packet survived 100% loss")
+	}
+	if ec := a.(*EmuConn); ec.Drops() != 1 {
+		t.Fatalf("drops = %d", ec.Drops())
+	}
+}
+
+func TestEmuPipeBandwidthPacing(t *testing.T) {
+	// 10 packets of 1000 B at 800 kb/s serialize in 10 ms each: total
+	// ≥ 100 ms.
+	a, b := Pipe(PipeConfig{Bandwidth: 800e3, Queue: 64})
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		a.WriteTo(make([]byte, 1000), nil)
+	}
+	start := time.Now()
+	buf := make([]byte, 2000)
+	for i := 0; i < 10; i++ {
+		b.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("10 packets delivered in %v, want ≥ ~100ms", el)
+	}
+}
+
+func TestEmuPipeQueueOverflowDrops(t *testing.T) {
+	a, b := Pipe(PipeConfig{Bandwidth: 100e3, Queue: 5})
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		a.WriteTo(make([]byte, 1500), nil)
+	}
+	if d := a.(*EmuConn).Drops(); d == 0 {
+		t.Fatal("no drops despite tiny queue")
+	}
+}
+
+func TestEmuClosedConn(t *testing.T) {
+	a, b := Pipe(PipeConfig{})
+	a.Close()
+	if _, err := a.WriteTo([]byte("x"), nil); err == nil {
+		t.Fatal("write on closed conn succeeded")
+	}
+	if _, _, err := a.ReadFrom(make([]byte, 1)); err == nil {
+		t.Fatal("read on closed conn succeeded")
+	}
+	b.Close()
+}
+
+// runPair wires a sender and receiver over the given conns for d, then
+// returns them after shutdown.
+func runPair(t *testing.T, sc, rc net.PacketConn, cfg Config, d time.Duration) (*Sender, *Receiver) {
+	t.Helper()
+	recv := NewReceiver(rc, cfg)
+	send := NewSender(sc, rc.LocalAddr(), nil, cfg)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); recv.Run() }()
+	go func() { defer wg.Done(); send.Run() }()
+	time.Sleep(d)
+	send.Stop()
+	recv.Stop()
+	wg.Wait()
+	return send, recv
+}
+
+func TestWireOverEmulatedPath(t *testing.T) {
+	// 2 Mb/s, 10 ms each way, no random loss: the sender should climb
+	// out of its 1-packet/s initial rate and move real data.
+	a, b := Pipe(PipeConfig{Bandwidth: 2e6, Delay: 10 * time.Millisecond, Queue: 60})
+	defer a.Close()
+	defer b.Close()
+	cfg := Config{PacketSize: 500}
+	send, recv := runPair(t, a, b, cfg, 1200*time.Millisecond)
+	sent, feedbacks, _ := send.Stats()
+	received, reports := recv.Stats()
+	if sent < 20 {
+		t.Fatalf("sent only %d packets — slow start never engaged", sent)
+	}
+	if received < sent/2 {
+		t.Fatalf("received %d of %d", received, sent)
+	}
+	if feedbacks == 0 || reports == 0 {
+		t.Fatalf("no feedback flowed: fb=%d reports=%d", feedbacks, reports)
+	}
+	if rtt := send.RTT(); rtt < 15*time.Millisecond || rtt > 150*time.Millisecond {
+		t.Fatalf("sender RTT %v, want ≈ 20ms+queueing", rtt)
+	}
+}
+
+func TestWireLossDetection(t *testing.T) {
+	// A lossy path must produce a nonzero loss event rate and a lower
+	// rate than a clean one.
+	clean, cleanPeer := Pipe(PipeConfig{Bandwidth: 4e6, Delay: 5 * time.Millisecond, Queue: 100})
+	defer clean.Close()
+	defer cleanPeer.Close()
+	lossy, lossyPeer := Pipe(PipeConfig{Bandwidth: 4e6, Delay: 5 * time.Millisecond, Queue: 100, Loss: 0.05, Seed: 7})
+	defer lossy.Close()
+	defer lossyPeer.Close()
+
+	cfg := Config{PacketSize: 300}
+	sClean, _ := runPair(t, clean, cleanPeer, cfg, 1200*time.Millisecond)
+	sLossy, rLossy := runPair(t, lossy, lossyPeer, cfg, 1200*time.Millisecond)
+
+	if p := rLossy.P(); p <= 0 {
+		t.Fatal("lossy path produced zero loss estimate")
+	}
+	cleanSent, _, _ := sClean.Stats()
+	lossySent, _, _ := sLossy.Stats()
+	if lossySent >= cleanSent {
+		t.Fatalf("lossy sender sent %d ≥ clean %d", lossySent, cleanSent)
+	}
+}
+
+func TestWireOverRealUDP(t *testing.T) {
+	// Loopback UDP end-to-end: the real-world code path of the paper's
+	// implementation. Application-limited to keep the test light.
+	rconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP available: %v", err)
+	}
+	defer rconn.Close()
+	sconn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP available: %v", err)
+	}
+	defer sconn.Close()
+
+	cfg := Config{PacketSize: 400, MaxRate: 200e3}
+	recv := NewReceiver(rconn, cfg)
+	var gotPayload bool
+	recv.OnData = func(seq uint32, payload []byte) {
+		if len(payload) > 0 {
+			gotPayload = true
+		}
+	}
+	send := NewSender(sconn, rconn.LocalAddr(), nil, cfg)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); recv.Run() }()
+	go func() { defer wg.Done(); send.Run() }()
+	time.Sleep(900 * time.Millisecond)
+	send.Stop()
+	recv.Stop()
+	wg.Wait()
+
+	sent, feedbacks, _ := send.Stats()
+	received, _ := recv.Stats()
+	if sent < 5 || received < 3 || feedbacks == 0 {
+		t.Fatalf("UDP run too quiet: sent=%d received=%d fb=%d", sent, received, feedbacks)
+	}
+	if !gotPayload {
+		t.Fatal("OnData never saw payload")
+	}
+	// MaxRate caps the pacing (the achieved rate), not the allowed rate.
+	achieved := float64(sent) * 400 / 0.9
+	if achieved > 1.5*200e3 {
+		t.Fatalf("achieved %v B/s blew past MaxRate cap", achieved)
+	}
+}
+
+func TestWireNoFeedbackBackoff(t *testing.T) {
+	// Kill the reverse path: the no-feedback timer must cut the rate.
+	a, b := Pipe(PipeConfig{Delay: time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+	cfg := Config{PacketSize: 200}
+	send := NewSender(a, b.LocalAddr(), nil, cfg)
+	done := make(chan struct{})
+	go func() { send.Run(); close(done) }()
+	// Nobody reads b, nobody replies.
+	time.Sleep(2500 * time.Millisecond)
+	send.Stop()
+	<-done
+	if _, _, cuts := send.Stats(); cuts == 0 {
+		t.Fatal("no-feedback timer never fired")
+	}
+}

@@ -1,0 +1,117 @@
+package tfrc
+
+import (
+	"net"
+
+	"tfrc/internal/core"
+	"tfrc/internal/wire"
+)
+
+// Core algorithm surface. These are aliases to the implementation types,
+// so values interoperate with the simulator and wire layers directly.
+type (
+	// ThroughputEq is a TCP response function: allowed rate in bytes/sec
+	// from segment size, RTT, retransmit timeout, and loss event rate.
+	ThroughputEq = core.ThroughputEq
+	// SenderConfig tunes the rate-control state machine.
+	SenderConfig = core.SenderConfig
+	// Sender is the TFRC sender state machine (transport-agnostic).
+	Sender = core.Sender
+	// Feedback is one receiver report fed to Sender.OnFeedback.
+	Feedback = core.Feedback
+	// ReceiverConfig tunes the receiver state machine.
+	ReceiverConfig = core.ReceiverConfig
+	// Receiver is the TFRC receiver state machine.
+	Receiver = core.Receiver
+	// DataPacket describes an arriving data packet to Receiver.OnData.
+	DataPacket = core.DataPacket
+	// Report is the feedback a Receiver emits once per RTT.
+	Report = core.Report
+	// LossHistoryConfig tunes the Average Loss Interval estimator.
+	LossHistoryConfig = core.LossHistoryConfig
+	// LossHistory is the paper's Average Loss Interval estimator.
+	LossHistory = core.LossHistory
+	// LossRateEstimator abstracts loss-event-rate estimation.
+	LossRateEstimator = core.LossRateEstimator
+	// RTTEstimator smooths RTT samples and maintains the √RTT average
+	// used by the inter-packet-spacing adjustment.
+	RTTEstimator = core.RTTEstimator
+	// DecreasePolicy selects the response to a rate decrease.
+	DecreasePolicy = core.DecreasePolicy
+)
+
+// Decrease policies (§3.2 of the paper).
+const (
+	DecreaseToT         = core.DecreaseToT
+	DecreaseToward      = core.DecreaseToward
+	DecreaseExponential = core.DecreaseExponential
+)
+
+// Throughput is the paper's Equation (1) — the PFTK TCP response
+// function: the allowed sending rate in bytes/sec for segment size s
+// (bytes), round-trip time rtt, retransmit timeout rto (seconds), and
+// loss event rate p.
+func Throughput(s, rtt, rto, p float64) float64 { return core.PFTK(s, rtt, rto, p) }
+
+// SimpleThroughput is the deterministic response function T = s·√1.5/(R·√p)
+// used by the paper's analysis (Appendix A).
+func SimpleThroughput(s, rtt, p float64) float64 { return core.Simple(s, rtt, 0, p) }
+
+// InverseLossRate inverts a response function: the loss event rate at
+// which eq yields the target rate (bytes/sec). TFRC uses it to seed the
+// loss history when slow start ends.
+func InverseLossRate(eq ThroughputEq, s, rtt, rto, target float64) float64 {
+	return core.InverseP(eq, s, rtt, rto, target)
+}
+
+// NewSender returns a TFRC sender state machine. Drive it with feedback
+// reports and no-feedback expiries; read back Rate and PacketInterval.
+func NewSender(cfg SenderConfig) *Sender { return core.NewSender(cfg) }
+
+// DefaultSenderConfig is the configuration evaluated in the paper.
+func DefaultSenderConfig() SenderConfig { return core.DefaultSenderConfig() }
+
+// NewReceiver returns a TFRC receiver state machine. Feed it data-packet
+// arrivals; collect reports with MakeReport once per RTT.
+func NewReceiver(cfg ReceiverConfig) *Receiver { return core.NewReceiver(cfg) }
+
+// NewLossHistory returns the Average Loss Interval estimator.
+func NewLossHistory(cfg LossHistoryConfig) *LossHistory { return core.NewLossHistory(cfg) }
+
+// DefaultLossHistory is the paper's estimator configuration: eight
+// intervals, decreasing weights, history discounting on.
+func DefaultLossHistory() LossHistoryConfig { return core.DefaultLossHistory() }
+
+// NewRTTEstimator returns an EWMA RTT estimator placing weight q on each
+// new sample.
+func NewRTTEstimator(q float64) *RTTEstimator { return core.NewRTTEstimator(q) }
+
+// Wire layer.
+type (
+	// WireConfig parameterizes wire endpoints.
+	WireConfig = wire.Config
+	// WireSender streams TFRC-paced datagrams over a net.PacketConn.
+	WireSender = wire.Sender
+	// WireReceiver consumes the stream and returns feedback.
+	WireReceiver = wire.Receiver
+	// PayloadSource supplies application bytes for outgoing packets.
+	PayloadSource = wire.Source
+	// PathConfig describes an emulated path (Dummynet-style pipe).
+	PathConfig = wire.PipeConfig
+)
+
+// NewWireSender creates a wire sender streaming to dst over conn. src may
+// be nil for zero-padded packets.
+func NewWireSender(conn net.PacketConn, dst net.Addr, src PayloadSource, cfg WireConfig) *WireSender {
+	return wire.NewSender(conn, dst, src, cfg)
+}
+
+// NewWireReceiver creates a wire receiver on conn.
+func NewWireReceiver(conn net.PacketConn, cfg WireConfig) *WireReceiver {
+	return wire.NewReceiver(conn, cfg)
+}
+
+// NewEmulatedPath returns two connected net.PacketConn endpoints joined
+// by an impaired path with the given bandwidth, delay, queue, and random
+// loss — an in-process substitute for a Dummynet testbed.
+func NewEmulatedPath(cfg PathConfig) (a, b net.PacketConn) { return wire.Pipe(cfg) }

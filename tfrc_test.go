@@ -1,0 +1,73 @@
+package tfrc_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tfrc"
+)
+
+func TestFacadeThroughput(t *testing.T) {
+	// The equation is decreasing in p and matches its simple form at
+	// low loss.
+	hi := tfrc.Throughput(1000, 0.1, 0.4, 0.001)
+	lo := tfrc.Throughput(1000, 0.1, 0.4, 0.1)
+	if hi <= lo {
+		t.Fatalf("equation not decreasing: %v vs %v", hi, lo)
+	}
+	simple := tfrc.SimpleThroughput(1000, 0.1, 0.0001)
+	full := tfrc.Throughput(1000, 0.1, 0.4, 0.0001)
+	if r := full / simple; r < 0.9 || r > 1.0 {
+		t.Fatalf("full/simple at low p = %v", r)
+	}
+	p := tfrc.InverseLossRate(tfrc.Throughput, 1000, 0.1, 0.4, hi)
+	if math.Abs(p-0.001)/0.001 > 1e-5 {
+		t.Fatalf("inverse gave %v, want 0.001", p)
+	}
+}
+
+func TestFacadeStateMachines(t *testing.T) {
+	s := tfrc.NewSender(tfrc.DefaultSenderConfig())
+	s.OnFeedback(tfrc.Feedback{P: 0.01, XRecv: 1e9, RTTSample: 0.1})
+	if s.Rate() <= 0 {
+		t.Fatal("sender rate not positive")
+	}
+	r := tfrc.NewReceiver(tfrc.ReceiverConfig{PacketSize: 1000})
+	for i := int64(0); i < 10; i++ {
+		r.OnData(float64(i)*0.01, tfrc.DataPacket{Seq: i, Size: 1000, SenderRTT: 0.05})
+	}
+	rep, ok := r.MakeReport(0.1)
+	if !ok || rep.EchoSeq != 9 {
+		t.Fatalf("report: ok=%v %+v", ok, rep)
+	}
+	h := tfrc.NewLossHistory(tfrc.DefaultLossHistory())
+	h.OnLossEvent(100)
+	if p := h.LossEventRate(); math.Abs(p-0.01) > 1e-12 {
+		t.Fatalf("p = %v", p)
+	}
+}
+
+func TestFacadeWirePath(t *testing.T) {
+	a, b := tfrc.NewEmulatedPath(tfrc.PathConfig{
+		Bandwidth: 4e6,
+		Delay:     5 * time.Millisecond,
+		Queue:     60,
+	})
+	defer a.Close()
+	defer b.Close()
+	recv := tfrc.NewWireReceiver(b, tfrc.WireConfig{PacketSize: 400})
+	send := tfrc.NewWireSender(a, b.LocalAddr(), nil, tfrc.WireConfig{PacketSize: 400})
+	go recv.Run()
+	go send.Run()
+	time.Sleep(800 * time.Millisecond)
+	send.Stop()
+	recv.Stop()
+	sent, fb, _ := send.Stats()
+	if sent < 10 || fb == 0 {
+		t.Fatalf("wire quickstart too quiet: sent=%d fb=%d", sent, fb)
+	}
+	if send.RTT() <= 0 {
+		t.Fatal("no RTT estimate")
+	}
+}
