@@ -6,7 +6,13 @@
 //	tfrcsim -fig 2            # Figure 2 at default (laptop) scale
 //	tfrcsim -fig 6 -paper     # Figure 6 at the paper's full scale
 //	tfrcsim -fig 9 -seed 7    # change the random seed
+//	tfrcsim -fig 6 -parallel 8   # run sweep cells on 8 workers
+//	tfrcsim -fig 6 -seeds 5      # 5 seeds per cell, mean ± 90% CI
 //	tfrcsim -list             # list available experiments
+//
+// Sweep-shaped experiments (3-7, 9-13, 16-18, 21) execute their
+// independent cells on a worker pool; -parallel defaults to the number
+// of CPUs and results are bit-identical at any worker count.
 //
 // Figures: 2 3 4 5 6 7 8 9 (includes 10) 11 (includes 12, 13) 14 15 16
 // (includes 17) 18 19 20 21.
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"tfrc/internal/exp"
 	"tfrc/internal/netsim"
@@ -25,8 +32,14 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number to reproduce (2-21)")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for sweep cells (1 = sequential; results are identical either way)")
+	seeds := flag.Int("seeds", 1,
+		"seeds per grid cell for figure 6: >1 reports mean ± 90% CI per cell")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
+
+	exp.SetParallelism(*parallel)
 
 	if *list {
 		fmt.Println("fig 2   Average Loss Interval dynamics under periodic loss")
@@ -68,6 +81,7 @@ func main() {
 			pr = exp.PaperFig06()
 		}
 		pr.Seed = *seed
+		pr.Seeds = *seeds
 		exp.RunFig06(pr).Print(w)
 	case 7:
 		flows := []int{16, 32, 64}

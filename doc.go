@@ -28,7 +28,13 @@
 //   - The reproduction harness: a deterministic packet-level network
 //     simulator with TCP (Tahoe/Reno/NewReno/SACK) baselines and every
 //     experiment from the paper's evaluation (internal/exp, driven by
-//     cmd/tfrcsim and the benchmarks in this package).
+//     cmd/tfrcsim and the benchmarks in this package). Grid-shaped
+//     experiments run their independent cells on a parallel sweep
+//     runner (internal/sweep) whose output is bit-identical to a
+//     sequential run; cmd/tfrcsim exposes it as -parallel N, plus
+//     -seeds K for per-cell mean ± 90% CI on the Figure 6 grid.
+//
+// The module path is "tfrc"; packages import as tfrc/internal/...
 //
 // Quick start (wire endpoints over an emulated 2 Mb/s path):
 //

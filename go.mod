@@ -1,0 +1,3 @@
+module tfrc
+
+go 1.24

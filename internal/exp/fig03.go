@@ -67,36 +67,37 @@ type Fig03Result struct {
 	Curves      []Fig03Curve
 }
 
-// RunFig03 runs the sweep.
+// runFig03Buffer runs one cell of the buffer sweep.
+func runFig03Buffer(pr Fig03Params, buf int) Fig03Curve {
+	sched := sim.NewScheduler()
+	nw := netsim.New(sched)
+	a, b := nw.NewNode(), nw.NewNode()
+	nw.Connect(a, b, pr.Bandwidth, pr.BaseRTT/2, func() netsim.Queue {
+		return netsim.NewDropTail(buf)
+	})
+	nw.BuildRoutes()
+	mon := netsim.NewFlowMonitor(pr.BinWidth, pr.Warmup)
+	a.LinkTo(b).AddTap(mon.Tap())
+
+	cfg := tfrcsim.DefaultConfig()
+	cfg.Sender.SqrtSpacing = pr.SqrtSpacing
+	cfg.Sender.RTTWeight = pr.RTTWeight
+	cfg.Sender.Decrease = pr.Decrease
+	snd, _ := tfrcsim.Pair(nw, a, b, 1, 2, 0, cfg)
+	snd.Start(0)
+	sched.RunUntil(pr.Duration)
+
+	bins := int((pr.Duration - pr.Warmup) / pr.BinWidth)
+	series := mon.Rate(0, bins)
+	return Fig03Curve{Buffer: buf, Series: series, CoV: stats.CoV(series)}
+}
+
+// RunFig03 runs the sweep, one independent simulation per buffer size.
 func RunFig03(pr Fig03Params) *Fig03Result {
 	res := &Fig03Result{SqrtSpacing: pr.SqrtSpacing, BinWidth: pr.BinWidth}
-	for _, buf := range pr.BufferSizes {
-		sched := sim.NewScheduler()
-		nw := netsim.New(sched)
-		a, b := nw.NewNode(), nw.NewNode()
-		nw.Connect(a, b, pr.Bandwidth, pr.BaseRTT/2, func() netsim.Queue {
-			return netsim.NewDropTail(buf)
-		})
-		nw.BuildRoutes()
-		mon := netsim.NewFlowMonitor(pr.BinWidth, pr.Warmup)
-		a.LinkTo(b).AddTap(mon.Tap())
-
-		cfg := tfrcsim.DefaultConfig()
-		cfg.Sender.SqrtSpacing = pr.SqrtSpacing
-		cfg.Sender.RTTWeight = pr.RTTWeight
-		cfg.Sender.Decrease = pr.Decrease
-		snd, _ := tfrcsim.Pair(nw, a, b, 1, 2, 0, cfg)
-		snd.Start(0)
-		sched.RunUntil(pr.Duration)
-
-		bins := int((pr.Duration - pr.Warmup) / pr.BinWidth)
-		series := mon.Rate(0, bins)
-		res.Curves = append(res.Curves, Fig03Curve{
-			Buffer: buf,
-			Series: series,
-			CoV:    stats.CoV(series),
-		})
-	}
+	res.Curves = runCells(len(pr.BufferSizes), func(i int) Fig03Curve {
+		return runFig03Buffer(pr, pr.BufferSizes[i])
+	})
 	return res
 }
 

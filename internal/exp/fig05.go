@@ -68,16 +68,18 @@ func lossEventFraction(pLoss, mult, rtt float64, pktSize int) float64 {
 	return pEvent
 }
 
-// RunFig05 evaluates the fixed point over the parameter grid.
+// RunFig05 evaluates the fixed point over the parameter grid, one cell
+// per loss probability.
 func RunFig05(pr Fig05Params) *Fig05Result {
 	res := &Fig05Result{Multiplier: pr.Multiplier}
-	for _, p := range pr.PLoss {
+	res.Rows = runCells(len(pr.PLoss), func(i int) Fig05Row {
+		p := pr.PLoss[i]
 		row := Fig05Row{PLoss: p}
 		for _, m := range pr.Multiplier {
 			row.PEvent = append(row.PEvent, lossEventFraction(p, m, pr.RTT, pr.PacketSize))
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		return row
+	})
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tfrc/internal/netsim"
+	"tfrc/internal/stats"
 	"tfrc/internal/tcp"
 )
 
@@ -19,6 +20,11 @@ type Fig06Params struct {
 	Duration    float64 // paper: 150 s
 	MeasureTail float64 // paper: last 60 s
 	Seed        int64
+
+	// Seeds > 1 runs every grid cell that many times at distinct seeds
+	// and reports per-cell means with 90% confidence half-widths — the
+	// multi-seed mode the parallel runner makes affordable.
+	Seeds int
 }
 
 // DefaultFig06 is a laptop-scale grid preserving the paper's span; the
@@ -57,6 +63,15 @@ type Fig06Cell struct {
 	DropRate    float64
 	PerFlowTCP  []float64 // normalized per-flow throughputs (Figure 7)
 	PerFlowTFRC []float64
+
+	// Multi-seed statistics: with Seeds > 1 the scalar metrics above are
+	// means across seeds and the CI fields carry their 90% confidence
+	// half-widths; PerFlowTCP/PerFlowTFRC remain the first seed's sample
+	// (per-flow vectors are Figure 7 scatter input, not aggregated).
+	// Seeds ≤ 1 leaves the CIs zero.
+	Seeds      int
+	NormTCPCI  float64
+	NormTFRCCI float64
 }
 
 // Fig06Result is the full surface.
@@ -90,23 +105,77 @@ func RunFig06Cell(queue netsim.QueueKind, linkMbps float64, flows int, duration,
 	}
 }
 
-// RunFig06 runs the whole grid.
+// RunFig06 runs the whole grid on the sweep runner: every (queue, link,
+// flows, seed) combination is an independent cell, executed across the
+// worker pool and merged back in deterministic grid order.
 func RunFig06(pr Fig06Params) *Fig06Result {
-	res := &Fig06Result{}
+	seeds := pr.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	type key struct {
+		q  netsim.QueueKind
+		bw float64
+		fl int
+	}
+	var keys []key
 	for _, q := range pr.Queues {
 		for _, bw := range pr.LinkMbps {
 			for _, fl := range pr.TotalFlows {
-				res.Cells = append(res.Cells,
-					RunFig06Cell(q, bw, fl, pr.Duration, pr.MeasureTail, pr.Seed))
+				keys = append(keys, key{q, bw, fl})
 			}
 		}
+	}
+	// Grid-major, seed-minor flattening; replicate 0 uses pr.Seed itself
+	// so single-seed results are unchanged by this refactor.
+	raw := runCells(len(keys)*seeds, func(i int) Fig06Cell {
+		k, rep := keys[i/seeds], i%seeds
+		return RunFig06Cell(k.q, k.bw, k.fl, pr.Duration, pr.MeasureTail,
+			pr.Seed+int64(rep)*6151)
+	})
+	res := &Fig06Result{}
+	for c := range keys {
+		group := raw[c*seeds : (c+1)*seeds]
+		cell := group[0]
+		if seeds > 1 {
+			normTCP := make([]float64, seeds)
+			normTFRC := make([]float64, seeds)
+			util := make([]float64, seeds)
+			drop := make([]float64, seeds)
+			for i, g := range group {
+				normTCP[i], normTFRC[i] = g.NormTCP, g.NormTFRC
+				util[i], drop[i] = g.Utilization, g.DropRate
+			}
+			cell.Seeds = seeds
+			cell.NormTCP, cell.NormTCPCI = stats.MeanCI90(normTCP)
+			cell.NormTFRC, cell.NormTFRCCI = stats.MeanCI90(normTFRC)
+			cell.Utilization = stats.Mean(util)
+			cell.DropRate = stats.Mean(drop)
+		}
+		res.Cells = append(res.Cells, cell)
 	}
 	return res
 }
 
-// Print emits the surface as rows.
+// Print emits the surface as rows; multi-seed runs gain CI columns.
 func (r *Fig06Result) Print(w io.Writer) {
+	multiSeed := false
+	for _, c := range r.Cells {
+		if c.Seeds > 1 {
+			multiSeed = true
+			break
+		}
+	}
 	fmt.Fprintln(w, "# Figure 6: normalized mean TCP throughput when competing with TFRC")
+	if multiSeed {
+		fmt.Fprintln(w, "# queue\tlink(Mbps)\tflows\tnormTCP\tci\tnormTFRC\tci\tutil\tdropRate")
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, "%s\t%.0f\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.4f\n",
+				c.Queue, c.LinkMbps, c.Flows, c.NormTCP, c.NormTCPCI,
+				c.NormTFRC, c.NormTFRCCI, c.Utilization, c.DropRate)
+		}
+		return
+	}
 	fmt.Fprintln(w, "# queue\tlink(Mbps)\tflows\tnormTCP\tnormTFRC\tutil\tdropRate")
 	for _, c := range r.Cells {
 		fmt.Fprintf(w, "%s\t%.0f\t%d\t%.3f\t%.3f\t%.3f\t%.4f\n",
@@ -135,9 +204,7 @@ func RunFig07(totalFlows []int, duration, tail float64, seed int64) []Fig06Cell 
 	if len(totalFlows) == 0 {
 		totalFlows = []int{16, 32, 48, 64, 80, 96, 112, 128}
 	}
-	var cells []Fig06Cell
-	for _, fl := range totalFlows {
-		cells = append(cells, RunFig06Cell(netsim.QueueRED, 15, fl, duration, tail, seed))
-	}
-	return cells
+	return runCells(len(totalFlows), func(i int) Fig06Cell {
+		return RunFig06Cell(netsim.QueueRED, 15, totalFlows[i], duration, tail, seed)
+	})
 }

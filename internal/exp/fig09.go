@@ -59,18 +59,19 @@ type Fig09Result struct {
 	CoVTFRC    []MeanCI
 }
 
-// RunFig09 runs the multi-run study.
+// fig09Run carries one run's per-timescale metrics, aligned with
+// Params.Timescales.
+type fig09Run struct {
+	eqTT, eqFF, eqTF, covT, covF []float64
+}
+
+// RunFig09 runs the multi-run study, one independent simulation per run
+// on the sweep runner; runs merge back in run order so results are
+// identical at any parallelism.
 func RunFig09(pr Fig09Params) *Fig09Result {
 	nscale := len(pr.Timescales)
-	// per-timescale collections across runs
-	eqTT := make([][]float64, nscale)
-	eqFF := make([][]float64, nscale)
-	eqTF := make([][]float64, nscale)
-	covT := make([][]float64, nscale)
-	covF := make([][]float64, nscale)
-
 	base := 0.1
-	for run := 0; run < pr.Runs; run++ {
+	runs := runCells(pr.Runs, func(run int) fig09Run {
 		sc := Scenario{
 			NTCP:          pr.FlowsEach,
 			NTFRC:         pr.FlowsEach,
@@ -91,6 +92,11 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 		res := RunScenario(sc)
 		tcp0, tcp1 := res.TCPSeries[0], res.TCPSeries[1]
 		tf0, tf1 := res.TFRCSeries[0], res.TFRCSeries[1]
+		out := fig09Run{
+			eqTT: make([]float64, nscale), eqFF: make([]float64, nscale),
+			eqTF: make([]float64, nscale),
+			covT: make([]float64, nscale), covF: make([]float64, nscale),
+		}
 		for i, ts := range pr.Timescales {
 			k := int(ts/base + 0.5)
 			if k < 1 {
@@ -98,11 +104,28 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 			}
 			a, b := stats.Rebin(tcp0, k), stats.Rebin(tcp1, k)
 			f, g := stats.Rebin(tf0, k), stats.Rebin(tf1, k)
-			eqTT[i] = append(eqTT[i], stats.EquivalenceRatio(a, b))
-			eqFF[i] = append(eqFF[i], stats.EquivalenceRatio(f, g))
-			eqTF[i] = append(eqTF[i], stats.EquivalenceRatio(a, f))
-			covT[i] = append(covT[i], stats.CoV(a))
-			covF[i] = append(covF[i], stats.CoV(f))
+			out.eqTT[i] = stats.EquivalenceRatio(a, b)
+			out.eqFF[i] = stats.EquivalenceRatio(f, g)
+			out.eqTF[i] = stats.EquivalenceRatio(a, f)
+			out.covT[i] = stats.CoV(a)
+			out.covF[i] = stats.CoV(f)
+		}
+		return out
+	})
+
+	// per-timescale collections across runs, in run order
+	eqTT := make([][]float64, nscale)
+	eqFF := make([][]float64, nscale)
+	eqTF := make([][]float64, nscale)
+	covT := make([][]float64, nscale)
+	covF := make([][]float64, nscale)
+	for _, r := range runs {
+		for i := 0; i < nscale; i++ {
+			eqTT[i] = append(eqTT[i], r.eqTT[i])
+			eqFF[i] = append(eqFF[i], r.eqFF[i])
+			eqTF[i] = append(eqTF[i], r.eqTF[i])
+			covT[i] = append(covT[i], r.covT[i])
+			covF[i] = append(covF[i], r.covF[i])
 		}
 	}
 

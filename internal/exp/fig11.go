@@ -61,44 +61,68 @@ type Fig11Result struct {
 	Rows       []Fig11Row
 }
 
-// RunFig11 runs the sweep.
+// fig11Run is one (source count, run) cell's harvest.
+type fig11Run struct {
+	loss         float64
+	eq, cvF, cvT []float64 // aligned with Params.Timescales
+}
+
+// RunFig11 runs the sweep: the (sources × runs) grid flattens onto the
+// worker pool, then each source count aggregates its runs in run order.
 func RunFig11(pr Fig11Params) *Fig11Result {
 	res := &Fig11Result{Timescales: pr.Timescales}
 	base := 0.1
-	for _, n := range pr.Sources {
-		loss := make([]float64, 0, pr.Runs)
-		eq := make([][]float64, len(pr.Timescales))
-		cvF := make([][]float64, len(pr.Timescales))
-		cvT := make([][]float64, len(pr.Timescales))
-		for run := 0; run < pr.Runs; run++ {
-			sc := Scenario{
-				NTCP:          1,
-				NTFRC:         1,
-				BottleneckBW:  15e6,
-				BottleneckDly: 0.025,
-				Queue:         netsim.QueueRED,
-				QueueLimit:    100,
-				REDMin:        10,
-				REDMax:        50,
-				TCPVariant:    tcp.Sack,
-				OnOffSources:  n,
-				Duration:      pr.Duration,
-				Warmup:        pr.Warmup,
-				BinWidth:      base,
-				Seed:          pr.Seed + int64(run)*977 + int64(n),
+	nscale := len(pr.Timescales)
+	cells := runCells(len(pr.Sources)*pr.Runs, func(i int) fig11Run {
+		n, run := pr.Sources[i/pr.Runs], i%pr.Runs
+		sc := Scenario{
+			NTCP:          1,
+			NTFRC:         1,
+			BottleneckBW:  15e6,
+			BottleneckDly: 0.025,
+			Queue:         netsim.QueueRED,
+			QueueLimit:    100,
+			REDMin:        10,
+			REDMax:        50,
+			TCPVariant:    tcp.Sack,
+			OnOffSources:  n,
+			Duration:      pr.Duration,
+			Warmup:        pr.Warmup,
+			BinWidth:      base,
+			Seed:          pr.Seed + int64(run)*977 + int64(n),
+		}
+		r := RunScenario(sc)
+		out := fig11Run{
+			loss: r.DropRate,
+			eq:   make([]float64, nscale),
+			cvF:  make([]float64, nscale),
+			cvT:  make([]float64, nscale),
+		}
+		tcpS, tfS := r.TCPSeries[0], r.TFRCSeries[0]
+		for i, ts := range pr.Timescales {
+			k := int(ts/base + 0.5)
+			if k < 1 {
+				k = 1
 			}
-			r := RunScenario(sc)
-			loss = append(loss, r.DropRate)
-			tcpS, tfS := r.TCPSeries[0], r.TFRCSeries[0]
-			for i, ts := range pr.Timescales {
-				k := int(ts/base + 0.5)
-				if k < 1 {
-					k = 1
-				}
-				a, f := stats.Rebin(tcpS, k), stats.Rebin(tfS, k)
-				eq[i] = append(eq[i], stats.EquivalenceRatio(a, f))
-				cvF[i] = append(cvF[i], stats.CoV(f))
-				cvT[i] = append(cvT[i], stats.CoV(a))
+			a, f := stats.Rebin(tcpS, k), stats.Rebin(tfS, k)
+			out.eq[i] = stats.EquivalenceRatio(a, f)
+			out.cvF[i] = stats.CoV(f)
+			out.cvT[i] = stats.CoV(a)
+		}
+		return out
+	})
+	for si, n := range pr.Sources {
+		group := cells[si*pr.Runs : (si+1)*pr.Runs]
+		loss := make([]float64, 0, pr.Runs)
+		eq := make([][]float64, nscale)
+		cvF := make([][]float64, nscale)
+		cvT := make([][]float64, nscale)
+		for _, c := range group {
+			loss = append(loss, c.loss)
+			for i := 0; i < nscale; i++ {
+				eq[i] = append(eq[i], c.eq[i])
+				cvF[i] = append(cvF[i], c.cvF[i])
+				cvT[i] = append(cvT[i], c.cvT[i])
 			}
 		}
 		row := Fig11Row{Sources: n}

@@ -138,7 +138,9 @@ func RunFig16(timescales []float64, duration float64, seed int64) *Fig16Result {
 	}
 	base := 0.1
 	res := &Fig16Result{Timescales: timescales}
-	for _, p := range Paths() {
+	paths := Paths()
+	res.Rows = runCells(len(paths), func(i int) Fig16Row {
+		p := paths[i]
 		sc := pathScenario(p, 1, 1, duration, duration/6, seed)
 		r := RunScenario(sc)
 		tcpS, tfS := r.TCPSeries[0], r.TFRCSeries[0]
@@ -153,8 +155,8 @@ func RunFig16(timescales []float64, duration float64, seed int64) *Fig16Result {
 			row.CoVTFRC = append(row.CoVTFRC, stats.CoV(f))
 			row.CoVTCP = append(row.CoVTCP, stats.CoV(a))
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		return row
+	})
 	return res
 }
 

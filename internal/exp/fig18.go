@@ -72,13 +72,11 @@ func (d *bernoulliDropper) Recv(pk *netsim.Packet) {
 	d.next.Recv(pk)
 }
 
-// collectTraces gathers loss-interval sequences from three conditions.
+// collectTraces gathers loss-interval sequences from three independent
+// conditions, run as parallel sweep cells.
 func collectTraces(duration float64, seed int64) [][]float64 {
-	var traces [][]float64
-
-	// Condition 1: DropTail dumbbell shared with TCP.
-	// Condition 2: RED dumbbell shared with TCP.
-	for i, q := range []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED} {
+	// Conditions 0, 1: DropTail / RED dumbbell shared with TCP.
+	congested := func(i int, q netsim.QueueKind) []float64 {
 		var log []float64
 		cfg := tfrcsim.DefaultConfig()
 		cfg.Estimator = recEst{core.NewALI(core.DefaultLossHistory()), &log}
@@ -94,11 +92,10 @@ func collectTraces(duration float64, seed int64) [][]float64 {
 			Seed:         seed + int64(i),
 		}
 		RunScenario(sc)
-		traces = append(traces, log)
+		return log
 	}
-
-	// Condition 3: step-changing Bernoulli loss on a clean pipe.
-	{
+	// Condition 2: step-changing Bernoulli loss on a clean pipe.
+	bernoulli := func() []float64 {
 		var log []float64
 		sched := sim.NewScheduler()
 		nw := netsim.New(sched)
@@ -118,9 +115,18 @@ func collectTraces(duration float64, seed int64) [][]float64 {
 		}
 		snd.Start(0)
 		sched.RunUntil(duration)
-		traces = append(traces, log)
+		return log
 	}
-	return traces
+	return runCells(3, func(i int) []float64 {
+		switch i {
+		case 0:
+			return congested(0, netsim.QueueDropTail)
+		case 1:
+			return congested(1, netsim.QueueRED)
+		default:
+			return bernoulli()
+		}
+	})
 }
 
 // RunFig18 harvests traces and evaluates every estimator configuration as

@@ -141,7 +141,8 @@ func RunFig21(dropRates []float64, rtt float64) *Fig21Result {
 		dropRates = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25}
 	}
 	res := &Fig21Result{}
-	for _, p := range dropRates {
+	res.Rows = runCells(len(dropRates), func(i int) Fig21Row {
+		p := dropRates[i]
 		every := int(1/p + 0.5)
 		if every < 3 {
 			every = 3
@@ -153,8 +154,8 @@ func RunFig21(dropRates []float64, rtt float64) *Fig21Result {
 			Duration:        14,
 			RTT:             rtt,
 		})
-		res.Rows = append(res.Rows, Fig21Row{DropRate: p, RTTs: r.HalvedAfterRTTs})
-	}
+		return Fig21Row{DropRate: p, RTTs: r.HalvedAfterRTTs}
+	})
 	return res
 }
 

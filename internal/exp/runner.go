@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"sync/atomic"
+
+	"tfrc/internal/sweep"
+)
+
+// parallelism is the worker count used by every grid-shaped figure
+// experiment (atomic so figure runs may be launched from any goroutine).
+// The default of 1 keeps library callers fully sequential; cmd/tfrcsim
+// raises it via SetParallelism from its -parallel flag.
+var parallelism atomic.Int64
+
+func init() { parallelism.Store(1) }
+
+// SetParallelism sets the number of worker goroutines used to execute
+// independent sweep cells (clamped to ≥ 1 and to the cell count) and
+// returns the previous value. Each worker holds one live simulation, so
+// memory grows with the setting; the Go scheduler bounds effective CPU
+// parallelism to GOMAXPROCS. Results are bit-identical at any setting:
+// cells are pure and merged in deterministic cell order.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism returns the current sweep worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// runCells executes n independent experiment cells on the configured
+// worker pool, returning results in cell order.
+func runCells[T any](n int, fn func(i int) T) []T {
+	return sweep.Map(Parallelism(), n, fn)
+}

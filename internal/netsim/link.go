@@ -24,6 +24,17 @@ type Link struct {
 	queue Queue
 	busy  bool
 	taps  []Tap
+
+	// Prebuilt callbacks for AtArg scheduling: two events fire per packet
+	// hop (serialization done, propagation done), so building the
+	// closures once here keeps the per-packet path allocation-free.
+	txDoneFn  func(any)
+	deliverFn func(any)
+}
+
+func (l *Link) initCallbacks() {
+	l.txDoneFn = func(x any) { l.txDone(x.(*Packet)) }
+	l.deliverFn = func(x any) { l.to.receive(x.(*Packet)) }
 }
 
 // Bandwidth returns the link rate in bits per second.
@@ -66,13 +77,12 @@ func (l *Link) Send(p *Packet) {
 
 func (l *Link) startTx(p *Packet) {
 	txTime := float64(p.Size) * 8 / l.bw
-	l.net.sched.After(txTime, func() { l.txDone(p) })
+	l.net.sched.AfterArg(txTime, l.txDoneFn, p)
 }
 
 func (l *Link) txDone(p *Packet) {
 	l.emit(TapDepart, p)
-	to := l.to
-	l.net.sched.After(l.delay, func() { to.receive(p) })
+	l.net.sched.AfterArg(l.delay, l.deliverFn, p)
 	if next := l.queue.Dequeue(); next != nil {
 		l.startTx(next)
 	} else {

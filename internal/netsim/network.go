@@ -131,6 +131,8 @@ func (nw *Network) Connect(a, b *Node, bw, delay float64, mkQueue func() Queue) 
 	}
 	ab = &Link{net: nw, to: b, bw: bw, delay: delay, queue: mkQueue()}
 	ba = &Link{net: nw, to: a, bw: bw, delay: delay, queue: mkQueue()}
+	ab.initCallbacks()
+	ba.initCallbacks()
 	a.links[b.ID] = ab
 	b.links[a.ID] = ba
 	// Let capacity-aware disciplines know their drain rate.

@@ -14,19 +14,43 @@ import (
 	"math"
 )
 
-// Event is a callback scheduled to run at a simulated time.
+// Event is a callback scheduled to run at a simulated time. Event structs
+// are recycled through the scheduler's free list; callers never hold them
+// directly — At and After hand out generation-checked Handles instead.
 type Event struct {
 	at    float64
 	seq   uint64
-	index int // heap index; -1 when not queued
+	gen   uint64 // bumped on every recycle; stale Handles don't match
+	index int    // heap index; -1 when not queued
 	fn    func()
+	afn   func(any) // arg-carrying variant, used by the packet hot path
+	arg   any
 }
 
-// Time returns the simulated time at which the event fires.
-func (e *Event) Time() float64 { return e.at }
+// Handle refers to one scheduled firing of an event. The zero Handle is
+// inert: Scheduled reports false and Cancel is a no-op. A Handle held
+// across its event's firing or cancellation goes stale — the generation
+// counter guarantees a stale Handle can never cancel the unrelated event
+// that later reuses the same recycled Event struct.
+type Handle struct {
+	e   *Event
+	gen uint64
+}
 
-// Scheduled reports whether the event is still pending in the queue.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+// Time returns the simulated time at which the event fires, or 0 for a
+// stale or zero Handle.
+func (h Handle) Time() float64 {
+	if !h.Scheduled() {
+		return 0
+	}
+	return h.e.at
+}
+
+// Scheduled reports whether the event this Handle was issued for is still
+// pending in the queue.
+func (h Handle) Scheduled() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
+}
 
 type eventHeap []*Event
 
@@ -82,10 +106,7 @@ func (s *Scheduler) Now() float64 { return s.now }
 // Len returns the number of pending events.
 func (s *Scheduler) Len() int { return len(s.queue) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// panics: it always indicates a protocol bug rather than a recoverable
-// condition.
-func (s *Scheduler) At(t float64, fn func()) *Event {
+func (s *Scheduler) alloc(t float64) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, s.now))
 	}
@@ -100,27 +121,60 @@ func (s *Scheduler) At(t float64, fn func()) *Event {
 		e = new(Event)
 	}
 	e.at = t
-	e.fn = fn
 	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
 }
 
+// recycle clears a fired or cancelled event and returns it to the free
+// list. The generation bump invalidates every Handle issued for it.
+func (s *Scheduler) recycle(e *Event) {
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	e.gen++
+	s.free = append(s.free, e)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a protocol bug rather than a recoverable
+// condition.
+func (s *Scheduler) At(t float64, fn func()) Handle {
+	e := s.alloc(t)
+	e.fn = fn
+	return Handle{e: e, gen: e.gen}
+}
+
 // After schedules fn to run d seconds from now.
-func (s *Scheduler) After(d float64, fn func()) *Event {
+func (s *Scheduler) After(d float64, fn func()) Handle {
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op, which lets protocol code keep a single timer handle.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// AtArg schedules fn(arg) at absolute time t. Unlike At it needs no
+// closure: callers on hot paths build fn once and pass per-event state
+// through arg, so steady-state scheduling is allocation-free.
+func (s *Scheduler) AtArg(t float64, fn func(any), arg any) Handle {
+	e := s.alloc(t)
+	e.afn = fn
+	e.arg = arg
+	return Handle{e: e, gen: e.gen}
+}
+
+// AfterArg schedules fn(arg) to run d seconds from now.
+func (s *Scheduler) AfterArg(d float64, fn func(any), arg any) Handle {
+	return s.AtArg(s.now+d, fn, arg)
+}
+
+// Cancel removes a pending event. Cancelling a fired, already-cancelled,
+// or stale handle is a no-op, which lets protocol code keep a single
+// timer handle without tracking liveness.
+func (s *Scheduler) Cancel(h Handle) {
+	if !h.Scheduled() {
 		return
 	}
-	heap.Remove(&s.queue, e.index)
-	e.fn = nil
-	s.free = append(s.free, e)
+	heap.Remove(&s.queue, h.e.index)
+	s.recycle(h.e)
 }
 
 // Step runs the earliest pending event and advances the clock to it.
@@ -131,10 +185,11 @@ func (s *Scheduler) Step() bool {
 	}
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.at
-	fn := e.fn
-	e.fn = nil
-	s.free = append(s.free, e)
-	if fn != nil {
+	fn, afn, arg := e.fn, e.afn, e.arg
+	s.recycle(e)
+	if afn != nil {
+		afn(arg)
+	} else if fn != nil {
 		fn()
 	}
 	return true

@@ -139,6 +139,63 @@ func TestSchedulerEventReuse(t *testing.T) {
 	}
 }
 
+func TestSchedulerStaleHandleCannotCancelReusedEvent(t *testing.T) {
+	// Regression: the free list recycles Event structs, so a handle kept
+	// past its event's firing may point at a struct reused by a later,
+	// unrelated event. Cancelling through the stale handle must not touch
+	// the new event.
+	s := NewScheduler()
+	stale := s.At(1, func() {})
+	s.Run() // fires; the Event struct goes back on the free list
+
+	ran := false
+	fresh := s.At(2, func() { ran = true }) // reuses the recycled struct
+	if stale.Scheduled() {
+		t.Fatal("stale handle reports Scheduled after its event fired")
+	}
+	s.Cancel(stale) // must be a no-op
+	if !fresh.Scheduled() {
+		t.Fatal("stale Cancel killed an unrelated later event")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("reused event did not fire")
+	}
+
+	// Same via cancellation: a handle invalidated by Cancel must not be
+	// able to cancel the struct's next occupant either.
+	cancelled := s.At(3, func() {})
+	s.Cancel(cancelled)
+	ran2 := false
+	fresh2 := s.At(4, func() { ran2 = true })
+	s.Cancel(cancelled)
+	if !fresh2.Scheduled() {
+		t.Fatal("double Cancel through a stale handle killed a new event")
+	}
+	s.Run()
+	if !ran2 {
+		t.Fatal("event after stale double-cancel did not fire")
+	}
+}
+
+func TestSchedulerAtArg(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	record := func(x any) { got = append(got, x.(int)) }
+	s.AtArg(2, record, 2)
+	s.AfterArg(1, record, 1)
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("AtArg order/args wrong: %v", got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.AfterArg(1, record, 7)
+		s.Step()
+	}); allocs > 0 {
+		t.Fatalf("AtArg steady state allocates %v per event, want 0", allocs)
+	}
+}
+
 func TestSchedulerPropertyOrdered(t *testing.T) {
 	// Property: for any set of event times, firing order is sorted.
 	f := func(raw []uint16) bool {

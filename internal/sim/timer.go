@@ -5,39 +5,40 @@ package sim
 // a feedback timer, a no-feedback timer) without tracking event handles.
 // The zero value is unusable; use NewTimer.
 type Timer struct {
-	sched *Scheduler
-	fn    func()
-	ev    *Event
+	sched  *Scheduler
+	fn     func()
+	fireFn func() // t.fire bound once, so re-arming never allocates
+	ev     Handle
 }
 
 // NewTimer returns a stopped timer that runs fn when it expires.
 func NewTimer(s *Scheduler, fn func()) *Timer {
-	return &Timer{sched: s, fn: fn}
+	t := &Timer{sched: s, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)arms the timer to fire d seconds from now, cancelling any
 // pending expiry.
 func (t *Timer) Reset(d float64) {
 	t.Stop()
-	t.ev = t.sched.After(d, t.fire)
+	t.ev = t.sched.After(d, t.fireFn)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at float64) {
 	t.Stop()
-	t.ev = t.sched.At(at, t.fire)
+	t.ev = t.sched.At(at, t.fireFn)
 }
 
 // Stop cancels a pending expiry. Stopping an idle timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.sched.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.sched.Cancel(t.ev)
+	t.ev = Handle{}
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.ev != nil && t.ev.Scheduled() }
+func (t *Timer) Pending() bool { return t.ev.Scheduled() }
 
 // Deadline returns the expiry time of an armed timer and true, or 0 and
 // false for an idle timer.
@@ -49,6 +50,6 @@ func (t *Timer) Deadline() (float64, bool) {
 }
 
 func (t *Timer) fire() {
-	t.ev = nil
+	t.ev = Handle{}
 	t.fn()
 }

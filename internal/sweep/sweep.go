@@ -1,0 +1,54 @@
+// Package sweep executes embarrassingly parallel experiment grids. The
+// figure experiments are pure functions over parameter cells — every
+// simulation owns its scheduler, clock, and seeded random sources — so
+// cells can run on a worker pool with no shared state. Map preserves
+// cell order in its result slice, which keeps parallel output
+// bit-identical to a sequential run: parallelism changes only which OS
+// thread computes a cell, never what the cell computes or where its
+// result lands.
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(i) for every i in [0, n) and returns the results indexed
+// by cell. At most workers goroutines run concurrently, clamped to n;
+// the Go scheduler multiplexes them onto at most GOMAXPROCS threads, so
+// effective CPU parallelism is GOMAXPROCS-bounded without an explicit
+// clamp here. workers ≤ 1 runs every cell inline on the calling
+// goroutine. fn must be safe to call concurrently from multiple
+// goroutines for distinct i (pure cells are, by construction).
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,56 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 64} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryCellExactlyOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]atomic.Int32
+	Map(8, n, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0 returned %v, want nil", got)
+	}
+	if got := Map(4, 1, func(i int) int { return 7 }); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("n=1 returned %v", got)
+	}
+}
+
+func TestMapSequentialFallback(t *testing.T) {
+	// workers ≤ 1 must run inline: cells may then share state freely.
+	shared := 0
+	Map(1, 50, func(i int) int { shared++; return shared })
+	if shared != 50 {
+		t.Fatalf("inline run touched shared state %d times, want 50", shared)
+	}
+	Map(0, 50, func(i int) int { shared++; return shared })
+	if shared != 100 {
+		t.Fatalf("workers=0 not inline: %d", shared)
+	}
+}

@@ -54,6 +54,7 @@ type Sender struct {
 
 	jitter   *sim.Rand // non-nil when SendJitter > 0
 	lastSend float64   // latest scheduled departure, preserves ordering
+	sendFn   func(any) // prebuilt AtArg callback for jittered departures
 
 	// OnComplete, if set, runs once when a limited transfer is fully
 	// acknowledged.
@@ -80,6 +81,7 @@ func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort
 	s.rtx = sim.NewTimer(nw.Scheduler(), s.onTimeout)
 	if cfg.SendJitter > 0 {
 		s.jitter = sim.NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x9e3779b9)
+		s.sendFn = func(x any) { s.node.Send(x.(*netsim.Packet)) }
 	}
 	node.Attach(srcPort, s)
 	return s
@@ -436,6 +438,5 @@ func (s *Sender) emit(seq int64, isRtx bool) {
 		at = s.lastSend
 	}
 	s.lastSend = at + 1e-9
-	node := s.node
-	s.net.Scheduler().At(at, func() { node.Send(p) })
+	s.net.Scheduler().AtArg(at, s.sendFn, p)
 }

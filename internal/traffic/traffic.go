@@ -46,6 +46,7 @@ type OnOff struct {
 	until   float64 // end of the current ON period
 	Sent    int64
 	stopped bool
+	emitFn  func() // bound once: emit reschedules itself per packet
 }
 
 // NewOnOff creates a source on node sending to dst:port while ON. Each
@@ -57,7 +58,9 @@ func NewOnOff(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, fl
 	if cfg.Rate <= 0 || cfg.MeanOn <= 0 || cfg.MeanOff <= 0 {
 		panic("traffic: ON/OFF source needs positive rate and sojourn times")
 	}
-	return &OnOff{cfg: cfg, net: nw, node: node, dst: dst, port: port, flow: flow, rng: rng}
+	o := &OnOff{cfg: cfg, net: nw, node: node, dst: dst, port: port, flow: flow, rng: rng}
+	o.emitFn = o.emit
+	return o
 }
 
 // Start begins the ON/OFF cycle at the given time (starting OFF, so
@@ -106,7 +109,7 @@ func (o *OnOff) emit() {
 	o.Sent++
 	o.node.Send(p)
 	gap := float64(o.cfg.PacketSize) * 8 / o.cfg.Rate
-	o.net.Scheduler().After(gap, o.emit)
+	o.net.Scheduler().After(gap, o.emitFn)
 }
 
 // CBR is a constant-bit-rate source.
@@ -119,6 +122,7 @@ type CBR struct {
 	gap        float64
 	Sent       int64
 	stopped    bool
+	emitFn     func()
 }
 
 // NewCBR creates a source emitting size-byte packets at rate bits/sec.
@@ -126,10 +130,12 @@ func NewCBR(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, flow
 	if rate <= 0 || size <= 0 {
 		panic("traffic: CBR needs positive rate and size")
 	}
-	return &CBR{
+	c := &CBR{
 		net: nw, node: node, dst: dst, port: port, flow: flow,
 		size: size, gap: float64(size) * 8 / rate,
 	}
+	c.emitFn = c.emit
+	return c
 }
 
 // Start begins emission at the given time.
@@ -151,7 +157,7 @@ func (c *CBR) emit() {
 	p.DstPort = c.port
 	c.Sent++
 	c.node.Send(p)
-	c.net.Scheduler().After(c.gap, c.emit)
+	c.net.Scheduler().After(c.gap, c.emitFn)
 }
 
 // Sink discards arriving packets, freeing them back to the pool. Attach
