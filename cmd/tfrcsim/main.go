@@ -1,5 +1,6 @@
-// Command tfrcsim regenerates the paper's evaluation figures. Each run
-// executes one experiment and prints gnuplot-ready rows to stdout.
+// Command tfrcsim regenerates the paper's evaluation figures and runs
+// the beyond-the-paper topology experiments. Each run executes one
+// experiment and prints gnuplot-ready rows to stdout.
 //
 // Usage:
 //
@@ -8,14 +9,19 @@
 //	tfrcsim -fig 9 -seed 7    # change the random seed
 //	tfrcsim -fig 6 -parallel 8   # run sweep cells on 8 workers
 //	tfrcsim -fig 6 -seeds 5      # 5 seeds per cell, mean ± 90% CI
+//	tfrcsim -exp parkinglot      # multi-bottleneck fairness grid
+//	tfrcsim -exp bwstep -seeds 3 # bandwidth-step transient, 3 seeds
 //	tfrcsim -list             # list available experiments
 //
-// Sweep-shaped experiments (3-7, 9-13, 16-18, 21) execute their
-// independent cells on a worker pool; -parallel defaults to the number
-// of CPUs and results are bit-identical at any worker count.
+// Sweep-shaped experiments (3-7, 9-13, 16-18, 21, and both -exp
+// scenarios) execute their independent cells on a worker pool; -parallel
+// defaults to the number of CPUs and results are bit-identical at any
+// worker count. -seeds applies to figures 6, 8, 14, 15 and to the -exp
+// scenarios: each cell repeats at that many seeds and reports mean ± 90%
+// CI.
 //
 // Figures: 2 3 4 5 6 7 8 9 (includes 10) 11 (includes 12, 13) 14 15 16
-// (includes 17) 18 19 20 21.
+// (includes 17) 18 19 20 21. Experiments: parkinglot, bwstep.
 package main
 
 import (
@@ -30,12 +36,13 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number to reproduce (2-21)")
+	expName := flag.String("exp", "", "beyond-the-paper experiment: parkinglot | bwstep")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters (slow)")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count for sweep cells (1 = sequential; results are identical either way)")
 	seeds := flag.Int("seeds", 1,
-		"seeds per grid cell for figure 6: >1 reports mean ± 90% CI per cell")
+		"seeds per cell for figures 6, 8, 14, 15 and -exp scenarios: >1 reports mean ± 90% CI")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -58,10 +65,40 @@ func main() {
 		fmt.Println("fig 19  rate increase after congestion ends")
 		fmt.Println("fig 20  rate decrease under persistent congestion")
 		fmt.Println("fig 21  round-trips to halve the rate vs initial drop rate")
+		fmt.Println("exp parkinglot  through TFRC vs TCP across 1-3 bottlenecks")
+		fmt.Println("exp bwstep      tracking a bottleneck bandwidth step")
 		return
 	}
 
 	w := os.Stdout
+	switch *expName {
+	case "parkinglot":
+		pr := exp.DefaultParkingLot()
+		if *paper {
+			pr.Duration, pr.Warmup = 300, 60
+			pr.LinkMbps = 15
+		}
+		pr.Seed = *seed
+		pr.Seeds = *seeds
+		exp.RunParkingLot(pr).Print(w)
+		return
+	case "bwstep":
+		pr := exp.DefaultBWStep()
+		if *paper {
+			pr.NTCP, pr.NTFRC = 8, 8
+			pr.LinkMbps = 15
+			pr.StepAt, pr.RestoreAt, pr.Duration = 100, 200, 300
+		}
+		pr.Seed = *seed
+		pr.Seeds = *seeds
+		exp.RunBWStep(pr).Print(w)
+		return
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "tfrcsim: unknown experiment %q (want parkinglot or bwstep)\n", *expName)
+		os.Exit(2)
+	}
+
 	switch *fig {
 	case 2:
 		exp.RunFig02(exp.DefaultFig02()).Print(w)
@@ -95,6 +132,7 @@ func main() {
 		for _, q := range []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED} {
 			pr := exp.DefaultFig08(q)
 			pr.Seed = *seed
+			pr.Seeds = *seeds
 			exp.RunFig08(pr).Print(w)
 		}
 	case 9, 10:
@@ -114,13 +152,14 @@ func main() {
 	case 14:
 		pr := exp.DefaultFig14()
 		pr.Seed = *seed
+		pr.Seeds = *seeds
 		exp.RunFig14(pr).Print(w)
 	case 15:
 		dur := 120.0
 		if *paper {
 			dur = 300
 		}
-		exp.RunFig15(dur, *seed).Print(w)
+		exp.RunFig15Seeds(dur, *seed, *seeds).Print(w)
 	case 16, 17:
 		dur := 120.0
 		if *paper {
@@ -141,7 +180,7 @@ func main() {
 	case 21:
 		exp.RunFig21(nil, 0.05).Print(w)
 	default:
-		fmt.Fprintln(os.Stderr, "tfrcsim: pass -fig 2..21 (or -list)")
+		fmt.Fprintln(os.Stderr, "tfrcsim: pass -fig 2..21, -exp parkinglot|bwstep, or -list")
 		os.Exit(2)
 	}
 }

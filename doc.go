@@ -32,7 +32,27 @@
 //     experiments run their independent cells on a parallel sweep
 //     runner (internal/sweep) whose output is bit-identical to a
 //     sequential run; cmd/tfrcsim exposes it as -parallel N, plus
-//     -seeds K for per-cell mean ± 90% CI on the Figure 6 grid.
+//     -seeds K for per-cell mean ± 90% CI (figures 6, 8, 14, 15 and
+//     the -exp scenarios).
+//
+// Topologies are declared, not hardcoded: netsim.Topology names nodes,
+// joins them with per-direction LinkSpecs, and attaches time-varying
+// link schedules (bandwidth/delay steps fired as simulation events);
+// exp.ScenarioBuilder places flows on named host pairs and monitors on
+// named links, harvesting one ScenarioResult. The paper's dumbbell
+// (netsim.NewDumbbell) is a preset over this builder, alongside
+// netsim.NewParkingLot (multi-bottleneck) and netsim.NewAsymAccess
+// (asymmetric host access). A parking lot in four lines:
+//
+//	topo := netsim.NewTopology(sim.NewScheduler(), rng)
+//	topo.Link("r0", "r1", bottleneck) // LinkSpec{Bandwidth, Delay, Queue, ...}
+//	topo.Link("r1", "r2", bottleneck)
+//	topo.Link("src", "r0", access); topo.Link("dst", "r2", access)
+//	topo.Schedule("r0", "r1", netsim.LinkChange{At: 30, Bandwidth: 1e6})
+//
+// Beyond-the-paper experiments exercising the layer: the parking-lot
+// fairness grid (tfrcsim -exp parkinglot) and the bandwidth-step
+// transient (tfrcsim -exp bwstep).
 //
 // The module path is "tfrc"; packages import as tfrc/internal/...
 //

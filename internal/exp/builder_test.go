@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/tcp"
+	"tfrc/internal/tfrcsim"
+)
+
+// TestScenarioBuilderArbitraryPairs places flows on hand-picked host
+// pairs of a custom topology — the composition the monolithic
+// RunScenario could not express.
+func TestScenarioBuilderArbitraryPairs(t *testing.T) {
+	topo := netsim.NewTopology(sim.NewScheduler(), nil)
+	spec := netsim.LinkSpec{Bandwidth: 4e6, Delay: 0.010,
+		Queue: netsim.QueueDropTail, QueueLimit: 50}
+	access := netsim.LinkSpec{Bandwidth: 40e6, Delay: 0.001,
+		Queue: netsim.QueueDropTail, QueueLimit: 1000}
+	topo.Link("r1", "r2", spec)
+	for _, h := range []string{"a", "b"} {
+		topo.Link(h, "r1", access)
+	}
+	for _, h := range []string{"x", "y"} {
+		topo.Link(h, "r2", access)
+	}
+
+	b := NewScenarioBuilder(topo)
+	b.MonitorLink("r1->r2", 0.5, 5)
+	b.MonitorUtilization("r1->r2", 5)
+	// Two flows share host a; a third runs b→y. All cross the bottleneck.
+	b.AddTFRC("a", "x", tfrcsim.DefaultConfig(), 0)
+	b.AddTCP("a", "y", tcp.Config{Variant: tcp.Sack}, 0.5)
+	b.AddTCP("b", "y", tcp.Config{Variant: tcp.Sack}, 1)
+	res := b.Run(30)
+
+	if len(res.TCPSeries) != 2 || len(res.TFRCSeries) != 1 {
+		t.Fatalf("series: %d TCP, %d TFRC", len(res.TCPSeries), len(res.TFRCSeries))
+	}
+	if res.Utilization < 0.8 {
+		t.Fatalf("utilization %v < 0.8", res.Utilization)
+	}
+	for i, s := range append(append([][]float64{}, res.TCPSeries...), res.TFRCSeries...) {
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		if sum == 0 {
+			t.Fatalf("flow %d starved", i)
+		}
+	}
+	if res.FairShare != 4e6/8/3 {
+		t.Fatalf("fair share = %v", res.FairShare)
+	}
+}
+
+// TestParkingLotExperiment runs the multi-bottleneck fairness grid and
+// checks its core claims: through flows survive across 1-3 bottlenecks,
+// and TFRC's through throughput stays comparable to TCP's.
+func TestParkingLotExperiment(t *testing.T) {
+	pr := DefaultParkingLot()
+	pr.Duration, pr.Warmup = 40, 15
+	r := RunParkingLot(pr)
+	if len(r.Cells) != 3 {
+		t.Fatalf("got %d cells", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.ThroughTFRC <= 0 || c.ThroughTCP <= 0 {
+			t.Fatalf("k=%d: starved through flow: %+v", c.Bottlenecks, c)
+		}
+		ratio := c.ThroughTFRC / c.ThroughTCP
+		if ratio < 0.2 || ratio > 5 {
+			t.Fatalf("k=%d: TFRC/TCP through ratio %v outside [0.2, 5]", c.Bottlenecks, ratio)
+		}
+		if len(c.DropRates) != c.Bottlenecks {
+			t.Fatalf("k=%d: %d drop rates", c.Bottlenecks, len(c.DropRates))
+		}
+		if c.Utilization < 0.5 {
+			t.Fatalf("k=%d: bottleneck-0 utilization %v", c.Bottlenecks, c.Utilization)
+		}
+	}
+}
+
+// TestParkingLotParallelByteIdentical requires the grid to reproduce
+// byte-for-byte on the sweep runner at any worker count, including
+// multi-seed mode.
+func TestParkingLotParallelByteIdentical(t *testing.T) {
+	pr := DefaultParkingLot()
+	pr.Duration, pr.Warmup = 25, 10
+	pr.Bottlenecks = []int{1, 3}
+	pr.Seeds = 2
+	var seq, par bytes.Buffer
+	withParallelism(1, func() { RunParkingLot(pr).Print(&seq) })
+	withParallelism(8, func() { RunParkingLot(pr).Print(&par) })
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel parking lot differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+			seq.String(), par.String())
+	}
+	if seq.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+// TestBWStepExperiment runs the bandwidth-step transient and checks that
+// both protocols track the capacity change: high utilization before,
+// near the reduced capacity during the squeeze, and recovery after.
+func TestBWStepExperiment(t *testing.T) {
+	pr := DefaultBWStep()
+	pr.StepAt, pr.RestoreAt, pr.Duration = 20, 40, 60
+	r := RunBWStep(pr)
+	if len(r.Phases) != 3 {
+		t.Fatalf("got %d phases", len(r.Phases))
+	}
+	for _, p := range r.Phases {
+		total := p.TFRCFrac + p.TCPFrac
+		if total < 0.6 || total > 1.15 {
+			t.Fatalf("phase %s: aggregate fraction %v outside [0.6, 1.15]", p.Name, total)
+		}
+		if p.TFRCFrac <= 0.05 {
+			t.Fatalf("phase %s: TFRC starved (%v)", p.Name, p.TFRCFrac)
+		}
+	}
+	// The squeezed phase halves capacity: aggregate throughput in
+	// bytes must drop accordingly between the before and squeezed bins.
+	var beforeSum, squeezedSum float64
+	for i := range r.TFRCTotal {
+		ts := float64(i) * r.BinWidth
+		tot := r.TFRCTotal[i] + r.TCPTotal[i]
+		switch {
+		case ts >= 5 && ts < pr.StepAt:
+			beforeSum += tot
+		case ts >= pr.StepAt+5 && ts < pr.RestoreAt:
+			squeezedSum += tot
+		}
+	}
+	perBinBefore := beforeSum / ((pr.StepAt - 5) / r.BinWidth)
+	perBinSqueezed := squeezedSum / ((pr.RestoreAt - pr.StepAt - 5) / r.BinWidth)
+	if perBinSqueezed > 0.8*perBinBefore {
+		t.Fatalf("throughput did not drop under the squeeze: %v vs %v",
+			perBinSqueezed, perBinBefore)
+	}
+}
+
+// TestBWStepShortRun pins the phase-window clamping: a run ending just
+// after RestoreAt leaves the "after" phase empty rather than panicking
+// on an inverted slice.
+func TestBWStepShortRun(t *testing.T) {
+	pr := DefaultBWStep()
+	pr.StepAt, pr.RestoreAt, pr.Duration = 10, 20, 22
+	r := RunBWStep(pr)
+	if len(r.Phases) != 3 {
+		t.Fatalf("got %d phases", len(r.Phases))
+	}
+	if after := r.Phases[2]; after.TFRCFrac != 0 || after.TCPFrac != 0 {
+		t.Fatalf("empty after-phase should report zero fractions: %+v", after)
+	}
+}
+
+// TestBWStepParallelByteIdentical pins multi-seed determinism on the
+// sweep runner for the transient experiment.
+func TestBWStepParallelByteIdentical(t *testing.T) {
+	pr := DefaultBWStep()
+	pr.StepAt, pr.RestoreAt, pr.Duration = 15, 30, 45
+	pr.Seeds = 2
+	var seq, par bytes.Buffer
+	withParallelism(1, func() { RunBWStep(pr).Print(&seq) })
+	withParallelism(8, func() { RunBWStep(pr).Print(&par) })
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel bwstep differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+			seq.String(), par.String())
+	}
+}
+
+// TestFig08FI14Fig15MultiSeed exercises the multi-seed CI mode the
+// sweep-runner adoption added to figures 8, 14, and 15.
+func TestFig08Fig14Fig15MultiSeed(t *testing.T) {
+	f8 := DefaultFig08(netsim.QueueRED)
+	f8.Duration, f8.TraceFrom, f8.Flows = 16, 8, 8
+	f8.Seeds = 3
+	var a, b *Fig08Result
+	withParallelism(4, func() { a = RunFig08(f8) })
+	withParallelism(1, func() { b = RunFig08(f8) })
+	if a.Seeds != 3 || a.CoVTCPCI <= 0 || a.CoVTFRCCI <= 0 {
+		t.Fatalf("fig08 multi-seed CIs not populated: %+v", a)
+	}
+	if a.CoVTCP != b.CoVTCP || a.CoVTCPCI != b.CoVTCPCI {
+		t.Fatalf("fig08 multi-seed depends on parallelism")
+	}
+
+	f14 := DefaultFig14()
+	f14.Flows, f14.Duration, f14.Stagger = 8, 10, 5
+	f14.Seeds = 2
+	var c, d *Fig14Result
+	withParallelism(4, func() { c = RunFig14(f14) })
+	withParallelism(1, func() { d = RunFig14(f14) })
+	if c.TCP.Seeds != 2 || c.TFRC.Seeds != 2 {
+		t.Fatalf("fig14 sides not aggregated: %+v", c)
+	}
+	if c.TCP.Utilization != d.TCP.Utilization || c.TFRC.DropRate != d.TFRC.DropRate {
+		t.Fatalf("fig14 multi-seed depends on parallelism")
+	}
+
+	var e, f *Fig15Result
+	withParallelism(4, func() { e = RunFig15Seeds(40, 1, 2) })
+	withParallelism(1, func() { f = RunFig15Seeds(40, 1, 2) })
+	if e.Seeds != 2 || e.MeanTCPCI < 0 {
+		t.Fatalf("fig15 multi-seed not populated: %+v", e)
+	}
+	if e.MeanTCP != f.MeanTCP || e.MeanTFRC != f.MeanTFRC {
+		t.Fatalf("fig15 multi-seed depends on parallelism")
+	}
+	// Single-seed results are unchanged by the refactor: Seeds stays 0.
+	if g := RunFig15(40, 1); g.Seeds != 0 {
+		t.Fatalf("fig15 single-seed gained Seeds=%d", g.Seeds)
+	}
+}

@@ -144,7 +144,10 @@ func (r *ScenarioResult) NormalizedPerFlow(series [][]float64) []float64 {
 }
 
 // RunScenario builds the dumbbell, starts the flows and background, runs
-// the clock, and harvests measurements.
+// the clock, and harvests measurements. It is a preset over
+// ScenarioBuilder: the dumbbell topology, one monitor set on the
+// congested link, and the paper's flow mix, in a fixed deterministic
+// order.
 func RunScenario(sc Scenario) *ScenarioResult {
 	sc.fill()
 	rng := sim.NewRand(sc.Seed)
@@ -174,32 +177,27 @@ func RunScenario(sc Scenario) *ScenarioResult {
 		QueueLimit:    sc.QueueLimit,
 		RED:           red,
 		AccessDly:     accessDly,
+		PktBytes:      sc.TFRC.Sender.PacketSize, // capacity-aware queues drain at the real packet size
 	}, sim.NewRand(sc.Seed+1))
 
-	mon := netsim.NewFlowMonitor(sc.BinWidth, sc.Warmup)
-	d.Forward.AddTap(mon.Tap())
-	um := netsim.NewUtilizationMonitor(d.Forward, sc.Warmup)
-	qm := netsim.NewQueueMonitor(d.Net, d.ForwardQ, 0.05, sc.Duration)
+	b := NewScenarioBuilder(d.Topo)
+	b.MonitorLink("rl->rr", sc.BinWidth, sc.Warmup)
+	b.MonitorUtilization("rl->rr", sc.Warmup)
+	b.MonitorQueue("rl->rr", 0.05, sc.Duration)
 
-	flow := 0
 	start := func() float64 { return rng.Uniform(0, sc.StaggerStarts) }
 
-	tcpFlows := make([]int, 0, sc.NTCP)
+	left := func(h int) string { return fmt.Sprintf("l%d", h) }
+	right := func(h int) string { return fmt.Sprintf("r%d", h) }
 	for i := 0; i < sc.NTCP; i++ {
-		h := i
-		tcp.NewSink(d.Net, d.Right[h], 1, flow, 40)
-		snd := tcp.NewSender(d.Net, d.Left[h], d.Right[h].ID, 1, 2, flow, tcp.Config{
+		b.AddTCP(left(i), right(i), tcp.Config{
 			Variant:       sc.TCPVariant,
 			Granularity:   sc.TCPGranularity,
 			AggressiveRTO: sc.TCPAggressive,
 			SendJitter:    0.001, // break deterministic phase effects
 			JitterSeed:    sc.Seed,
-		})
-		snd.Start(start())
-		tcpFlows = append(tcpFlows, flow)
-		flow++
+		}, start())
 	}
-	tfrcFlows := make([]int, 0, sc.NTFRC)
 	for i := 0; i < sc.NTFRC; i++ {
 		h := sc.NTCP + i
 		tf := sc.TFRC
@@ -207,67 +205,35 @@ func RunScenario(sc Scenario) *ScenarioResult {
 			tf.PacingJitter = 0.05
 			tf.JitterSeed = sc.Seed
 		}
-		snd, _ := tfrcsim.Pair(d.Net, d.Left[h], d.Right[h], 1, 2, flow, tf)
-		snd.Start(start())
-		tfrcFlows = append(tfrcFlows, flow)
-		flow++
+		b.AddTFRC(left(h), right(h), tf, start())
 	}
 
 	if extra > 0 {
 		bg := hosts // the background host pair index
-		traffic.NewSink(d.Net, d.Right[bg], 1)
-		traffic.NewSink(d.Net, d.Left[bg], 2) // reverse-path sink
 		for i := 0; i < sc.OnOffSources; i++ {
-			src := traffic.NewOnOff(d.Net, d.Left[bg], d.Right[bg].ID, 1, flow,
-				sc.OnOff, sim.NewRand(sc.Seed+100+int64(i)))
-			src.Start(rng.Uniform(0, 3))
-			flow++
+			b.AddOnOff(left(bg), right(bg), sc.OnOff,
+				sim.NewRand(sc.Seed+100+int64(i)), rng.Uniform(0, 3))
 		}
 		if sc.MiceLoad > 0 {
 			// Sessions sized so offered load ≈ MiceLoad·bottleneck:
 			// rate = meanSize·pktSize·8/interarrival.
 			meanSize := 20.0
 			inter := meanSize * 1000 * 8 / (sc.MiceLoad * sc.BottleneckBW)
-			mice := traffic.NewMice(d.Net, d.Left[bg], d.Right[bg], flow, traffic.MiceConfig{
+			b.AddMice(left(bg), right(bg), traffic.MiceConfig{
 				MeanInterarrival: inter,
 				MeanSize:         meanSize,
 				Variant:          tcp.Sack,
 				BasePort:         5000,
-			}, sim.NewRand(sc.Seed+7))
-			mice.Start(0.5)
-			flow++
+			}, sim.NewRand(sc.Seed+7), 0.5)
 			// A whiff of reverse traffic so ACK paths are not pristine.
-			rev := traffic.NewOnOff(d.Net, d.Right[bg], d.Left[bg].ID, 2, flow,
+			b.AddOnOff(right(bg), left(bg),
 				traffic.OnOffConfig{MeanOn: 0.5, MeanOff: 4, Shape: 1.5,
 					Rate: 0.02 * sc.BottleneckBW, PacketSize: 1000},
-				sim.NewRand(sc.Seed+8))
-			rev.Start(1)
-			flow++
+				sim.NewRand(sc.Seed+8), 1)
 		}
 	}
 
-	sched.RunUntil(sc.Duration)
-
-	res := &ScenarioResult{
-		BinWidth:    sc.BinWidth,
-		Bins:        int((sc.Duration - sc.Warmup) / sc.BinWidth),
-		Utilization: um.Utilization(sc.Duration),
-		DropRate:    mon.DropRate(),
-		QueueMean:   qm.Mean(),
-		QueueMax:    qm.Max(),
-		Queue:       qm.Samples,
-	}
-	longLived := float64(sc.NTCP + sc.NTFRC)
-	if longLived > 0 {
-		res.FairShare = sc.BottleneckBW / 8 / longLived
-	}
-	for _, f := range tcpFlows {
-		res.TCPSeries = append(res.TCPSeries, mon.Series(f, res.Bins))
-	}
-	for _, f := range tfrcFlows {
-		res.TFRCSeries = append(res.TFRCSeries, mon.Series(f, res.Bins))
-	}
-	return res
+	return b.Run(sc.Duration)
 }
 
 // printTable writes a simple aligned table: a header line, then rows.

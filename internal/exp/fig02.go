@@ -64,11 +64,14 @@ func (d *periodicDropper) Recv(p *netsim.Packet) {
 // RunFig02 runs the experiment.
 func RunFig02(pr Fig02Params) *Fig02Result {
 	sched := sim.NewScheduler()
-	nw := netsim.New(sched)
-	a, b := nw.NewNode(), nw.NewNode()
+	t := netsim.NewTopology(sched, nil)
 	// Plenty of bandwidth so only the injected loss matters.
-	nw.Connect(a, b, 1e9, pr.RTT/2, func() netsim.Queue { return netsim.NewDropTail(100000) })
-	nw.BuildRoutes()
+	t.Link("src", "dst", netsim.LinkSpec{
+		Bandwidth: 1e9, Delay: pr.RTT / 2,
+		Queue: netsim.QueueDropTail, QueueLimit: 100000,
+	})
+	nw := t.Build()
+	a, b := t.Lookup("src"), t.Lookup("dst")
 
 	cfg := tfrcsim.DefaultConfig()
 	rcv := tfrcsim.NewReceiver(nw, b, 5, 0, cfg)

@@ -67,28 +67,28 @@ type Fig03Result struct {
 	Curves      []Fig03Curve
 }
 
-// runFig03Buffer runs one cell of the buffer sweep.
+// runFig03Buffer runs one cell of the buffer sweep: a two-node pipe
+// topology with a single TFRC flow, composed on the scenario builder.
 func runFig03Buffer(pr Fig03Params, buf int) Fig03Curve {
-	sched := sim.NewScheduler()
-	nw := netsim.New(sched)
-	a, b := nw.NewNode(), nw.NewNode()
-	nw.Connect(a, b, pr.Bandwidth, pr.BaseRTT/2, func() netsim.Queue {
-		return netsim.NewDropTail(buf)
+	t := netsim.NewTopology(sim.NewScheduler(), nil)
+	t.Link("src", "dst", netsim.LinkSpec{
+		Bandwidth: pr.Bandwidth, Delay: pr.BaseRTT / 2,
+		Queue: netsim.QueueDropTail, QueueLimit: buf,
 	})
-	nw.BuildRoutes()
-	mon := netsim.NewFlowMonitor(pr.BinWidth, pr.Warmup)
-	a.LinkTo(b).AddTap(mon.Tap())
+	b := NewScenarioBuilder(t)
+	b.MonitorLink("src->dst", pr.BinWidth, pr.Warmup)
 
 	cfg := tfrcsim.DefaultConfig()
 	cfg.Sender.SqrtSpacing = pr.SqrtSpacing
 	cfg.Sender.RTTWeight = pr.RTTWeight
 	cfg.Sender.Decrease = pr.Decrease
-	snd, _ := tfrcsim.Pair(nw, a, b, 1, 2, 0, cfg)
-	snd.Start(0)
-	sched.RunUntil(pr.Duration)
+	b.AddTFRC("src", "dst", cfg, 0)
+	res := b.Run(pr.Duration)
 
-	bins := int((pr.Duration - pr.Warmup) / pr.BinWidth)
-	series := mon.Rate(0, bins)
+	series := res.TFRCSeries[0]
+	for i := range series {
+		series[i] /= pr.BinWidth // bytes per bin → bytes/sec
+	}
 	return Fig03Curve{Buffer: buf, Series: series, CoV: stats.CoV(series)}
 }
 

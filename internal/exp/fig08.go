@@ -22,6 +22,11 @@ type Fig08Params struct {
 	BinWidth  float64 // paper: 0.15 s
 	NTrace    int     // flows of each type to trace (paper: 4)
 	Seed      int64
+
+	// Seeds > 1 repeats the simulation at that many seeds on the sweep
+	// runner and reports the smoothness summaries as means with 90%
+	// confidence half-widths; traces stay the first seed's sample.
+	Seeds int
 }
 
 // DefaultFig08 matches the paper at reduced duration.
@@ -46,10 +51,16 @@ type Fig08Result struct {
 	TFRCTraces [][]float64
 	CoVTCP     float64 // mean CoV across traced TCP flows
 	CoVTFRC    float64
+
+	// Multi-seed statistics (Seeds > 1): the CoV fields above become
+	// means across seeds and the CI fields carry 90% half-widths.
+	Seeds     int
+	CoVTCPCI  float64
+	CoVTFRCCI float64
 }
 
-// RunFig08 runs one trace simulation.
-func RunFig08(pr Fig08Params) *Fig08Result {
+// runFig08Seed runs one trace simulation at one seed.
+func runFig08Seed(pr Fig08Params, seed int64) *Fig08Result {
 	n := pr.Flows / 2
 	sc := Scenario{
 		NTCP:         n,
@@ -63,7 +74,7 @@ func RunFig08(pr Fig08Params) *Fig08Result {
 		Duration:     pr.Duration,
 		Warmup:       pr.TraceFrom,
 		BinWidth:     pr.BinWidth,
-		Seed:         pr.Seed,
+		Seed:         seed,
 	}
 	res := RunScenario(sc)
 	out := &Fig08Result{Queue: pr.Queue, BinWidth: pr.BinWidth}
@@ -85,6 +96,31 @@ func RunFig08(pr Fig08Params) *Fig08Result {
 	}
 	if len(out.TFRCTraces) > 0 {
 		out.CoVTFRC = cf / float64(len(out.TFRCTraces))
+	}
+	return out
+}
+
+// RunFig08 runs the trace experiment. With Seeds > 1 the seeds execute
+// as independent cells on the sweep runner and the CoV summaries
+// aggregate to mean ± 90% CI; results are identical at any parallelism.
+func RunFig08(pr Fig08Params) *Fig08Result {
+	seeds := pr.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	cells := runCells(seeds, func(i int) *Fig08Result {
+		return runFig08Seed(pr, pr.Seed+int64(i)*6151)
+	})
+	out := cells[0]
+	if seeds > 1 {
+		covT := make([]float64, seeds)
+		covF := make([]float64, seeds)
+		for i, c := range cells {
+			covT[i], covF[i] = c.CoVTCP, c.CoVTFRC
+		}
+		out.Seeds = seeds
+		out.CoVTCP, out.CoVTCPCI = stats.MeanCI90(covT)
+		out.CoVTFRC, out.CoVTFRCCI = stats.MeanCI90(covF)
 	}
 	return out
 }
@@ -116,6 +152,11 @@ func (r *Fig08Result) Print(w io.Writer) {
 			}
 		}
 		fmt.Fprintln(w)
+	}
+	if r.Seeds > 1 {
+		fmt.Fprintf(w, "# mean CoV over %d seeds: TFRC %.3f±%.3f, TCP %.3f±%.3f\n",
+			r.Seeds, r.CoVTFRC, r.CoVTFRCCI, r.CoVTCP, r.CoVTCPCI)
+		return
 	}
 	fmt.Fprintf(w, "# mean CoV: TFRC %.3f, TCP %.3f\n", r.CoVTFRC, r.CoVTCP)
 }

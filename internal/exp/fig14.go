@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tfrc/internal/netsim"
+	"tfrc/internal/stats"
 	"tfrc/internal/tcp"
 )
 
@@ -20,6 +21,11 @@ type Fig14Params struct {
 	Queue    int // bottleneck buffer in packets
 	MiceLoad float64
 	Seed     int64
+
+	// Seeds > 1 repeats both sides at that many seeds on the sweep
+	// runner; scalar summaries become means with 90% confidence
+	// half-widths and queue traces stay the first seed's sample.
+	Seeds int
 }
 
 // DefaultFig14 matches the paper's setup.
@@ -35,19 +41,25 @@ func DefaultFig14() Fig14Params {
 	}
 }
 
-// Fig14Side is one of the two runs.
+// Fig14Side is one of the two runs. With Seeds > 1 the scalar fields
+// are means across seeds and the CI fields carry 90% half-widths.
 type Fig14Side struct {
 	Protocol    string
 	Queue       []netsim.QueueSample
 	QueueMean   float64
 	Utilization float64
 	DropRate    float64
+
+	Seeds         int
+	QueueMeanCI   float64
+	UtilizationCI float64
+	DropRateCI    float64
 }
 
 // Fig14Result pairs the TCP and TFRC runs.
 type Fig14Result struct{ TCP, TFRC Fig14Side }
 
-func runFig14Side(pr Fig14Params, useTFRC bool) Fig14Side {
+func runFig14Side(pr Fig14Params, useTFRC bool, seed int64) Fig14Side {
 	sc := Scenario{
 		BottleneckBW:  pr.LinkMbps * 1e6,
 		BottleneckDly: 0.010, // paper: RTTs roughly 45 ms
@@ -59,7 +71,7 @@ func runFig14Side(pr Fig14Params, useTFRC bool) Fig14Side {
 		Warmup:        0,
 		BinWidth:      0.15,
 		StaggerStarts: pr.Stagger,
-		Seed:          pr.Seed,
+		Seed:          seed,
 	}
 	name := "TCP"
 	if useTFRC {
@@ -78,11 +90,37 @@ func runFig14Side(pr Fig14Params, useTFRC bool) Fig14Side {
 	}
 }
 
-// RunFig14 runs both sides.
+// RunFig14 runs both sides as independent cells on the sweep runner:
+// the (side × seed) grid flattens side-major, so results are identical
+// at any parallelism and multi-seed runs gain 90% CIs.
 func RunFig14(pr Fig14Params) *Fig14Result {
+	seeds := pr.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	cells := runCells(2*seeds, func(i int) Fig14Side {
+		useTFRC, rep := i/seeds == 1, i%seeds
+		return runFig14Side(pr, useTFRC, pr.Seed+int64(rep)*6151)
+	})
+	aggregate := func(group []Fig14Side) Fig14Side {
+		side := group[0]
+		if seeds > 1 {
+			qm := make([]float64, seeds)
+			ut := make([]float64, seeds)
+			dr := make([]float64, seeds)
+			for i, g := range group {
+				qm[i], ut[i], dr[i] = g.QueueMean, g.Utilization, g.DropRate
+			}
+			side.Seeds = seeds
+			side.QueueMean, side.QueueMeanCI = stats.MeanCI90(qm)
+			side.Utilization, side.UtilizationCI = stats.MeanCI90(ut)
+			side.DropRate, side.DropRateCI = stats.MeanCI90(dr)
+		}
+		return side
+	}
 	return &Fig14Result{
-		TCP:  runFig14Side(pr, false),
-		TFRC: runFig14Side(pr, true),
+		TCP:  aggregate(cells[:seeds]),
+		TFRC: aggregate(cells[seeds:]),
 	}
 }
 
@@ -90,8 +128,14 @@ func RunFig14(pr Fig14Params) *Fig14Result {
 func (r *Fig14Result) Print(w io.Writer) {
 	fmt.Fprintln(w, "# Figure 14: queue dynamics, 40 long-lived TCP vs TFRC flows, DropTail")
 	for _, side := range []Fig14Side{r.TCP, r.TFRC} {
-		fmt.Fprintf(w, "## %s: util %.3f, drop rate %.4f, mean queue %.1f pkts\n",
-			side.Protocol, side.Utilization, side.DropRate, side.QueueMean)
+		if side.Seeds > 1 {
+			fmt.Fprintf(w, "## %s (%d seeds): util %.3f±%.3f, drop rate %.4f±%.4f, mean queue %.1f±%.1f pkts\n",
+				side.Protocol, side.Seeds, side.Utilization, side.UtilizationCI,
+				side.DropRate, side.DropRateCI, side.QueueMean, side.QueueMeanCI)
+		} else {
+			fmt.Fprintf(w, "## %s: util %.3f, drop rate %.4f, mean queue %.1f pkts\n",
+				side.Protocol, side.Utilization, side.DropRate, side.QueueMean)
+		}
 		for _, s := range side.Queue {
 			fmt.Fprintf(w, "%.2f\t%d\n", s.Time, s.Len)
 		}

@@ -64,7 +64,9 @@ func pathScenario(p Path, nTCP, nTFRC int, duration, warmup float64, seed int64)
 }
 
 // Fig15Result is the Figure 15 trace: three TCP flows and one TFRC flow
-// on the transcontinental profile, bandwidth in 1 s bins.
+// on the transcontinental profile, bandwidth in 1 s bins. With seeds > 1
+// the scalar summaries are means across seeds with 90% half-widths in
+// the CI fields; traces stay the first seed's sample.
 type Fig15Result struct {
 	BinWidth   float64
 	TCPTraces  [][]float64 // bytes per bin
@@ -73,13 +75,13 @@ type Fig15Result struct {
 	MeanTFRC   float64
 	CoVTCPMean float64
 	CoVTFRC    float64
+
+	Seeds      int
+	MeanTCPCI  float64
+	MeanTFRCCI float64
 }
 
-// RunFig15 runs the trace experiment on the UCL-like path.
-func RunFig15(duration float64, seed int64) *Fig15Result {
-	if duration == 0 {
-		duration = 120
-	}
+func runFig15Seed(duration float64, seed int64) *Fig15Result {
 	p := Paths()[0]
 	sc := pathScenario(p, 3, 1, duration, duration/6, seed)
 	sc.BinWidth = 1.0
@@ -98,6 +100,38 @@ func RunFig15(duration float64, seed int64) *Fig15Result {
 	return out
 }
 
+// RunFig15 runs the trace experiment on the UCL-like path.
+func RunFig15(duration float64, seed int64) *Fig15Result {
+	return RunFig15Seeds(duration, seed, 1)
+}
+
+// RunFig15Seeds runs the experiment at seeds independent seeds on the
+// sweep runner, aggregating the mean-throughput summaries to mean ± 90%
+// CI; results are identical at any parallelism.
+func RunFig15Seeds(duration float64, seed int64, seeds int) *Fig15Result {
+	if duration == 0 {
+		duration = 120
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	cells := runCells(seeds, func(i int) *Fig15Result {
+		return runFig15Seed(duration, seed+int64(i)*6151)
+	})
+	out := cells[0]
+	if seeds > 1 {
+		meanT := make([]float64, seeds)
+		meanF := make([]float64, seeds)
+		for i, c := range cells {
+			meanT[i], meanF[i] = c.MeanTCP, c.MeanTFRC
+		}
+		out.Seeds = seeds
+		out.MeanTCP, out.MeanTCPCI = stats.MeanCI90(meanT)
+		out.MeanTFRC, out.MeanTFRCCI = stats.MeanCI90(meanF)
+	}
+	return out
+}
+
 // Print emits "time tcp1 tcp2 tcp3 tfrc" rows in KB/s.
 func (r *Fig15Result) Print(w io.Writer) {
 	fmt.Fprintln(w, "# Figure 15: 3 TCP + 1 TFRC on the transcontinental path profile (KB/s)")
@@ -108,6 +142,11 @@ func (r *Fig15Result) Print(w io.Writer) {
 			fmt.Fprintf(w, "\t%.1f", s[i]/1000/r.BinWidth)
 		}
 		fmt.Fprintf(w, "\t%.1f\n", r.TFRCTrace[i]/1000/r.BinWidth)
+	}
+	if r.Seeds > 1 {
+		fmt.Fprintf(w, "# mean over %d seeds: TCP %.1f±%.1f KB/s, TFRC %.1f±%.1f KB/s\n",
+			r.Seeds, r.MeanTCP/1000, r.MeanTCPCI/1000, r.MeanTFRC/1000, r.MeanTFRCCI/1000)
+		return
 	}
 	fmt.Fprintf(w, "# mean: TCP %.1f KB/s (CoV %.3f), TFRC %.1f KB/s (CoV %.3f)\n",
 		r.MeanTCP/1000, r.CoVTCPMean, r.MeanTFRC/1000, r.CoVTFRC)

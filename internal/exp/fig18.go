@@ -98,10 +98,13 @@ func collectTraces(duration float64, seed int64) [][]float64 {
 	bernoulli := func() []float64 {
 		var log []float64
 		sched := sim.NewScheduler()
-		nw := netsim.New(sched)
-		a, b := nw.NewNode(), nw.NewNode()
-		nw.Connect(a, b, 1e8, 0.030, func() netsim.Queue { return netsim.NewDropTail(10000) })
-		nw.BuildRoutes()
+		t := netsim.NewTopology(sched, nil)
+		t.Link("src", "dst", netsim.LinkSpec{
+			Bandwidth: 1e8, Delay: 0.030,
+			Queue: netsim.QueueDropTail, QueueLimit: 10000,
+		})
+		nw := t.Build()
+		a, b := t.Lookup("src"), t.Lookup("dst")
 		cfg := tfrcsim.DefaultConfig()
 		cfg.Estimator = recEst{core.NewALI(core.DefaultLossHistory()), &log}
 		rcv := tfrcsim.NewReceiver(nw, b, 5, 0, cfg)

@@ -63,10 +63,13 @@ type Fig19Result struct {
 // RunFig19 runs the trace experiment.
 func RunFig19(pr Fig19Params) *Fig19Result {
 	sched := sim.NewScheduler()
-	nw := netsim.New(sched)
-	a, b := nw.NewNode(), nw.NewNode()
-	nw.Connect(a, b, 1e9, pr.RTT/2, func() netsim.Queue { return netsim.NewDropTail(100000) })
-	nw.BuildRoutes()
+	t := netsim.NewTopology(sched, nil)
+	t.Link("src", "dst", netsim.LinkSpec{
+		Bandwidth: 1e9, Delay: pr.RTT / 2,
+		Queue: netsim.QueueDropTail, QueueLimit: 100000,
+	})
+	nw := t.Build()
+	a, b := t.Lookup("src"), t.Lookup("dst")
 
 	cfg := tfrcsim.DefaultConfig()
 	rcv := tfrcsim.NewReceiver(nw, b, 5, 0, cfg)

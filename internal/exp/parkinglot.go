@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+	"tfrc/internal/stats"
+	"tfrc/internal/tcp"
+	"tfrc/internal/tfrcsim"
+)
+
+// ParkingLotParams is the multi-bottleneck fairness grid the single
+// dumbbell cannot express: one TFRC and one TCP through flow cross k
+// bottlenecks in a row while per-segment TCP cross traffic loads each
+// bottleneck independently. The question is whether equation-based
+// control keeps its TCP-fairness when congestion is spread over several
+// points along the path — the parking-lot setting of the delay-based
+// congestion-control literature.
+type ParkingLotParams struct {
+	Bottlenecks []int // grid axis: number of bottlenecks per cell
+	CrossPairs  int   // TCP cross pairs per segment
+	LinkMbps    float64
+	Queue       netsim.QueueKind
+	Duration    float64
+	Warmup      float64
+	Seed        int64
+
+	// Seeds > 1 repeats every cell at that many seeds, reporting means
+	// with 90% confidence half-widths.
+	Seeds int
+}
+
+// DefaultParkingLot is the laptop-scale grid.
+func DefaultParkingLot() ParkingLotParams {
+	return ParkingLotParams{
+		Bottlenecks: []int{1, 2, 3},
+		CrossPairs:  2,
+		LinkMbps:    4,
+		Queue:       netsim.QueueRED,
+		Duration:    60,
+		Warmup:      20,
+		Seed:        1,
+	}
+}
+
+// ParkingLotCell is one grid cell: the through flows' throughputs
+// normalized by the single-bottleneck fair share, and the aggregate
+// behavior of the most loaded bottleneck.
+type ParkingLotCell struct {
+	Bottlenecks int
+	ThroughTFRC float64 // normalized mean throughput of the TFRC through flow
+	ThroughTCP  float64 // … of the TCP through flow
+	CrossMean   float64 // mean normalized throughput of segment-0 cross flows
+	DropRates   []float64
+	Utilization float64 // bottleneck 0
+
+	Seeds         int
+	ThroughTFRCCI float64
+	ThroughTCPCI  float64
+}
+
+// ParkingLotResult is the grid.
+type ParkingLotResult struct {
+	Params ParkingLotParams
+	Cells  []ParkingLotCell
+}
+
+// runParkingLotCell runs one (bottlenecks, seed) cell on the declarative
+// topology + scenario layer.
+func runParkingLotCell(pr ParkingLotParams, k int, seed int64) ParkingLotCell {
+	rng := sim.NewRand(seed)
+	bw := pr.LinkMbps * 1e6
+	queueLimit := int(max(10, bw*0.1/(8*1000)))
+	red := netsim.DefaultRED(queueLimit)
+	red.MinThresh = max(5, float64(queueLimit)/10)
+	red.MaxThresh = float64(queueLimit) / 2
+	pl := netsim.NewParkingLot(sim.NewScheduler(), netsim.ParkingLotConfig{
+		Bottlenecks:   k,
+		ThroughPairs:  2, // pair 0 carries TFRC, pair 1 TCP
+		CrossPairs:    pr.CrossPairs,
+		BottleneckBW:  bw,
+		BottleneckDly: 0.010,
+		Queue:         pr.Queue,
+		QueueLimit:    queueLimit,
+		RED:           red,
+	}, sim.NewRand(seed+1))
+
+	b := NewScenarioBuilder(pl.Topo)
+	segMons := make([]*netsim.FlowMonitor, k)
+	segMons[0] = b.MonitorLink(pl.BottleneckName(0), 0.5, pr.Warmup) // primary
+	b.MonitorUtilization(pl.BottleneckName(0), pr.Warmup)
+	for s := 1; s < k; s++ {
+		segMons[s] = b.MonitorLink(pl.BottleneckName(s), 0.5, pr.Warmup)
+	}
+
+	start := func() float64 { return rng.Uniform(0, 5) }
+	tf := tfrcsim.DefaultConfig()
+	tf.PacingJitter = 0.05
+	tf.JitterSeed = seed
+	tcpCfg := tcp.Config{Variant: tcp.Sack, SendJitter: 0.001, JitterSeed: seed}
+	throughTFRC := b.AddTFRC("ts0", "td0", tf, start())
+	throughTCP := b.AddTCP("ts1", "td1", tcpCfg, start())
+	crossFlows := make([][]int, k)
+	for s := 0; s < k; s++ {
+		for i := 0; i < pr.CrossPairs; i++ {
+			f := b.AddTCP(fmt.Sprintf("cs%d.%d", s, i), fmt.Sprintf("cd%d.%d", s, i),
+				tcpCfg, start())
+			crossFlows[s] = append(crossFlows[s], f)
+		}
+	}
+
+	res := b.Run(pr.Duration)
+
+	// Normalize by the per-bottleneck fair share: 2 through flows plus
+	// CrossPairs cross flows share each bottleneck.
+	fair := bw / 8 / float64(2+pr.CrossPairs)
+	norm := func(series []float64) float64 {
+		return stats.Mean(series) / res.BinWidth / fair
+	}
+	primary := segMons[0]
+	cell := ParkingLotCell{
+		Bottlenecks: k,
+		ThroughTFRC: norm(primary.Series(throughTFRC, res.Bins)),
+		ThroughTCP:  norm(primary.Series(throughTCP, res.Bins)),
+		Utilization: res.Utilization,
+	}
+	var crossSum float64
+	for _, f := range crossFlows[0] {
+		crossSum += norm(primary.Series(f, res.Bins))
+	}
+	if len(crossFlows[0]) > 0 {
+		cell.CrossMean = crossSum / float64(len(crossFlows[0]))
+	}
+	for s := 0; s < k; s++ {
+		cell.DropRates = append(cell.DropRates, segMons[s].DropRate())
+	}
+	return cell
+}
+
+// RunParkingLot runs the grid: every (bottlenecks, seed) combination is
+// an independent cell on the sweep runner, merged in deterministic grid
+// order so output is bit-identical at any parallelism.
+func RunParkingLot(pr ParkingLotParams) *ParkingLotResult {
+	seeds := pr.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	raw := runCells(len(pr.Bottlenecks)*seeds, func(i int) ParkingLotCell {
+		k, rep := pr.Bottlenecks[i/seeds], i%seeds
+		return runParkingLotCell(pr, k, pr.Seed+int64(rep)*6151)
+	})
+	res := &ParkingLotResult{Params: pr}
+	for c := range pr.Bottlenecks {
+		group := raw[c*seeds : (c+1)*seeds]
+		cell := group[0]
+		if seeds > 1 {
+			tf := make([]float64, seeds)
+			tc := make([]float64, seeds)
+			for i, g := range group {
+				tf[i], tc[i] = g.ThroughTFRC, g.ThroughTCP
+			}
+			cell.Seeds = seeds
+			cell.ThroughTFRC, cell.ThroughTFRCCI = stats.MeanCI90(tf)
+			cell.ThroughTCP, cell.ThroughTCPCI = stats.MeanCI90(tc)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res
+}
+
+// Print emits one row per bottleneck count.
+func (r *ParkingLotResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Parking lot: through TFRC vs through TCP across k bottlenecks")
+	fmt.Fprintf(w, "# %d cross TCP pairs per segment, %.0f Mb/s links, %s queues; throughput normalized by the per-bottleneck fair share\n",
+		r.Params.CrossPairs, r.Params.LinkMbps, r.Params.Queue)
+	if r.Params.Seeds > 1 {
+		fmt.Fprintln(w, "# bottlenecks\tthroughTFRC\tci\tthroughTCP\tci\tcrossMean\tutil0\tdropRates")
+	} else {
+		fmt.Fprintln(w, "# bottlenecks\tthroughTFRC\tthroughTCP\tcrossMean\tutil0\tdropRates")
+	}
+	for _, c := range r.Cells {
+		if c.Seeds > 1 {
+			fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t",
+				c.Bottlenecks, c.ThroughTFRC, c.ThroughTFRCCI,
+				c.ThroughTCP, c.ThroughTCPCI, c.CrossMean, c.Utilization)
+		} else {
+			fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t",
+				c.Bottlenecks, c.ThroughTFRC, c.ThroughTCP, c.CrossMean, c.Utilization)
+		}
+		for i, d := range c.DropRates {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%.4f", d)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,6 +1,10 @@
 package netsim
 
-import "tfrc/internal/sim"
+import (
+	"fmt"
+
+	"tfrc/internal/sim"
+)
 
 // QueueKind selects the bottleneck queue discipline for a topology.
 type QueueKind int
@@ -32,10 +36,13 @@ type DumbbellConfig struct {
 	QueueLimit     int       // packets at the bottleneck (both directions)
 	RED            REDConfig // used when Queue == QueueRED; Limit overridden
 	AccessQueueLen int       // packets on access links; 0 → generous (1000)
+	PktBytes       int       // nominal packet size for capacity-aware queues; 0 → 1000
 }
 
-// Dumbbell is the realized topology.
+// Dumbbell is the realized topology. Its Topo field exposes the builder
+// names: routers "rl"/"rr", hosts "l{i}"/"r{i}", bottleneck "rl->rr".
 type Dumbbell struct {
+	Topo           *Topology
 	Net            *Network
 	Left, Right    []*Node
 	RouterL        *Node
@@ -46,8 +53,9 @@ type Dumbbell struct {
 	cfg            DumbbellConfig
 }
 
-// NewDumbbell builds the topology on a fresh network bound to sched. rng
-// drives RED's early-drop decisions.
+// NewDumbbell builds the paper's dumbbell as a preset over the Topology
+// builder, on a fresh network bound to sched. rng drives RED's
+// early-drop decisions.
 func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbbell {
 	if cfg.Hosts < 1 {
 		panic("netsim: dumbbell needs at least one host pair")
@@ -61,22 +69,17 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbb
 	if cfg.AccessQueueLen == 0 {
 		cfg.AccessQueueLen = 1000
 	}
-	nw := New(sched)
-	d := &Dumbbell{Net: nw, cfg: cfg}
-	d.RouterL = nw.NewNode()
-	d.RouterR = nw.NewNode()
-
-	mkBottleneck := func() Queue {
-		switch cfg.Queue {
-		case QueueRED:
-			red := cfg.RED
-			red.Limit = cfg.QueueLimit
-			return NewRED(red, sched.Now, rng)
-		default:
-			return NewDropTail(cfg.QueueLimit)
-		}
+	t := NewTopology(sched, rng)
+	if cfg.PktBytes > 0 {
+		t.Network().SetNominalPacketSize(cfg.PktBytes)
 	}
-	d.Forward, d.Reverse = nw.Connect(d.RouterL, d.RouterR, cfg.BottleneckBW, cfg.BottleneckDly, mkBottleneck)
+	d := &Dumbbell{Topo: t, Net: t.Network(), cfg: cfg}
+	d.RouterL = t.Node("rl")
+	d.RouterR = t.Node("rr")
+	d.Forward, d.Reverse = t.Link("rl", "rr", LinkSpec{
+		Bandwidth: cfg.BottleneckBW, Delay: cfg.BottleneckDly,
+		Queue: cfg.Queue, QueueLimit: cfg.QueueLimit, RED: cfg.RED,
+	})
 	d.ForwardQ = d.Forward.Queue()
 	d.RevQ = d.Reverse.Queue()
 
@@ -87,15 +90,18 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbb
 		return cfg.AccessDly[i%len(cfg.AccessDly)]
 	}
 	for i := 0; i < cfg.Hosts; i++ {
-		l := nw.NewNode()
-		r := nw.NewNode()
-		mkAccess := func() Queue { return NewDropTail(cfg.AccessQueueLen) }
-		nw.Connect(l, d.RouterL, cfg.AccessBW, accessDelay(i), mkAccess)
-		nw.Connect(r, d.RouterR, cfg.AccessBW, accessDelay(i), mkAccess)
-		d.Left = append(d.Left, l)
-		d.Right = append(d.Right, r)
+		l := fmt.Sprintf("l%d", i)
+		r := fmt.Sprintf("r%d", i)
+		d.Left = append(d.Left, t.Node(l))
+		d.Right = append(d.Right, t.Node(r))
+		aspec := LinkSpec{
+			Bandwidth: cfg.AccessBW, Delay: accessDelay(i),
+			Queue: QueueDropTail, QueueLimit: cfg.AccessQueueLen,
+		}
+		t.Link(l, "rl", aspec)
+		t.Link(r, "rr", aspec)
 	}
-	nw.BuildRoutes()
+	t.Build()
 	return d
 }
 

@@ -40,8 +40,32 @@ func (l *Link) initCallbacks() {
 // Bandwidth returns the link rate in bits per second.
 func (l *Link) Bandwidth() float64 { return l.bw }
 
+// SetBandwidth changes the link rate at the current simulated time. The
+// packet being serialized (if any) finishes at the old rate; every later
+// packet serializes at the new one. Capacity-aware queue disciplines are
+// re-informed of their drain rate.
+func (l *Link) SetBandwidth(bw float64) {
+	if bw <= 0 {
+		panic("netsim: link bandwidth must be positive")
+	}
+	l.bw = bw
+	if s, ok := l.queue.(ptcSetter); ok {
+		s.SetPTC(bw / (8 * float64(l.net.nominalPkt)))
+	}
+}
+
 // Delay returns the propagation delay in seconds.
 func (l *Link) Delay() float64 { return l.delay }
+
+// SetDelay changes the propagation delay at the current simulated time.
+// Packets already on the wire keep their old arrival times, so a delay
+// decrease never reorders in-flight packets relative to each other.
+func (l *Link) SetDelay(d float64) {
+	if d < 0 {
+		panic("netsim: link delay must be non-negative")
+	}
+	l.delay = d
+}
 
 // Queue returns the attached queue discipline.
 func (l *Link) Queue() Queue { return l.queue }

@@ -1,15 +1,26 @@
 package netsim
 
+// flowSeries is one flow's per-link accounting: binned departed bytes
+// plus arrival/departure/drop counters, held in a flat slice indexed by
+// flow ID so the per-packet path touches no maps.
+type flowSeries struct {
+	bins     []float64
+	arrivals int
+	departs  int
+	drops    int
+}
+
 // FlowMonitor accumulates per-flow byte counts departing a link into
 // fixed-width time bins — the substrate for the paper's R_τ(t) send-rate
-// time series (Eq. 2) and the Figure 8 throughput traces.
+// time series (Eq. 2) and the Figure 8 throughput traces. Flows are
+// dense small integers, so per-flow state lives in a flat slice;
+// Register preallocates it (and each flow's bin series) up front so the
+// per-packet path neither allocates nor touches a map.
 type FlowMonitor struct {
 	binWidth float64
 	start    float64
-	bins     map[int][]float64 // flow → bytes per bin
-	drops    map[int]int
-	arrivals map[int]int
-	departs  map[int]int
+	flows    []flowSeries
+	tap      Tap // prebuilt once; Tap() hands out the same closure
 }
 
 // NewFlowMonitor returns a monitor with the given bin width (seconds),
@@ -18,45 +29,79 @@ func NewFlowMonitor(binWidth, start float64) *FlowMonitor {
 	if binWidth <= 0 {
 		panic("netsim: FlowMonitor bin width must be positive")
 	}
-	return &FlowMonitor{
-		binWidth: binWidth,
-		start:    start,
-		bins:     make(map[int][]float64),
-		drops:    make(map[int]int),
-		arrivals: make(map[int]int),
-		departs:  make(map[int]int),
-	}
+	m := &FlowMonitor{binWidth: binWidth, start: start}
+	m.tap = m.observe
+	return m
 }
 
-// Tap returns a link tap feeding this monitor.
-func (m *FlowMonitor) Tap() Tap {
-	return func(ev TapEvent, now float64, p *Packet) {
-		switch ev {
-		case TapArrive:
-			m.arrivals[p.Flow]++
-		case TapDrop:
-			m.drops[p.Flow]++
-		case TapDepart:
-			m.departs[p.Flow]++
-			if now < m.start {
-				return
-			}
-			bin := int((now - m.start) / m.binWidth)
-			series := m.bins[p.Flow]
-			for len(series) <= bin {
-				series = append(series, 0)
-			}
-			series[bin] += float64(p.Size)
-			m.bins[p.Flow] = series
+// Register preallocates flow state for flow IDs 0..flows-1 with capacity
+// for nbins bins each. Unregistered flows still work — their state grows
+// on first sight — but registration keeps the packet path allocation-free.
+func (m *FlowMonitor) Register(flows, nbins int) {
+	if flows <= len(m.flows) {
+		flows = len(m.flows)
+	}
+	grown := make([]flowSeries, flows)
+	copy(grown, m.flows)
+	m.flows = grown
+	if nbins < 1 {
+		nbins = 1
+	}
+	for i := range m.flows {
+		if cap(m.flows[i].bins) < nbins {
+			bins := make([]float64, len(m.flows[i].bins), nbins)
+			copy(bins, m.flows[i].bins)
+			m.flows[i].bins = bins
 		}
 	}
 }
 
+// flow returns the state slot for a flow, growing the table for
+// unregistered IDs.
+func (m *FlowMonitor) flow(id int) *flowSeries {
+	if id >= len(m.flows) {
+		grown := make([]flowSeries, id+1)
+		copy(grown, m.flows)
+		m.flows = grown
+	}
+	return &m.flows[id]
+}
+
+func (m *FlowMonitor) observe(ev TapEvent, now float64, p *Packet) {
+	f := m.flow(p.Flow)
+	switch ev {
+	case TapArrive:
+		f.arrivals++
+	case TapDrop:
+		f.drops++
+	case TapDepart:
+		f.departs++
+		if now < m.start {
+			return
+		}
+		bin := int((now - m.start) / m.binWidth)
+		for len(f.bins) <= bin {
+			f.bins = append(f.bins, 0)
+		}
+		f.bins[bin] += float64(p.Size)
+	}
+}
+
+// Tap returns a link tap feeding this monitor.
+func (m *FlowMonitor) Tap() Tap { return m.tap }
+
+// BinWidth returns the monitor's bin width in seconds.
+func (m *FlowMonitor) BinWidth() float64 { return m.binWidth }
+
+// Start returns the time at which bin 0 starts.
+func (m *FlowMonitor) Start() float64 { return m.start }
+
 // Series returns the per-bin byte counts for a flow, padded to nbins.
 func (m *FlowMonitor) Series(flow, nbins int) []float64 {
-	s := m.bins[flow]
 	out := make([]float64, nbins)
-	copy(out, s)
+	if flow < len(m.flows) {
+		copy(out, m.flows[flow].bins)
+	}
 	return out
 }
 
@@ -72,26 +117,30 @@ func (m *FlowMonitor) Rate(flow, nbins int) []float64 {
 // TotalBytes returns all bytes the flow moved through the link since
 // start.
 func (m *FlowMonitor) TotalBytes(flow int) float64 {
+	if flow >= len(m.flows) {
+		return 0
+	}
 	var sum float64
-	for _, b := range m.bins[flow] {
+	for _, b := range m.flows[flow].bins {
 		sum += b
 	}
 	return sum
 }
 
 // Drops returns the number of packets of a flow dropped at the link.
-func (m *FlowMonitor) Drops(flow int) int { return m.drops[flow] }
+func (m *FlowMonitor) Drops(flow int) int {
+	if flow >= len(m.flows) {
+		return 0
+	}
+	return m.flows[flow].drops
+}
 
 // Stats aggregates arrivals, departures, and drops across all flows.
 func (m *FlowMonitor) Stats() (arrivals, departs, drops int) {
-	for _, v := range m.arrivals {
-		arrivals += v
-	}
-	for _, v := range m.departs {
-		departs += v
-	}
-	for _, v := range m.drops {
-		drops += v
+	for i := range m.flows {
+		arrivals += m.flows[i].arrivals
+		departs += m.flows[i].departs
+		drops += m.flows[i].drops
 	}
 	return
 }
@@ -115,23 +164,39 @@ type QueueSample struct {
 // for the Figure 14 queue-dynamics traces.
 type QueueMonitor struct {
 	Samples []QueueSample
+
+	nw     *Network
+	q      Queue
+	period float64
+	end    float64
+	tickFn func(any) // prebuilt once; each tick reschedules via AfterArg
 }
 
 // NewQueueMonitor starts sampling q every period seconds until the
-// scheduler stops running or end is reached (end ≤ 0 means forever).
+// scheduler stops running or end is reached (end ≤ 0 means forever). The
+// tick callback is built once and rescheduled through the arg-carrying
+// event path, so steady-state sampling is allocation-free; with a known
+// end the sample buffer is preallocated too.
 func NewQueueMonitor(nw *Network, q Queue, period, end float64) *QueueMonitor {
-	m := &QueueMonitor{}
-	var tick func()
-	tick = func() {
-		now := nw.Now()
-		if end > 0 && now > end {
-			return
-		}
-		m.Samples = append(m.Samples, QueueSample{Time: now, Len: q.Len()})
-		nw.Scheduler().After(period, tick)
+	if period <= 0 {
+		panic("netsim: QueueMonitor period must be positive")
 	}
-	nw.Scheduler().After(period, tick)
+	m := &QueueMonitor{nw: nw, q: q, period: period, end: end}
+	if end > 0 {
+		m.Samples = make([]QueueSample, 0, int(end/period)+1)
+	}
+	m.tickFn = m.tick
+	nw.Scheduler().AfterArg(period, m.tickFn, nil)
 	return m
+}
+
+func (m *QueueMonitor) tick(any) {
+	now := m.nw.Now()
+	if m.end > 0 && now > m.end {
+		return
+	}
+	m.Samples = append(m.Samples, QueueSample{Time: now, Len: m.q.Len()})
+	m.nw.Scheduler().AfterArg(m.period, m.tickFn, nil)
 }
 
 // Mean returns the average sampled queue length in packets.
@@ -158,7 +223,8 @@ func (m *QueueMonitor) Max() int {
 }
 
 // UtilizationMonitor measures the fraction of link capacity used between
-// start and the last departure it sees.
+// start and the last departure it sees. With a time-varying link the
+// reference capacity is the bandwidth at attach time.
 type UtilizationMonitor struct {
 	bw      float64
 	start   float64

@@ -87,14 +87,27 @@ func (n *Node) forward(p *Packet) {
 
 // Network owns the topology, the packet pool, and the scheduler binding.
 type Network struct {
-	sched *sim.Scheduler
-	pool  Pool
-	nodes []*Node
+	sched      *sim.Scheduler
+	pool       Pool
+	nodes      []*Node
+	nominalPkt int // mean packet size (bytes) for capacity-aware queues
 }
 
 // New returns an empty network driven by the given scheduler.
 func New(sched *sim.Scheduler) *Network {
-	return &Network{sched: sched}
+	return &Network{sched: sched, nominalPkt: 1000}
+}
+
+// SetNominalPacketSize sets the mean packet size (bytes) used to convert
+// link bandwidth into a drain rate for capacity-aware queue disciplines
+// (RED's idle-time compensation). It applies to links connected after the
+// call; scenarios carrying non-default packet sizes should set it before
+// building their topology.
+func (nw *Network) SetNominalPacketSize(bytes int) {
+	if bytes <= 0 {
+		panic("netsim: nominal packet size must be positive")
+	}
+	nw.nominalPkt = bytes
 }
 
 // Scheduler returns the driving scheduler.
@@ -121,25 +134,36 @@ func (nw *Network) NewNode() *Node {
 // Nodes returns all nodes in creation order.
 func (nw *Network) Nodes() []*Node { return nw.nodes }
 
+// ptcSetter is implemented by capacity-aware queue disciplines that need
+// their drain rate in packets/sec (RED's idle-time compensation).
+type ptcSetter interface{ SetPTC(float64) }
+
 // Connect joins a and b with a pair of simplex links sharing bandwidth
 // (bits/sec) and propagation delay (seconds). Each direction gets its own
 // queue from mkQueue. It returns the a→b and b→a links. Call BuildRoutes
 // after the topology is complete.
 func (nw *Network) Connect(a, b *Node, bw, delay float64, mkQueue func() Queue) (ab, ba *Link) {
-	if bw <= 0 || delay < 0 {
+	return nw.ConnectAsym(a, b, bw, delay, mkQueue, bw, delay, mkQueue)
+}
+
+// ConnectAsym joins a and b with per-direction bandwidth, delay, and
+// queue discipline: abBW/abDelay/mkABQueue shape the a→b direction,
+// baBW/baDelay/mkBAQueue the b→a direction. Call BuildRoutes after the
+// topology is complete.
+func (nw *Network) ConnectAsym(a, b *Node, abBW, abDelay float64, mkABQueue func() Queue, baBW, baDelay float64, mkBAQueue func() Queue) (ab, ba *Link) {
+	if abBW <= 0 || abDelay < 0 || baBW <= 0 || baDelay < 0 {
 		panic("netsim: link needs positive bandwidth and non-negative delay")
 	}
-	ab = &Link{net: nw, to: b, bw: bw, delay: delay, queue: mkQueue()}
-	ba = &Link{net: nw, to: a, bw: bw, delay: delay, queue: mkQueue()}
+	ab = &Link{net: nw, to: b, bw: abBW, delay: abDelay, queue: mkABQueue()}
+	ba = &Link{net: nw, to: a, bw: baBW, delay: baDelay, queue: mkBAQueue()}
 	ab.initCallbacks()
 	ba.initCallbacks()
 	a.links[b.ID] = ab
 	b.links[a.ID] = ba
 	// Let capacity-aware disciplines know their drain rate.
-	type ptcSetter interface{ SetPTC(float64) }
 	for _, l := range []*Link{ab, ba} {
 		if s, ok := l.queue.(ptcSetter); ok {
-			s.SetPTC(l.bw / (8 * 1000)) // nominal 1000-byte packets
+			s.SetPTC(l.bw / (8 * float64(nw.nominalPkt)))
 		}
 	}
 	return ab, ba

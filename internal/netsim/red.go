@@ -86,6 +86,9 @@ func NewRED(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
 // this automatically.
 func (q *RED) SetPTC(pktPerSec float64) { q.ptc = pktPerSec }
 
+// PTC returns the configured drain rate in packets per second.
+func (q *RED) PTC() float64 { return q.ptc }
+
 // AvgQueue returns the current EWMA queue estimate in packets.
 func (q *RED) AvgQueue() float64 { return q.avg }
 

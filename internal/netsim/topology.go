@@ -1,0 +1,359 @@
+package netsim
+
+import (
+	"fmt"
+
+	"tfrc/internal/sim"
+)
+
+// LinkSpec declares one direction of a link: its rate, propagation
+// delay, and queue discipline. The zero Queue value is DropTail.
+type LinkSpec struct {
+	Bandwidth  float64 // bits/sec
+	Delay      float64 // one-way propagation delay, seconds
+	Queue      QueueKind
+	QueueLimit int       // packets; required unless MakeQueue is set
+	RED        REDConfig // used when Queue == QueueRED; Limit overridden by QueueLimit
+	// MakeQueue overrides Queue/QueueLimit/RED with a custom discipline
+	// factory, called once per direction.
+	MakeQueue func() Queue
+}
+
+// LinkChange is one step of a time-varying link schedule: at time At the
+// link's bandwidth and/or delay switch to the given values. A zero field
+// leaves that property unchanged (an exact-zero delay therefore cannot
+// be scheduled; use a tiny positive value instead).
+type LinkChange struct {
+	At        float64
+	Bandwidth float64 // bits/sec; 0 → unchanged
+	Delay     float64 // seconds; 0 → unchanged
+}
+
+// linkName is the canonical name of a simplex link.
+func linkName(from, to string) string { return from + "->" + to }
+
+// Topology declaratively builds a Network: named nodes, links with
+// per-direction bandwidth/delay/queue, and time-varying link schedules.
+// Declaration order is construction order, so two topologies declared
+// identically are event-for-event identical. Build computes routes and
+// installs the schedules; the dumbbell, parking-lot, and
+// asymmetric-access presets below are thin layers over it.
+type Topology struct {
+	nw        *Network
+	sched     *sim.Scheduler
+	rng       *sim.Rand
+	nodes     map[string]*Node
+	links     map[string]*Link
+	schedules []func()
+	built     bool
+}
+
+// NewTopology returns an empty topology on a fresh network bound to
+// sched. rng drives the early-drop decisions of any RED queues declared
+// via LinkSpec; it may be nil if no such queue is declared.
+func NewTopology(sched *sim.Scheduler, rng *sim.Rand) *Topology {
+	return &Topology{
+		nw:    New(sched),
+		sched: sched,
+		rng:   rng,
+		nodes: make(map[string]*Node),
+		links: make(map[string]*Link),
+	}
+}
+
+// Network returns the underlying network.
+func (t *Topology) Network() *Network { return t.nw }
+
+// Node returns the named node, creating it on first mention. Names are
+// purely a builder concern: the simulator itself keeps addressing nodes
+// by NodeID.
+func (t *Topology) Node(name string) *Node {
+	if n, ok := t.nodes[name]; ok {
+		return n
+	}
+	n := t.nw.NewNode()
+	t.nodes[name] = n
+	return n
+}
+
+// Lookup returns the named node or panics if it was never declared —
+// a misspelled name in an experiment is a bug, not a condition.
+func (t *Topology) Lookup(name string) *Node {
+	n, ok := t.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim: topology has no node %q", name))
+	}
+	return n
+}
+
+// Link joins a and b with the same spec in both directions and returns
+// the a→b and b→a links, addressable afterwards as "a->b" and "b->a".
+// Nodes are created on first mention.
+func (t *Topology) Link(a, b string, spec LinkSpec) (ab, ba *Link) {
+	return t.LinkAsym(a, b, spec, spec)
+}
+
+// LinkAsym joins a and b with per-direction specs: fwd shapes a→b, rev
+// shapes b→a.
+func (t *Topology) LinkAsym(a, b string, fwd, rev LinkSpec) (ab, ba *Link) {
+	if t.built {
+		panic("netsim: cannot add links after Build")
+	}
+	if _, dup := t.links[linkName(a, b)]; dup {
+		panic(fmt.Sprintf("netsim: link %q already declared", linkName(a, b)))
+	}
+	na, nb := t.Node(a), t.Node(b)
+	ab, ba = t.nw.ConnectAsym(na, nb,
+		fwd.Bandwidth, fwd.Delay, func() Queue { return t.makeQueue(fwd) },
+		rev.Bandwidth, rev.Delay, func() Queue { return t.makeQueue(rev) })
+	t.links[linkName(a, b)] = ab
+	t.links[linkName(b, a)] = ba
+	return ab, ba
+}
+
+func (t *Topology) makeQueue(spec LinkSpec) Queue {
+	if spec.MakeQueue != nil {
+		return spec.MakeQueue()
+	}
+	switch spec.Queue {
+	case QueueRED:
+		red := spec.RED
+		red.Limit = spec.QueueLimit
+		return NewRED(red, t.sched.Now, t.rng)
+	default:
+		return NewDropTail(spec.QueueLimit)
+	}
+}
+
+// LinkByName returns the simplex link declared as from→to ("a->b"), or
+// panics if no such link exists.
+func (t *Topology) LinkByName(name string) *Link {
+	l, ok := t.links[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim: topology has no link %q", name))
+	}
+	return l
+}
+
+// Schedule attaches a time-varying schedule to the from→to link: each
+// change fires as a simulation event at its At time. Changes on a
+// topology that is already built install immediately; otherwise they
+// install at Build, in declaration order either way.
+func (t *Topology) Schedule(from, to string, changes ...LinkChange) {
+	l := t.LinkByName(linkName(from, to))
+	for _, c := range changes {
+		c := c
+		install := func() {
+			t.sched.At(c.At, func() {
+				if c.Bandwidth > 0 {
+					l.SetBandwidth(c.Bandwidth)
+				}
+				if c.Delay > 0 {
+					l.SetDelay(c.Delay)
+				}
+			})
+		}
+		if t.built {
+			install()
+		} else {
+			t.schedules = append(t.schedules, install)
+		}
+	}
+}
+
+// Build computes shortest-path routes and installs any pending link
+// schedules, returning the network ready to run. Build is idempotent so
+// presets can build eagerly while callers layer schedules on afterwards.
+func (t *Topology) Build() *Network {
+	if t.built {
+		return t.nw
+	}
+	t.built = true
+	t.nw.BuildRoutes()
+	for _, install := range t.schedules {
+		install()
+	}
+	t.schedules = nil
+	return t.nw
+}
+
+// --- Parking-lot preset ---
+
+// ParkingLotConfig describes the classic multi-bottleneck "parking lot"
+// topology: k bottleneck links in a row joined by k+1 routers. Through
+// host pairs (sources at router 0, sinks at router k) cross every
+// bottleneck; cross host pairs on segment i enter at router i and leave
+// at router i+1, loading exactly one bottleneck each. Access links are
+// provisioned so drops happen only at the bottlenecks.
+type ParkingLotConfig struct {
+	Bottlenecks   int // k ≥ 1
+	ThroughPairs  int // host pairs traversing every bottleneck (≥ 1)
+	CrossPairs    int // host pairs per segment
+	BottleneckBW  float64
+	BottleneckDly float64 // per bottleneck hop, one way
+	AccessBW      float64 // 0 → 10× bottleneck
+	AccessDly     float64 // 0 → 1 ms
+	Queue         QueueKind
+	QueueLimit    int       // packets per bottleneck
+	RED           REDConfig // used when Queue == QueueRED
+	AccessQueue   int       // packets on access links; 0 → 1000
+}
+
+// ParkingLot is the realized multi-bottleneck topology. Routers are
+// named "r0".."rk", through hosts "ts{i}"/"td{i}", and segment-s cross
+// hosts "cs{s}.{i}"/"cd{s}.{i}"; bottleneck s is the link "r{s}->r{s+1}".
+type ParkingLot struct {
+	Topo        *Topology
+	Net         *Network
+	Routers     []*Node
+	ThroughSrc  []*Node
+	ThroughDst  []*Node
+	CrossSrc    [][]*Node // [segment][pair]
+	CrossDst    [][]*Node
+	Bottlenecks []*Link // forward direction: router s → router s+1
+	cfg         ParkingLotConfig
+}
+
+// NewParkingLot builds the parking lot on a fresh network bound to
+// sched. rng drives RED's early-drop decisions.
+func NewParkingLot(sched *sim.Scheduler, cfg ParkingLotConfig, rng *sim.Rand) *ParkingLot {
+	if cfg.Bottlenecks < 1 {
+		panic("netsim: parking lot needs at least one bottleneck")
+	}
+	if cfg.ThroughPairs < 1 {
+		panic("netsim: parking lot needs at least one through pair")
+	}
+	if cfg.QueueLimit < 1 {
+		panic("netsim: parking lot needs a queue limit")
+	}
+	if cfg.AccessBW == 0 {
+		cfg.AccessBW = 10 * cfg.BottleneckBW
+	}
+	if cfg.AccessDly == 0 {
+		cfg.AccessDly = 0.001
+	}
+	if cfg.AccessQueue == 0 {
+		cfg.AccessQueue = 1000
+	}
+	t := NewTopology(sched, rng)
+	pl := &ParkingLot{Topo: t, cfg: cfg}
+	bspec := LinkSpec{
+		Bandwidth: cfg.BottleneckBW, Delay: cfg.BottleneckDly,
+		Queue: cfg.Queue, QueueLimit: cfg.QueueLimit, RED: cfg.RED,
+	}
+	aspec := LinkSpec{
+		Bandwidth: cfg.AccessBW, Delay: cfg.AccessDly,
+		Queue: QueueDropTail, QueueLimit: cfg.AccessQueue,
+	}
+	for s := 0; s <= cfg.Bottlenecks; s++ {
+		pl.Routers = append(pl.Routers, t.Node(fmt.Sprintf("r%d", s)))
+	}
+	for s := 0; s < cfg.Bottlenecks; s++ {
+		fwd, _ := t.Link(fmt.Sprintf("r%d", s), fmt.Sprintf("r%d", s+1), bspec)
+		pl.Bottlenecks = append(pl.Bottlenecks, fwd)
+	}
+	for i := 0; i < cfg.ThroughPairs; i++ {
+		src := t.Node(fmt.Sprintf("ts%d", i))
+		dst := t.Node(fmt.Sprintf("td%d", i))
+		t.Link(fmt.Sprintf("ts%d", i), "r0", aspec)
+		t.Link(fmt.Sprintf("td%d", i), fmt.Sprintf("r%d", cfg.Bottlenecks), aspec)
+		pl.ThroughSrc = append(pl.ThroughSrc, src)
+		pl.ThroughDst = append(pl.ThroughDst, dst)
+	}
+	for s := 0; s < cfg.Bottlenecks; s++ {
+		var srcs, dsts []*Node
+		for i := 0; i < cfg.CrossPairs; i++ {
+			srcs = append(srcs, t.Node(fmt.Sprintf("cs%d.%d", s, i)))
+			dsts = append(dsts, t.Node(fmt.Sprintf("cd%d.%d", s, i)))
+			t.Link(fmt.Sprintf("cs%d.%d", s, i), fmt.Sprintf("r%d", s), aspec)
+			t.Link(fmt.Sprintf("cd%d.%d", s, i), fmt.Sprintf("r%d", s+1), aspec)
+		}
+		pl.CrossSrc = append(pl.CrossSrc, srcs)
+		pl.CrossDst = append(pl.CrossDst, dsts)
+	}
+	pl.Net = t.Build()
+	return pl
+}
+
+// BottleneckName returns the topology name of forward bottleneck s.
+func (pl *ParkingLot) BottleneckName(s int) string {
+	return linkName(fmt.Sprintf("r%d", s), fmt.Sprintf("r%d", s+1))
+}
+
+// ThroughRTT returns the base (zero-queue) round-trip time of a through
+// pair, counting propagation only.
+func (pl *ParkingLot) ThroughRTT() float64 {
+	return 2 * (2*pl.cfg.AccessDly + float64(pl.cfg.Bottlenecks)*pl.cfg.BottleneckDly)
+}
+
+// --- Asymmetric-access preset ---
+
+// AsymAccessConfig describes a dumbbell whose access links are
+// asymmetric, ADSL-style: each host's uplink (host→router) and downlink
+// (router→host) carry different rates. The constrained uplink makes the
+// reverse ACK path a second bottleneck — the pathology that symmetric
+// dumbbells cannot express.
+type AsymAccessConfig struct {
+	Hosts         int
+	BottleneckBW  float64
+	BottleneckDly float64
+	UplinkBW      float64 // host→router, bits/sec
+	DownlinkBW    float64 // router→host, bits/sec
+	AccessDly     float64 // 0 → 1 ms
+	Queue         QueueKind
+	QueueLimit    int
+	RED           REDConfig
+	AccessQueue   int // packets on access links; 0 → 100
+}
+
+// AsymAccess is the realized asymmetric-access dumbbell. Node names
+// follow the dumbbell preset: routers "rl"/"rr", hosts "l{i}"/"r{i}".
+type AsymAccess struct {
+	Topo             *Topology
+	Net              *Network
+	Left, Right      []*Node
+	RouterL, RouterR *Node
+	Forward, Reverse *Link
+}
+
+// NewAsymAccess builds the asymmetric-access dumbbell on a fresh network
+// bound to sched.
+func NewAsymAccess(sched *sim.Scheduler, cfg AsymAccessConfig, rng *sim.Rand) *AsymAccess {
+	if cfg.Hosts < 1 {
+		panic("netsim: asymmetric access needs at least one host pair")
+	}
+	if cfg.QueueLimit < 1 {
+		panic("netsim: asymmetric access needs a queue limit")
+	}
+	if cfg.UplinkBW <= 0 || cfg.DownlinkBW <= 0 {
+		panic("netsim: asymmetric access needs positive up/down rates")
+	}
+	if cfg.AccessDly == 0 {
+		cfg.AccessDly = 0.001
+	}
+	if cfg.AccessQueue == 0 {
+		cfg.AccessQueue = 100
+	}
+	t := NewTopology(sched, rng)
+	d := &AsymAccess{Topo: t}
+	d.RouterL = t.Node("rl")
+	d.RouterR = t.Node("rr")
+	d.Forward, d.Reverse = t.Link("rl", "rr", LinkSpec{
+		Bandwidth: cfg.BottleneckBW, Delay: cfg.BottleneckDly,
+		Queue: cfg.Queue, QueueLimit: cfg.QueueLimit, RED: cfg.RED,
+	})
+	up := LinkSpec{Bandwidth: cfg.UplinkBW, Delay: cfg.AccessDly,
+		Queue: QueueDropTail, QueueLimit: cfg.AccessQueue}
+	down := LinkSpec{Bandwidth: cfg.DownlinkBW, Delay: cfg.AccessDly,
+		Queue: QueueDropTail, QueueLimit: cfg.AccessQueue}
+	for i := 0; i < cfg.Hosts; i++ {
+		l := fmt.Sprintf("l%d", i)
+		r := fmt.Sprintf("r%d", i)
+		d.Left = append(d.Left, t.Node(l))
+		d.Right = append(d.Right, t.Node(r))
+		t.LinkAsym(l, "rl", up, down)
+		t.LinkAsym(r, "rr", up, down)
+	}
+	d.Net = t.Build()
+	return d
+}

@@ -18,6 +18,8 @@ type rangeSet struct {
 type srange struct{ start, end int64 }
 
 // add inserts [start, end), merging overlapping and adjacent ranges.
+// The merge is done in place: the backing array is reused, so
+// steady-state adds on the ACK path allocate nothing.
 func (s *rangeSet) add(start, end int64) {
 	if start >= end {
 		return
@@ -33,7 +35,16 @@ func (s *rangeSet) add(start, end int64) {
 		}
 		j++
 	}
-	s.r = append(s.r[:i], append([]srange{{start, end}}, s.r[j:]...)...)
+	if i == j {
+		// Pure insertion: shift the tail up one slot.
+		s.r = append(s.r, srange{})
+		copy(s.r[i+1:], s.r[i:])
+		s.r[i] = srange{start, end}
+		return
+	}
+	// Ranges [i, j) collapse into one; shift the tail down in place.
+	s.r[i] = srange{start, end}
+	s.r = append(s.r[:i+1], s.r[j:]...)
 }
 
 // contains reports whether seq is covered.
@@ -62,13 +73,18 @@ func (s *rangeSet) firstGapAtOrAfter(from int64) int64 {
 	return from
 }
 
-// dropBelow discards state below seq (already cumulatively acked).
+// dropBelow discards state below seq (already cumulatively acked). The
+// survivors are copied down so the backing array's origin never drifts —
+// re-slicing from the middle would force add's insertions to regrow it.
 func (s *rangeSet) dropBelow(seq int64) {
 	i := 0
 	for i < len(s.r) && s.r[i].end <= seq {
 		i++
 	}
-	s.r = s.r[i:]
+	if i > 0 {
+		n := copy(s.r, s.r[i:])
+		s.r = s.r[:n]
+	}
 	if len(s.r) > 0 && s.r[0].start < seq {
 		s.r[0].start = seq
 	}
@@ -93,12 +109,14 @@ func (s *rangeSet) countIn(start, end int64) int64 {
 	return n
 }
 
-// newest returns up to max ranges, most recently useful first (highest
-// sequence ranges first), for filling a SACK option.
-func (s *rangeSet) newest(max int) []srange {
-	out := make([]srange, 0, max)
-	for i := len(s.r) - 1; i >= 0 && len(out) < max; i-- {
-		out = append(out, s.r[i])
+// newestInto fills buf with up to len(buf) ranges, most recently useful
+// first (highest sequence ranges first), and returns how many it wrote —
+// the allocation-free fill for a SACK option on the per-ACK path.
+func (s *rangeSet) newestInto(buf []srange) int {
+	n := 0
+	for i := len(s.r) - 1; i >= 0 && n < len(buf); i-- {
+		buf[n] = s.r[i]
+		n++
 	}
-	return out
+	return n
 }

@@ -82,9 +82,11 @@ func TestRangeSetNewest(t *testing.T) {
 	s.add(4, 6)
 	s.add(8, 10)
 	s.add(12, 14)
-	got := s.newest(3)
+	var buf [3]srange
+	n := s.newestInto(buf[:])
+	got := buf[:n]
 	if len(got) != 3 || got[0] != (srange{12, 14}) || got[2] != (srange{4, 6}) {
-		t.Fatalf("newest(3) = %v", got)
+		t.Fatalf("newestInto = %v", got)
 	}
 }
 

@@ -63,7 +63,8 @@ func (s *Sink) Recv(p *netsim.Packet) {
 	ack.Dst = p.Src
 	ack.SrcPort = p.DstPort
 	ack.DstPort = p.SrcPort
-	for _, rg := range s.received.newest(netsim.MaxSackBlocks) {
+	var sacks [netsim.MaxSackBlocks]srange
+	for _, rg := range sacks[:s.received.newestInto(sacks[:])] {
 		if rg.end <= s.next {
 			continue
 		}

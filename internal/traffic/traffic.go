@@ -46,7 +46,11 @@ type OnOff struct {
 	until   float64 // end of the current ON period
 	Sent    int64
 	stopped bool
-	emitFn  func() // bound once: emit reschedules itself per packet
+	// Bound once: the emit/ON/OFF cycle reschedules these directly, so
+	// sojourn transitions allocate no method-value closures.
+	emitFn     func()
+	startOnFn  func()
+	startOffFn func()
 }
 
 // NewOnOff creates a source on node sending to dst:port while ON. Each
@@ -60,13 +64,15 @@ func NewOnOff(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, fl
 	}
 	o := &OnOff{cfg: cfg, net: nw, node: node, dst: dst, port: port, flow: flow, rng: rng}
 	o.emitFn = o.emit
+	o.startOnFn = o.startOn
+	o.startOffFn = o.startOff
 	return o
 }
 
 // Start begins the ON/OFF cycle at the given time (starting OFF, so
 // sources desynchronize naturally).
 func (o *OnOff) Start(at float64) {
-	o.net.Scheduler().At(at, o.startOff)
+	o.net.Scheduler().At(at, o.startOffFn)
 }
 
 // Stop permanently silences the source at its next event.
@@ -78,7 +84,7 @@ func (o *OnOff) startOff() {
 	}
 	o.on = false
 	off := o.rng.Pareto(o.cfg.MeanOff, o.cfg.Shape)
-	o.net.Scheduler().After(off, o.startOn)
+	o.net.Scheduler().After(off, o.startOnFn)
 }
 
 func (o *OnOff) startOn() {
@@ -210,6 +216,7 @@ type Mice struct {
 	slot     int
 	Sessions int64
 	stopped  bool
+	spawnFn  func() // bound once: spawn reschedules itself per session
 }
 
 // NewMice creates the generator; flow tags all its packets.
@@ -223,12 +230,14 @@ func NewMice(nw *netsim.Network, src, dst *netsim.Node, flow int, cfg MiceConfig
 	if cfg.BasePort == 0 {
 		cfg.BasePort = 1000
 	}
-	return &Mice{cfg: cfg, net: nw, src: src, dst: dst, flow: flow, rng: rng}
+	m := &Mice{cfg: cfg, net: nw, src: src, dst: dst, flow: flow, rng: rng}
+	m.spawnFn = m.spawn
+	return m
 }
 
 // Start schedules the first session at the given time.
 func (m *Mice) Start(at float64) {
-	m.net.Scheduler().At(at, m.spawn)
+	m.net.Scheduler().At(at, m.spawnFn)
 }
 
 // Stop halts new session creation.
@@ -254,5 +263,5 @@ func (m *Mice) spawn() {
 	tcp.NewSink(m.net, m.dst, sinkPort, m.flow, 40)
 	snd := tcp.NewSenderLimited(m.net, m.src, m.dst.ID, sinkPort, srcPort, m.flow, tcp.Config{Variant: m.cfg.Variant}, size)
 	snd.Start(m.net.Now())
-	m.net.Scheduler().After(m.rng.Exponential(m.cfg.MeanInterarrival), m.spawn)
+	m.net.Scheduler().After(m.rng.Exponential(m.cfg.MeanInterarrival), m.spawnFn)
 }

@@ -31,14 +31,76 @@ func (c *PipeConfig) fill() {
 
 // Pipe returns two connected endpoints, each a net.PacketConn. Datagrams
 // written to one arrive at the other after the configured impairments;
-// each direction has its own pipe state. Addresses are synthetic.
+// each direction has its own pipe state. Addresses are synthetic. Pipe
+// is the symmetric, schedule-free preset over NewPath.
 func Pipe(cfg PipeConfig) (a, b net.PacketConn) {
-	cfg.fill()
+	ea, eb, _ := NewPath(PathSpec{AtoB: cfg, BtoA: cfg})
+	return ea, eb
+}
+
+// Direction selects one side of an emulated path.
+type Direction int
+
+// Path directions.
+const (
+	AtoB Direction = iota
+	BtoA
+)
+
+// PathEvent is one step of a path's impairment schedule: at wall-clock
+// offset At from NewPath, the selected direction's bandwidth and/or loss
+// change. A zero Bandwidth leaves the rate unchanged; Loss applies only
+// when SetLoss is true, so a loss of exactly 0 (healing a lossy episode)
+// is schedulable while bandwidth-only events leave loss alone.
+type PathEvent struct {
+	At        time.Duration
+	Dir       Direction
+	Bandwidth float64 // bits/sec; 0 → unchanged
+	SetLoss   bool    // apply Loss below
+	Loss      float64 // probability; ignored unless SetLoss
+}
+
+// PathSpec declares a full emulated path: per-direction pipe configs
+// plus a schedule of impairment changes — the wire-level analogue of the
+// simulator's declarative topology with time-varying link schedules.
+type PathSpec struct {
+	AtoB, BtoA PipeConfig
+	Schedule   []PathEvent
+}
+
+// NewPath builds an emulated path from a declarative spec and returns
+// its two endpoints plus a stop function cancelling any pending schedule
+// events. Closing both endpoints without calling stop leaks only timers
+// that fire into closed connections harmlessly.
+func NewPath(spec PathSpec) (a, b *EmuConn, stop func()) {
+	spec.AtoB.fill()
+	spec.BtoA.fill()
 	ea := &EmuConn{name: "emu-a", inbox: make(chan []byte, 1024)}
 	eb := &EmuConn{name: "emu-b", inbox: make(chan []byte, 1024)}
-	ea.out = newPipeDir(cfg, eb)
-	eb.out = newPipeDir(cfg, ea)
-	return ea, eb
+	ea.out = newPipeDir(spec.AtoB, eb)
+	eb.out = newPipeDir(spec.BtoA, ea)
+	timers := make([]*time.Timer, 0, len(spec.Schedule))
+	for _, ev := range spec.Schedule {
+		ev := ev
+		conn := ea
+		if ev.Dir == BtoA {
+			conn = eb
+		}
+		timers = append(timers, time.AfterFunc(ev.At, func() {
+			if ev.Bandwidth > 0 {
+				conn.SetBandwidth(ev.Bandwidth)
+			}
+			if ev.SetLoss {
+				conn.SetLoss(ev.Loss)
+			}
+		}))
+	}
+	stop = func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}
+	return ea, eb, stop
 }
 
 // pipeDir is one direction's impairment state.

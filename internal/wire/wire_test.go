@@ -222,3 +222,81 @@ func TestWireNoFeedbackBackoff(t *testing.T) {
 		t.Fatal("no-feedback timer never fired")
 	}
 }
+
+func TestPathSpecSchedule(t *testing.T) {
+	// Declarative path: the A→B direction starts clean, turns 100% lossy
+	// at +100 ms, and heals at +500 ms. The window is wide so loaded CI
+	// runners cannot slide a phase's send past its boundary.
+	start := time.Now()
+	a, b, stop := NewPath(PathSpec{
+		AtoB: PipeConfig{Delay: time.Millisecond},
+		BtoA: PipeConfig{Delay: time.Millisecond},
+		Schedule: []PathEvent{
+			{At: 100 * time.Millisecond, Dir: AtoB, SetLoss: true, Loss: 1.0},
+			{At: 500 * time.Millisecond, Dir: AtoB, SetLoss: true, Loss: 0},
+		},
+	})
+	defer stop()
+	defer a.Close()
+	defer b.Close()
+
+	recv := func() bool {
+		b.SetReadDeadline(time.Now().Add(40 * time.Millisecond))
+		_, _, err := b.ReadFrom(make([]byte, 10))
+		return err == nil
+	}
+	a.WriteTo([]byte("clean"), nil)
+	if !recv() {
+		t.Fatal("pre-schedule packet lost")
+	}
+	time.Sleep(250*time.Millisecond - time.Since(start)) // well inside the lossy window
+	a.WriteTo([]byte("lossy"), nil)
+	if recv() {
+		t.Fatal("packet survived the scheduled 100% loss window")
+	}
+	time.Sleep(700*time.Millisecond - time.Since(start)) // well past the heal event
+	a.WriteTo([]byte("healed"), nil)
+	if !recv() {
+		t.Fatal("post-heal packet lost")
+	}
+	if a.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", a.Drops())
+	}
+}
+
+func TestPathSpecBandwidthStep(t *testing.T) {
+	// A scheduled bandwidth cut slows serialization mid-flight: packets
+	// sent after the step take ~10x longer than before it.
+	a, b, stop := NewPath(PathSpec{
+		AtoB: PipeConfig{Bandwidth: 8e6, Queue: 64},
+		BtoA: PipeConfig{},
+		Schedule: []PathEvent{
+			{At: 50 * time.Millisecond, Dir: AtoB, Bandwidth: 160e3},
+		},
+	})
+	defer stop()
+	defer a.Close()
+	defer b.Close()
+
+	buf := make([]byte, 2000)
+	read := func() time.Duration {
+		start := time.Now()
+		b.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return time.Since(start)
+	}
+	a.WriteTo(make([]byte, 1000), nil)
+	fast := read()
+	time.Sleep(80 * time.Millisecond) // past the step
+	// 1000 B at 160 kb/s = 50 ms serialization.
+	a.WriteTo(make([]byte, 1000), nil)
+	slow := read()
+	if slow < 30*time.Millisecond {
+		t.Fatalf("post-step delivery took only %v, want ≥ ~50ms", slow)
+	}
+	if fast > slow/2 {
+		t.Fatalf("pre-step delivery %v not clearly faster than post-step %v", fast, slow)
+	}
+}
