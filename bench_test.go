@@ -412,7 +412,10 @@ func BenchmarkReceiverOnData(b *testing.B) {
 
 func BenchmarkSimulatorPacketsPerSecond(b *testing.B) {
 	// End-to-end simulator cost: one 10-second 8-flow scenario per
-	// iteration; the metric is simulated packet-events per real second.
+	// iteration; the metric is delivered bottleneck data packets (a
+	// deterministic count) per real second. `tfrcsim -bench` snapshots
+	// the same workload into BENCH_<n>.json for the CI regression gate.
+	var pkts float64
 	for i := 0; i < b.N; i++ {
 		r := exp.RunScenario(exp.Scenario{
 			NTCP: 4, NTFRC: 4,
@@ -425,7 +428,13 @@ func BenchmarkSimulatorPacketsPerSecond(b *testing.B) {
 		if r.Utilization == 0 {
 			b.Fatal("dead simulation")
 		}
+		for _, s := range append(r.TCPSeries, r.TFRCSeries...) {
+			for _, v := range s {
+				pkts += v / 1000
+			}
+		}
 	}
+	b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/sec")
 }
 
 // --- Extension benches: the paper's §7 future-work items ---

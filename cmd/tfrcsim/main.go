@@ -13,6 +13,10 @@
 //	tfrcsim -exp bwstep -seeds 3 # bandwidth-step transient, 3 seeds
 //	tfrcsim -list             # list available experiments
 //
+//	tfrcsim -fig 6 -cpuprofile cpu.out -memprofile mem.out  # pprof a run
+//	tfrcsim -bench -bench-name PR3             # write BENCH_PR3.json
+//	tfrcsim -bench -bench-compare bench/BENCH_3.json  # CI regression gate
+//
 // Sweep-shaped experiments (3-7, 9-13, 16-18, 21, and both -exp
 // scenarios) execute their independent cells on a worker pool; -parallel
 // defaults to the number of CPUs and results are bit-identical at any
@@ -29,12 +33,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
+	"tfrc/internal/bench"
 	"tfrc/internal/exp"
 	"tfrc/internal/netsim"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main body and reports the process exit code, so
+// deferred profile writers always flush before the process exits.
+func run() int {
 	fig := flag.Int("fig", 0, "figure number to reproduce (2-21)")
 	expName := flag.String("exp", "", "beyond-the-paper experiment: parkinglot | bwstep")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters (slow)")
@@ -44,9 +54,78 @@ func main() {
 	seeds := flag.Int("seeds", 1,
 		"seeds per cell for figures 6, 8, 14, 15 and -exp scenarios: >1 reports mean ± 90% CI")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
+	runBench := flag.Bool("bench", false,
+		"run the perf measurement suite and write a BENCH_<name>.json snapshot instead of an experiment")
+	benchName := flag.String("bench-name", "local", "label stored in the bench snapshot")
+	benchOut := flag.String("bench-out", "", "bench snapshot path (default BENCH_<name>.json)")
+	benchCompare := flag.String("bench-compare", "",
+		"compare the fresh bench snapshot against this committed baseline and exit non-zero on regression")
+	benchTolerance := flag.Float64("bench-tolerance", 0.15,
+		"allowed fractional regression for -bench-compare (0.15 = 15%)")
 	flag.Parse()
 
 	exp.SetParallelism(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			}
+		}()
+	}
+
+	if *runBench {
+		rep := bench.Run(*benchName)
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_" + *benchName + ".json"
+		}
+		if err := rep.Write(out); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: writing bench snapshot: %v\n", err)
+			return 1
+		}
+		fmt.Printf("bench: %.0f pkts/sec, %.0f allocs/op, %.2fM scheduler events/sec -> %s\n",
+			rep.Scenario.PktsPerSec, rep.Scenario.AllocsPerOp,
+			rep.Scheduler.EventsPerSec/1e6, out)
+		if *benchCompare != "" {
+			base, err := bench.Load(*benchCompare)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+				return 1
+			}
+			if err := bench.Compare(rep, base, *benchTolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+				return 1
+			}
+			fmt.Printf("bench: within %.0f%% of baseline %s (%s)\n",
+				*benchTolerance*100, base.Name, *benchCompare)
+		}
+		return 0
+	}
 
 	if *list {
 		fmt.Println("fig 2   Average Loss Interval dynamics under periodic loss")
@@ -67,7 +146,7 @@ func main() {
 		fmt.Println("fig 21  round-trips to halve the rate vs initial drop rate")
 		fmt.Println("exp parkinglot  through TFRC vs TCP across 1-3 bottlenecks")
 		fmt.Println("exp bwstep      tracking a bottleneck bandwidth step")
-		return
+		return 0
 	}
 
 	w := os.Stdout
@@ -81,7 +160,7 @@ func main() {
 		pr.Seed = *seed
 		pr.Seeds = *seeds
 		exp.RunParkingLot(pr).Print(w)
-		return
+		return 0
 	case "bwstep":
 		pr := exp.DefaultBWStep()
 		if *paper {
@@ -92,11 +171,11 @@ func main() {
 		pr.Seed = *seed
 		pr.Seeds = *seeds
 		exp.RunBWStep(pr).Print(w)
-		return
+		return 0
 	case "":
 	default:
 		fmt.Fprintf(os.Stderr, "tfrcsim: unknown experiment %q (want parkinglot or bwstep)\n", *expName)
-		os.Exit(2)
+		return 2
 	}
 
 	switch *fig {
@@ -181,6 +260,7 @@ func main() {
 		exp.RunFig21(nil, 0.05).Print(w)
 	default:
 		fmt.Fprintln(os.Stderr, "tfrcsim: pass -fig 2..21, -exp parkinglot|bwstep, or -list")
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,188 @@
+// Package bench is the simulator's performance measurement harness: it
+// runs a fixed, deterministic workload, snapshots throughput and
+// allocation metrics into a machine-readable report, and compares
+// reports so CI can fail on regressions. cmd/tfrcsim exposes it via
+// -bench / -bench-out / -bench-compare.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"tfrc/internal/exp"
+	"tfrc/internal/netsim"
+	"tfrc/internal/sim"
+)
+
+// Schema identifies the report layout for forward compatibility.
+const Schema = 1
+
+// ScenarioMetrics measures the end-to-end simulator on the standard
+// 8-flow RED dumbbell (the BenchmarkSimulatorPacketsPerSecond workload).
+type ScenarioMetrics struct {
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// PktsPerSec is delivered bottleneck data packets (a deterministic
+	// count) per wall-clock second — the headline throughput metric.
+	PktsPerSec float64 `json:"pkts_per_sec"`
+}
+
+// SchedulerMetrics measures the raw event queue on a standing-population
+// churn loop (the BenchmarkSchedulerEventsPerSecond workload).
+type SchedulerMetrics struct {
+	Ops          int     `json:"ops"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Report is one BENCH_<n>.json snapshot.
+type Report struct {
+	Schema    int              `json:"schema"`
+	Name      string           `json:"name"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	Scenario  ScenarioMetrics  `json:"scenario"`
+	Scheduler SchedulerMetrics `json:"scheduler"`
+}
+
+func benchScenario(iters int) ScenarioMetrics {
+	run := func(seed int64) float64 {
+		r := exp.RunScenario(exp.Scenario{
+			NTCP: 4, NTFRC: 4,
+			BottleneckBW: 8e6,
+			Queue:        netsim.QueueRED,
+			Duration:     10,
+			Warmup:       2,
+			Seed:         seed,
+		})
+		var bytes float64
+		for _, s := range append(r.TCPSeries, r.TFRCSeries...) {
+			for _, v := range s {
+				bytes += v
+			}
+		}
+		return bytes / 1000 // delivered data packets at the bottleneck
+	}
+	run(0) // warm the shared slab pools so the snapshot reflects steady state
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var pkts float64
+	for i := 0; i < iters; i++ {
+		pkts += run(int64(i))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := float64(iters)
+	return ScenarioMetrics{
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		PktsPerSec:  pkts / elapsed.Seconds(),
+	}
+}
+
+func benchScheduler(ops int) SchedulerMetrics {
+	s := sim.NewScheduler()
+	r := rand.New(rand.NewSource(1))
+	delays := make([]float64, 8192)
+	for i := range delays {
+		delays[i] = r.Float64()
+	}
+	fn := func(any) {}
+	for i := 0; i < 4096; i++ {
+		s.AfterArg(delays[i%len(delays)], fn, nil)
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		s.AfterArg(delays[i%len(delays)], fn, nil)
+		s.Step()
+	}
+	elapsed := time.Since(start)
+	return SchedulerMetrics{Ops: ops, EventsPerSec: float64(ops) / elapsed.Seconds()}
+}
+
+// Run executes the measurement suite and returns the report. name labels
+// the snapshot (e.g. "PR3" or "ci").
+func Run(name string) *Report {
+	return &Report{
+		Schema:    Schema,
+		Name:      name,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scenario:  benchScenario(20),
+		Scheduler: benchScheduler(2_000_000),
+	}
+}
+
+// Write stores the report as indented JSON at path.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a report from path.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare checks the current report against a committed baseline and
+// returns a non-nil error describing every gate that failed. tolerance
+// is the allowed fractional regression (e.g. 0.15 for 15%).
+//
+// Allocations are deterministic and compared directly. Packet throughput
+// depends on machine speed, so the baseline's pkts/sec is first rescaled
+// by the ratio of scheduler events/sec (a pure-CPU proxy measured in the
+// same process on both machines); the gate then catches regressions in
+// simulator work per packet rather than differences in host hardware.
+func Compare(cur, base *Report, tolerance float64) error {
+	var fails []string
+	if base.Scenario.AllocsPerOp > 0 {
+		limit := base.Scenario.AllocsPerOp * (1 + tolerance)
+		if cur.Scenario.AllocsPerOp > limit {
+			fails = append(fails, fmt.Sprintf(
+				"allocs/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				cur.Scenario.AllocsPerOp, base.Scenario.AllocsPerOp, tolerance*100))
+		}
+	}
+	if base.Scenario.PktsPerSec > 0 && base.Scheduler.EventsPerSec > 0 && cur.Scheduler.EventsPerSec > 0 {
+		scale := cur.Scheduler.EventsPerSec / base.Scheduler.EventsPerSec
+		expected := base.Scenario.PktsPerSec * scale
+		floor := expected * (1 - tolerance)
+		if cur.Scenario.PktsPerSec < floor {
+			fails = append(fails, fmt.Sprintf(
+				"pkts/sec %.0f below machine-calibrated baseline %.0f (raw baseline %.0f × cpu scale %.2f) by more than %.0f%%",
+				cur.Scenario.PktsPerSec, expected, base.Scenario.PktsPerSec, scale, tolerance*100))
+		}
+	}
+	if len(fails) == 0 {
+		return nil
+	}
+	msg := "bench regression gate failed:"
+	for _, f := range fails {
+		msg += "\n  - " + f
+	}
+	return fmt.Errorf("%s", msg)
+}

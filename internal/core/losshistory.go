@@ -58,7 +58,14 @@ func Weights(n int) []float64 {
 	return w
 }
 
-// NewLossHistory returns an empty history (no loss events seen).
+// sharedWeights8 is the paper's default weight sequence, shared read-only
+// by every default-configured history so the hot construction path does
+// not recompute (or reallocate) it.
+var sharedWeights8 = Weights(8)
+
+// NewLossHistory returns an empty history (no loss events seen). The
+// interval buffers are preallocated to the window size so steady-state
+// OnLossEvent calls never grow them.
 func NewLossHistory(cfg LossHistoryConfig) *LossHistory {
 	if cfg.N < 1 {
 		panic("core: loss history needs N ≥ 1")
@@ -67,15 +74,26 @@ func NewLossHistory(cfg LossHistoryConfig) *LossHistory {
 		cfg.DiscountThreshold = 0.25
 	}
 	var w []float64
-	if cfg.ConstantWeights {
+	switch {
+	case cfg.ConstantWeights:
 		w = make([]float64, cfg.N)
 		for i := range w {
 			w[i] = 1
 		}
-	} else {
+	case cfg.N == 8:
+		w = sharedWeights8
+	default:
 		w = Weights(cfg.N)
 	}
-	return &LossHistory{cfg: cfg, weights: w, dfCur: 1}
+	// One backing array serves both interval buffers.
+	buf := make([]float64, 2*(cfg.N+1))
+	return &LossHistory{
+		cfg:     cfg,
+		weights: w,
+		closed:  buf[0 : 0 : cfg.N+1],
+		df:      buf[cfg.N+1 : cfg.N+1 : 2*(cfg.N+1)],
+		dfCur:   1,
+	}
 }
 
 // HaveLoss reports whether any loss interval exists (real or seeded).

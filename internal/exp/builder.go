@@ -24,7 +24,7 @@ type ScenarioBuilder struct {
 	nextFlow  int
 	tcpFlows  []int
 	tfrcFlows []int
-	ports     map[*netsim.Node]int
+	ports     []int // next free port, indexed by NodeID
 	micePort  int
 
 	primary      *netsim.FlowMonitor
@@ -39,10 +39,11 @@ type ScenarioBuilder struct {
 // NewScenarioBuilder returns a builder over the topology, building it
 // (routes + schedules) if the caller has not already done so.
 func NewScenarioBuilder(t *netsim.Topology) *ScenarioBuilder {
+	nw := t.Build()
 	return &ScenarioBuilder{
 		topo:     t,
-		nw:       t.Build(),
-		ports:    make(map[*netsim.Node]int),
+		nw:       nw,
+		ports:    make([]int, len(nw.Nodes())),
 		micePort: 5000,
 	}
 }
@@ -56,8 +57,11 @@ func (b *ScenarioBuilder) Network() *netsim.Network { return b.nw }
 
 // port hands out the next free port on a node, starting at 1.
 func (b *ScenarioBuilder) port(n *netsim.Node) int {
-	b.ports[n]++
-	return b.ports[n]
+	for int(n.ID) >= len(b.ports) {
+		b.ports = append(b.ports, 0)
+	}
+	b.ports[n.ID]++
+	return b.ports[n.ID]
 }
 
 // AddTCP places a one-way TCP transfer from src to dst, starting at the
@@ -170,6 +174,19 @@ func (b *ScenarioBuilder) MonitorUtilization(link string, start float64) *netsim
 	return m
 }
 
+// Release returns the scenario's simulator working memory — the
+// network's node/link/queue slabs, its packet pool, and the scheduler's
+// event arrays — to shared pools for reuse by the next scenario, so
+// short sweep cells stop paying per-cell setup allocations. Monitors and
+// any harvested result stay valid (their series are private), but the
+// topology, network, scheduler, and flows must not be touched afterwards.
+func (b *ScenarioBuilder) Release() {
+	sched := b.nw.Scheduler()
+	b.topo.Release()
+	b.nw.Release()
+	sched.Release()
+}
+
 // TCPFlows returns the flow IDs added by AddTCP, in order.
 func (b *ScenarioBuilder) TCPFlows() []int { return b.tcpFlows }
 
@@ -190,11 +207,20 @@ func (b *ScenarioBuilder) Run(duration float64) *ScenarioResult {
 		res.BinWidth = b.primaryBin
 		res.Bins = int((duration - b.primaryStart) / b.primaryBin)
 		res.DropRate = b.primary.DropRate()
-		for _, f := range b.tcpFlows {
-			res.TCPSeries = append(res.TCPSeries, b.primary.Series(f, res.Bins))
+		// All harvested series share one backing slab.
+		slab := make([]float64, (len(b.tcpFlows)+len(b.tfrcFlows))*res.Bins)
+		take := func(f int) []float64 {
+			s := slab[:res.Bins:res.Bins]
+			slab = slab[res.Bins:]
+			return b.primary.SeriesInto(s, f)
 		}
+		res.TCPSeries = make([][]float64, 0, len(b.tcpFlows))
+		for _, f := range b.tcpFlows {
+			res.TCPSeries = append(res.TCPSeries, take(f))
+		}
+		res.TFRCSeries = make([][]float64, 0, len(b.tfrcFlows))
 		for _, f := range b.tfrcFlows {
-			res.TFRCSeries = append(res.TFRCSeries, b.primary.Series(f, res.Bins))
+			res.TFRCSeries = append(res.TFRCSeries, take(f))
 		}
 	}
 	if b.util != nil {

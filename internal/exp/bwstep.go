@@ -129,6 +129,7 @@ func runBWStepSeed(pr BWStepParams, seed int64) *BWStepResult {
 	}
 	out.QueueMax = qm.Max()
 	out.DropRate = res.DropRate
+	b.Release()
 
 	phase := func(name string, lo, hi float64) BWStepPhase {
 		a := int(lo / pr.BinWidth)

@@ -150,8 +150,8 @@ func (r *ScenarioResult) NormalizedPerFlow(series [][]float64) []float64 {
 // order.
 func RunScenario(sc Scenario) *ScenarioResult {
 	sc.fill()
-	rng := sim.NewRand(sc.Seed)
 	sched := sim.NewScheduler()
+	rng := sched.NewRand(sc.Seed)
 
 	hosts := sc.NTCP + sc.NTFRC
 	extra := 0
@@ -178,7 +178,7 @@ func RunScenario(sc Scenario) *ScenarioResult {
 		RED:           red,
 		AccessDly:     accessDly,
 		PktBytes:      sc.TFRC.Sender.PacketSize, // capacity-aware queues drain at the real packet size
-	}, sim.NewRand(sc.Seed+1))
+	}, sched.NewRand(sc.Seed+1))
 
 	b := NewScenarioBuilder(d.Topo)
 	b.MonitorLink("rl->rr", sc.BinWidth, sc.Warmup)
@@ -187,8 +187,8 @@ func RunScenario(sc Scenario) *ScenarioResult {
 
 	start := func() float64 { return rng.Uniform(0, sc.StaggerStarts) }
 
-	left := func(h int) string { return fmt.Sprintf("l%d", h) }
-	right := func(h int) string { return fmt.Sprintf("r%d", h) }
+	left := func(h int) string { return netsim.IndexedName("l", h) }
+	right := func(h int) string { return netsim.IndexedName("r", h) }
 	for i := 0; i < sc.NTCP; i++ {
 		b.AddTCP(left(i), right(i), tcp.Config{
 			Variant:       sc.TCPVariant,
@@ -212,7 +212,7 @@ func RunScenario(sc Scenario) *ScenarioResult {
 		bg := hosts // the background host pair index
 		for i := 0; i < sc.OnOffSources; i++ {
 			b.AddOnOff(left(bg), right(bg), sc.OnOff,
-				sim.NewRand(sc.Seed+100+int64(i)), rng.Uniform(0, 3))
+				sched.NewRand(sc.Seed+100+int64(i)), rng.Uniform(0, 3))
 		}
 		if sc.MiceLoad > 0 {
 			// Sessions sized so offered load ≈ MiceLoad·bottleneck:
@@ -224,16 +224,18 @@ func RunScenario(sc Scenario) *ScenarioResult {
 				MeanSize:         meanSize,
 				Variant:          tcp.Sack,
 				BasePort:         5000,
-			}, sim.NewRand(sc.Seed+7), 0.5)
+			}, sched.NewRand(sc.Seed+7), 0.5)
 			// A whiff of reverse traffic so ACK paths are not pristine.
 			b.AddOnOff(right(bg), left(bg),
 				traffic.OnOffConfig{MeanOn: 0.5, MeanOff: 4, Shape: 1.5,
 					Rate: 0.02 * sc.BottleneckBW, PacketSize: 1000},
-				sim.NewRand(sc.Seed+8), 1)
+				sched.NewRand(sc.Seed+8), 1)
 		}
 	}
 
-	return b.Run(sc.Duration)
+	res := b.Run(sc.Duration)
+	b.Release()
+	return res
 }
 
 // printTable writes a simple aligned table: a header line, then rows.

@@ -84,6 +84,7 @@ func runFig03Buffer(pr Fig03Params, buf int) Fig03Curve {
 	cfg.Sender.Decrease = pr.Decrease
 	b.AddTFRC("src", "dst", cfg, 0)
 	res := b.Run(pr.Duration)
+	b.Release()
 
 	series := res.TFRCSeries[0]
 	for i := range series {

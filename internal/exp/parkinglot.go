@@ -136,6 +136,7 @@ func runParkingLotCell(pr ParkingLotParams, k int, seed int64) ParkingLotCell {
 	for s := 0; s < k; s++ {
 		cell.DropRates = append(cell.DropRates, segMons[s].DropRate())
 	}
+	b.Release()
 	return cell
 }
 

@@ -17,6 +17,11 @@ import (
 func compareGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
 	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+	}
 	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("reading golden: %v", err)
@@ -38,6 +43,25 @@ func TestFig06ByteIdenticalToPreRefactor(t *testing.T) {
 		Seed:        3,
 	}).Print(&b)
 	compareGolden(t, "fig06_regression.golden", b.Bytes())
+}
+
+// TestParkingLotByteIdentical pins a multi-bottleneck (parking-lot) cell
+// in addition to the dumbbell figures: the golden was captured before the
+// zero-alloc event-engine refactor (flat 4-ary scheduler queue, packet
+// slab pooling, route/scratch reuse), so it proves the perf pass moved no
+// output byte on a topology that exercises multi-hop forwarding.
+func TestParkingLotByteIdentical(t *testing.T) {
+	var b bytes.Buffer
+	RunParkingLot(ParkingLotParams{
+		Bottlenecks: []int{1, 2},
+		CrossPairs:  1,
+		LinkMbps:    3,
+		Queue:       netsim.QueueRED,
+		Duration:    25,
+		Warmup:      10,
+		Seed:        5,
+	}).Print(&b)
+	compareGolden(t, "parkinglot_regression.golden", b.Bytes())
 }
 
 func TestFig09ByteIdenticalToPreRefactor(t *testing.T) {

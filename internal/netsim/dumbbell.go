@@ -1,10 +1,6 @@
 package netsim
 
-import (
-	"fmt"
-
-	"tfrc/internal/sim"
-)
+import "tfrc/internal/sim"
 
 // QueueKind selects the bottleneck queue discipline for a topology.
 type QueueKind int
@@ -73,7 +69,11 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbb
 	if cfg.PktBytes > 0 {
 		t.Network().SetNominalPacketSize(cfg.PktBytes)
 	}
-	d := &Dumbbell{Topo: t, Net: t.Network(), cfg: cfg}
+	d := &Dumbbell{
+		Topo: t, Net: t.Network(), cfg: cfg,
+		Left:  make([]*Node, 0, cfg.Hosts),
+		Right: make([]*Node, 0, cfg.Hosts),
+	}
 	d.RouterL = t.Node("rl")
 	d.RouterR = t.Node("rr")
 	d.Forward, d.Reverse = t.Link("rl", "rr", LinkSpec{
@@ -90,8 +90,8 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbb
 		return cfg.AccessDly[i%len(cfg.AccessDly)]
 	}
 	for i := 0; i < cfg.Hosts; i++ {
-		l := fmt.Sprintf("l%d", i)
-		r := fmt.Sprintf("r%d", i)
+		l := IndexedName("l", i)
+		r := IndexedName("r", i)
 		d.Left = append(d.Left, t.Node(l))
 		d.Right = append(d.Right, t.Node(r))
 		aspec := LinkSpec{

@@ -11,31 +11,37 @@ const (
 )
 
 // Tap observes packets at a link. Taps must not retain the packet.
+// Attach taps before the simulation runs: packets already in flight on an
+// untapped link ride a condensed event path that skips the departure
+// notification.
 type Tap func(ev TapEvent, now float64, p *Packet)
 
 // Link is a simplex link: a transmitter serializing packets at Bandwidth
 // bits/sec feeding a fixed propagation delay, with a queue discipline
 // absorbing bursts while the transmitter is busy.
+//
+// The transmitter is tracked as the time it next falls idle (freeAt)
+// rather than with a busy flag, so a packet arriving at an idle, untapped
+// link costs a single scheduler event (its delivery); the
+// serialization-done event exists only where something observes it — a
+// tap needing TapDepart timing, or a backlog needing a drain.
 type Link struct {
-	net   *Network
-	to    *Node
-	bw    float64 // bits per second
-	delay float64 // propagation delay, seconds
-	queue Queue
-	busy  bool
-	taps  []Tap
-
-	// Prebuilt callbacks for AtArg scheduling: two events fire per packet
-	// hop (serialization done, propagation done), so building the
-	// closures once here keeps the per-packet path allocation-free.
-	txDoneFn  func(any)
-	deliverFn func(any)
+	net     *Network
+	to      *Node
+	bw      float64 // bits per second
+	delay   float64 // propagation delay, seconds
+	queue   Queue
+	freeAt  float64 // when the transmitter is next idle
+	drainOn bool    // a drain/txDone event is pending
+	taps    []Tap
 }
 
-func (l *Link) initCallbacks() {
-	l.txDoneFn = func(x any) { l.txDone(x.(*Packet)) }
-	l.deliverFn = func(x any) { l.to.receive(x.(*Packet)) }
-}
+// Per-hop scheduler callbacks are shared package-level functions — the
+// packet carries its current link — so the per-packet path builds no
+// closures at all, not even per link at setup.
+func pktTxDoneFn(x any)  { p := x.(*Packet); p.link.txDone(p) }
+func pktDeliverFn(x any) { p := x.(*Packet); p.link.to.receive(p) }
+func linkDrainFn(x any)  { x.(*Link).drain() }
 
 // Bandwidth returns the link rate in bits per second.
 func (l *Link) Bandwidth() float64 { return l.bw }
@@ -58,8 +64,10 @@ func (l *Link) SetBandwidth(bw float64) {
 func (l *Link) Delay() float64 { return l.delay }
 
 // SetDelay changes the propagation delay at the current simulated time.
-// Packets already on the wire keep their old arrival times, so a delay
-// decrease never reorders in-flight packets relative to each other.
+// The delay is sampled when a packet starts serializing (identically on
+// tapped and untapped links), so packets already serializing or on the
+// wire keep their old arrival times; a large decrease can let later
+// packets overtake them, as on a real route change.
 func (l *Link) SetDelay(d float64) {
 	if d < 0 {
 		panic("netsim: link delay must be non-negative")
@@ -87,29 +95,68 @@ func (l *Link) emit(ev TapEvent, p *Packet) {
 // starts serializing immediately; otherwise it is queued, and may be
 // dropped by the discipline. Dropped packets are returned to the pool.
 func (l *Link) Send(p *Packet) {
+	p.link = l
 	l.emit(TapArrive, p)
-	if !l.busy {
-		l.busy = true
-		l.startTx(p)
+	now := l.net.sched.Now()
+	if now >= l.freeAt && !l.drainOn {
+		// Idle transmitter: serialize immediately. The delivery time is
+		// fixed now, when serialization starts — on both paths, so
+		// attaching a tap never shifts simulation timing.
+		txTime := float64(p.Size) * 8 / l.bw
+		l.freeAt = now + txTime
+		p.deliverAt = l.freeAt + l.delay
+		if len(l.taps) == 0 {
+			// Nothing observes the departure: one event door-to-door.
+			l.net.sched.AtArg(p.deliverAt, pktDeliverFn, p)
+			return
+		}
+		l.drainOn = true
+		l.net.sched.AtArg(l.freeAt, pktTxDoneFn, p)
 		return
 	}
 	if !l.queue.Enqueue(p) {
 		l.emit(TapDrop, p)
 		l.net.pool.Put(p)
+		return
+	}
+	if !l.drainOn {
+		// The transmitter is busy with a shortcut packet: arm a drain at
+		// the moment it falls idle.
+		l.drainOn = true
+		l.net.sched.AtArg(l.freeAt, linkDrainFn, l)
 	}
 }
 
-func (l *Link) startTx(p *Packet) {
-	txTime := float64(p.Size) * 8 / l.bw
-	l.net.sched.AfterArg(txTime, l.txDoneFn, p)
-}
-
+// txDone fires when a packet on a tapped link finishes serializing.
 func (l *Link) txDone(p *Packet) {
 	l.emit(TapDepart, p)
-	l.net.sched.AfterArg(l.delay, l.deliverFn, p)
-	if next := l.queue.Dequeue(); next != nil {
-		l.startTx(next)
-	} else {
-		l.busy = false
+	l.net.sched.AtArg(p.deliverAt, pktDeliverFn, p)
+	l.drainOn = false
+	l.drain()
+}
+
+// drain starts serializing the queue head once the transmitter is idle,
+// keeping exactly one pending drain/txDone event while a backlog exists.
+func (l *Link) drain() {
+	l.drainOn = false
+	next := l.queue.Dequeue()
+	if next == nil {
+		return
 	}
+	now := l.net.sched.Now()
+	txTime := float64(next.Size) * 8 / l.bw
+	l.freeAt = now + txTime
+	next.deliverAt = l.freeAt + l.delay
+	if len(l.taps) == 0 {
+		l.net.sched.AtArg(next.deliverAt, pktDeliverFn, next)
+		if l.queue.Len() > 0 {
+			// More backlog: keep draining. Otherwise Send re-arms on the
+			// next enqueue that finds the transmitter busy.
+			l.drainOn = true
+			l.net.sched.AtArg(l.freeAt, linkDrainFn, l)
+		}
+		return
+	}
+	l.drainOn = true
+	l.net.sched.AtArg(l.freeAt, pktTxDoneFn, next)
 }

@@ -35,8 +35,9 @@ func NewFlowMonitor(binWidth, start float64) *FlowMonitor {
 }
 
 // Register preallocates flow state for flow IDs 0..flows-1 with capacity
-// for nbins bins each. Unregistered flows still work — their state grows
-// on first sight — but registration keeps the packet path allocation-free.
+// for nbins bins each, carving every flow's series out of one backing
+// slab. Unregistered flows still work — their state grows on first
+// sight — but registration keeps the packet path allocation-free.
 func (m *FlowMonitor) Register(flows, nbins int) {
 	if flows <= len(m.flows) {
 		flows = len(m.flows)
@@ -47,11 +48,21 @@ func (m *FlowMonitor) Register(flows, nbins int) {
 	if nbins < 1 {
 		nbins = 1
 	}
+	need := 0
 	for i := range m.flows {
 		if cap(m.flows[i].bins) < nbins {
-			bins := make([]float64, len(m.flows[i].bins), nbins)
-			copy(bins, m.flows[i].bins)
-			m.flows[i].bins = bins
+			need++
+		}
+	}
+	slab := make([]float64, need*nbins)
+	off := 0
+	for i := range m.flows {
+		f := &m.flows[i]
+		if cap(f.bins) < nbins {
+			bins := slab[off : off+len(f.bins) : off+nbins]
+			copy(bins, f.bins)
+			f.bins = bins
+			off += nbins
 		}
 	}
 }
@@ -98,11 +109,21 @@ func (m *FlowMonitor) Start() float64 { return m.start }
 
 // Series returns the per-bin byte counts for a flow, padded to nbins.
 func (m *FlowMonitor) Series(flow, nbins int) []float64 {
-	out := make([]float64, nbins)
+	return m.SeriesInto(make([]float64, nbins), flow)
+}
+
+// SeriesInto fills dst with the flow's per-bin byte counts (zero-padding
+// the tail) and returns it — the allocation-free harvest for callers that
+// slab their result series.
+func (m *FlowMonitor) SeriesInto(dst []float64, flow int) []float64 {
+	n := 0
 	if flow < len(m.flows) {
-		copy(out, m.flows[flow].bins)
+		n = copy(dst, m.flows[flow].bins)
 	}
-	return out
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // Rate returns the flow's series converted to bytes/sec, padded to nbins.
@@ -169,14 +190,17 @@ type QueueMonitor struct {
 	q      Queue
 	period float64
 	end    float64
-	tickFn func(any) // prebuilt once; each tick reschedules via AfterArg
 }
+
+// qmonTickFn is the shared scheduler callback: the monitor rides in the
+// arg slot, so sampling never builds a closure.
+func qmonTickFn(x any) { x.(*QueueMonitor).tick() }
 
 // NewQueueMonitor starts sampling q every period seconds until the
 // scheduler stops running or end is reached (end ≤ 0 means forever). The
-// tick callback is built once and rescheduled through the arg-carrying
-// event path, so steady-state sampling is allocation-free; with a known
-// end the sample buffer is preallocated too.
+// ticks ride the arg-carrying event path, so steady-state sampling is
+// allocation-free; with a known end the sample buffer is preallocated
+// too.
 func NewQueueMonitor(nw *Network, q Queue, period, end float64) *QueueMonitor {
 	if period <= 0 {
 		panic("netsim: QueueMonitor period must be positive")
@@ -185,18 +209,17 @@ func NewQueueMonitor(nw *Network, q Queue, period, end float64) *QueueMonitor {
 	if end > 0 {
 		m.Samples = make([]QueueSample, 0, int(end/period)+1)
 	}
-	m.tickFn = m.tick
-	nw.Scheduler().AfterArg(period, m.tickFn, nil)
+	nw.Scheduler().AfterArg(period, qmonTickFn, m)
 	return m
 }
 
-func (m *QueueMonitor) tick(any) {
+func (m *QueueMonitor) tick() {
 	now := m.nw.Now()
 	if m.end > 0 && now > m.end {
 		return
 	}
 	m.Samples = append(m.Samples, QueueSample{Time: now, Len: m.q.Len()})
-	m.nw.Scheduler().AfterArg(m.period, m.tickFn, nil)
+	m.nw.Scheduler().AfterArg(m.period, qmonTickFn, m)
 }
 
 // Mean returns the average sampled queue length in packets.

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Builder names are interned process-wide: sweep cells rebuild identical
+// topologies thousands of times, so the handful of distinct node and link
+// names is formatted once and reused instead of being reallocated per
+// cell. The maps only ever grow by the number of distinct names.
+var (
+	namesMu   sync.RWMutex
+	idxNames  = map[idxNameKey]string{}
+	subNames  = map[subNameKey]string{}
+	pairNames = map[pairNameKey]string{}
+)
+
+type idxNameKey struct {
+	prefix string
+	i      int
+}
+
+type subNameKey struct {
+	prefix string
+	a, b   int
+}
+
+type pairNameKey struct{ from, to string }
+
+// IndexedName returns prefix immediately followed by decimal i ("l7"),
+// cached so repeated topology builds share one string per distinct name.
+func IndexedName(prefix string, i int) string {
+	k := idxNameKey{prefix, i}
+	namesMu.RLock()
+	s, ok := idxNames[k]
+	namesMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = prefix + strconv.Itoa(i)
+	namesMu.Lock()
+	idxNames[k] = s
+	namesMu.Unlock()
+	return s
+}
+
+// SubName returns prefix + a + "." + b ("cs1.2"), cached like IndexedName.
+func SubName(prefix string, a, b int) string {
+	k := subNameKey{prefix, a, b}
+	namesMu.RLock()
+	s, ok := subNames[k]
+	namesMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = prefix + strconv.Itoa(a) + "." + strconv.Itoa(b)
+	namesMu.Lock()
+	subNames[k] = s
+	namesMu.Unlock()
+	return s
+}
+
+// linkName is the canonical (cached) name of a simplex link: "from->to".
+func linkName(from, to string) string {
+	k := pairNameKey{from, to}
+	namesMu.RLock()
+	s, ok := pairNames[k]
+	namesMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = from + "->" + to
+	namesMu.Lock()
+	pairNames[k] = s
+	namesMu.Unlock()
+	return s
+}

@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"tfrc/internal/sim"
 )
@@ -14,6 +14,22 @@ type Agent interface {
 	Recv(p *Packet)
 }
 
+// adjacency is one outbound link of a node, kept sorted by neighbor ID so
+// route computation visits neighbors deterministically without building
+// and sorting scratch slices.
+type adjacency struct {
+	to NodeID
+	l  *Link
+}
+
+// portBinding is one (port, agent) binding. Nodes bind a handful of
+// ports, so a linear scan over a slice beats a map on both the delivery
+// hot path and setup allocations.
+type portBinding struct {
+	port int
+	a    Agent
+}
+
 // Node is a network element: hosts run agents on ports, routers simply
 // forward. A packet addressed to the node is delivered to the agent bound
 // to its destination port; anything else is forwarded along the static
@@ -21,28 +37,42 @@ type Agent interface {
 type Node struct {
 	ID    NodeID
 	net   *Network
-	links map[NodeID]*Link // neighbor → outbound link
-	route []*Link          // destination NodeID → next-hop link
-	ports map[int]Agent
+	links []adjacency // sorted by neighbor ID
+	route []*Link     // destination NodeID → next-hop link
+	ports []portBinding
 }
 
 // Attach binds an agent to a local port.
 func (n *Node) Attach(port int, a Agent) {
-	if _, dup := n.ports[port]; dup {
-		panic(fmt.Sprintf("netsim: node %d port %d already bound", n.ID, port))
+	for _, b := range n.ports {
+		if b.port == port {
+			panic(fmt.Sprintf("netsim: node %d port %d already bound", n.ID, port))
+		}
 	}
-	n.ports[port] = a
+	n.ports = append(n.ports, portBinding{port: port, a: a})
 }
 
 // Detach unbinds a port. Detaching an unbound port is a no-op, so callers
 // recycling ports (e.g. short-flow generators) need not track liveness.
 func (n *Node) Detach(port int) {
-	delete(n.ports, port)
+	for i, b := range n.ports {
+		if b.port == port {
+			n.ports = append(n.ports[:i], n.ports[i+1:]...)
+			return
+		}
+	}
 }
 
 // LinkTo returns the outbound link to a directly connected neighbor, or
 // nil if the nodes are not adjacent.
-func (n *Node) LinkTo(neighbor *Node) *Link { return n.links[neighbor.ID] }
+func (n *Node) LinkTo(neighbor *Node) *Link {
+	for _, ad := range n.links {
+		if ad.to == neighbor.ID {
+			return ad.l
+		}
+	}
+	return nil
+}
 
 // Send injects a packet originated by a local agent into the network.
 func (n *Node) Send(p *Packet) {
@@ -63,13 +93,14 @@ func (n *Node) receive(p *Packet) {
 }
 
 func (n *Node) deliver(p *Packet) {
-	a := n.ports[p.DstPort]
-	if a == nil {
-		// No consumer: silently discard, as a real host would.
-		n.net.pool.Put(p)
-		return
+	for _, b := range n.ports {
+		if b.port == p.DstPort {
+			b.a.Recv(p)
+			return
+		}
 	}
-	a.Recv(p)
+	// No consumer: silently discard, as a real host would.
+	n.net.pool.Put(p)
 }
 
 const maxHops = 64
@@ -85,17 +116,93 @@ func (n *Node) forward(p *Packet) {
 	n.route[p.Dst].Send(p)
 }
 
+const (
+	nodeChunkSize = 32
+	linkChunkSize = 64
+	ringBlockSize = 4096
+)
+
+// bfsHop is BuildRoutes scratch: a frontier node plus the first hop that
+// reached it.
+type bfsHop struct {
+	node  *Node
+	first *Link
+}
+
 // Network owns the topology, the packet pool, and the scheduler binding.
+//
+// All working memory — node and link structs, route tables, queue rings,
+// packets, and route-computation scratch — is slab-allocated on the
+// Network and survives Release/New cycles through a shared pool, so sweep
+// cells that build thousands of short-lived networks stop paying setup
+// allocations after the first few.
 type Network struct {
 	sched      *sim.Scheduler
 	pool       Pool
 	nodes      []*Node
 	nominalPkt int // mean packet size (bytes) for capacity-aware queues
+
+	nodeChunks [][]Node
+	nodesUsed  int
+	linkChunks [][]Link
+	linksUsed  int
+	dtChunks   [][]DropTail
+	dtUsed     int
+
+	routeSlab []*Link // n*n next-hop table, partitioned per node
+
+	ringBlocks [][]*Packet // arena for queue ring buffers
+	ringBlock  int
+	ringOff    int
+
+	visited []bool   // BuildRoutes scratch
+	bfsQ    []bfsHop // BuildRoutes scratch
 }
 
-// New returns an empty network driven by the given scheduler.
+// netMem recycles Network structs (and all their slab storage) across
+// instances; see Release.
+var netMem = sync.Pool{New: func() any { return new(Network) }}
+
+// New returns an empty network driven by the given scheduler. Its backing
+// memory may be recycled from a previously Released network.
 func New(sched *sim.Scheduler) *Network {
-	return &Network{sched: sched, nominalPkt: 1000}
+	nw := netMem.Get().(*Network)
+	nw.sched = sched
+	nw.nominalPkt = 1000
+	nw.nodes = nw.nodes[:0]
+	nw.nodesUsed = 0
+	nw.linksUsed = 0
+	nw.dtUsed = 0
+	nw.ringBlock = 0
+	nw.ringOff = 0
+	nw.pool.reset()
+	return nw
+}
+
+// Release returns the network's backing memory to a shared pool for reuse
+// by a later New. The network, its nodes, links, queues, and every packet
+// drawn from its pool must not be used afterwards. Calling Release is
+// optional — an unreleased network is simply collected by the GC.
+//
+// Outward references are scrubbed so a pooled network does not pin the
+// previous scenario's object graph (agents bound to ports, tap closures
+// over monitors and their series) while it sits in the pool.
+func (nw *Network) Release() {
+	nw.sched = nil
+	for i := 0; i < nw.nodesUsed; i++ {
+		n := &nw.nodeChunks[i/nodeChunkSize][i%nodeChunkSize]
+		clear(n.ports[:cap(n.ports)])
+		n.ports = n.ports[:0]
+		n.route = nil
+	}
+	for i := 0; i < nw.linksUsed; i++ {
+		l := &nw.linkChunks[i/linkChunkSize][i%linkChunkSize]
+		clear(l.taps[:cap(l.taps)])
+		l.taps = l.taps[:0]
+		l.queue = nil
+	}
+	clear(nw.routeSlab)
+	netMem.Put(nw)
 }
 
 // SetNominalPacketSize sets the mean packet size (bytes) used to convert
@@ -119,14 +226,61 @@ func (nw *Network) Now() float64 { return nw.sched.Now() }
 // Pool returns the shared packet pool.
 func (nw *Network) Pool() *Pool { return &nw.pool }
 
+// allocNode hands out the next node struct from the chunk slabs,
+// preserving any slice capacity a previous life of the struct grew.
+func (nw *Network) allocNode() *Node {
+	ci, off := nw.nodesUsed/nodeChunkSize, nw.nodesUsed%nodeChunkSize
+	if ci == len(nw.nodeChunks) {
+		nw.nodeChunks = append(nw.nodeChunks, make([]Node, nodeChunkSize))
+	}
+	nw.nodesUsed++
+	n := &nw.nodeChunks[ci][off]
+	n.links = n.links[:0]
+	n.ports = n.ports[:0]
+	n.route = nil
+	return n
+}
+
+// allocLink hands out the next link struct from the chunk slabs.
+func (nw *Network) allocLink() *Link {
+	ci, off := nw.linksUsed/linkChunkSize, nw.linksUsed%linkChunkSize
+	if ci == len(nw.linkChunks) {
+		nw.linkChunks = append(nw.linkChunks, make([]Link, linkChunkSize))
+	}
+	nw.linksUsed++
+	l := &nw.linkChunks[ci][off]
+	*l = Link{taps: l.taps[:0]}
+	return l
+}
+
+// pktRing carves a packet ring buffer of exactly n slots out of the
+// network's arena blocks. Oversized requests fall back to a private
+// allocation.
+func (nw *Network) pktRing(n int) []*Packet {
+	if n > ringBlockSize {
+		return make([]*Packet, n)
+	}
+	if len(nw.ringBlocks) == 0 {
+		nw.ringBlocks = append(nw.ringBlocks, make([]*Packet, ringBlockSize))
+	}
+	if ringBlockSize-nw.ringOff < n {
+		nw.ringBlock++
+		nw.ringOff = 0
+		if nw.ringBlock == len(nw.ringBlocks) {
+			nw.ringBlocks = append(nw.ringBlocks, make([]*Packet, ringBlockSize))
+		}
+	}
+	s := nw.ringBlocks[nw.ringBlock][nw.ringOff : nw.ringOff+n : nw.ringOff+n]
+	nw.ringOff += n
+	clear(s)
+	return s
+}
+
 // NewNode adds a node to the topology.
 func (nw *Network) NewNode() *Node {
-	n := &Node{
-		ID:    NodeID(len(nw.nodes)),
-		net:   nw,
-		links: make(map[NodeID]*Link),
-		ports: make(map[int]Agent),
-	}
+	n := nw.allocNode()
+	n.ID = NodeID(len(nw.nodes))
+	n.net = nw
 	nw.nodes = append(nw.nodes, n)
 	return n
 }
@@ -146,20 +300,38 @@ func (nw *Network) Connect(a, b *Node, bw, delay float64, mkQueue func() Queue) 
 	return nw.ConnectAsym(a, b, bw, delay, mkQueue, bw, delay, mkQueue)
 }
 
+// insertAdj inserts an adjacency keeping the slice sorted by neighbor ID.
+func insertAdj(adj []adjacency, to NodeID, l *Link) []adjacency {
+	i := len(adj)
+	for i > 0 && adj[i-1].to > to {
+		i--
+	}
+	adj = append(adj, adjacency{})
+	copy(adj[i+1:], adj[i:])
+	adj[i] = adjacency{to: to, l: l}
+	return adj
+}
+
 // ConnectAsym joins a and b with per-direction bandwidth, delay, and
 // queue discipline: abBW/abDelay/mkABQueue shape the a→b direction,
 // baBW/baDelay/mkBAQueue the b→a direction. Call BuildRoutes after the
 // topology is complete.
 func (nw *Network) ConnectAsym(a, b *Node, abBW, abDelay float64, mkABQueue func() Queue, baBW, baDelay float64, mkBAQueue func() Queue) (ab, ba *Link) {
+	return nw.connectAsymQueues(a, b, abBW, abDelay, mkABQueue(), baBW, baDelay, mkBAQueue())
+}
+
+// connectAsymQueues is ConnectAsym with the queues already constructed —
+// the closure-free path the topology layer uses.
+func (nw *Network) connectAsymQueues(a, b *Node, abBW, abDelay float64, abQueue Queue, baBW, baDelay float64, baQueue Queue) (ab, ba *Link) {
 	if abBW <= 0 || abDelay < 0 || baBW <= 0 || baDelay < 0 {
 		panic("netsim: link needs positive bandwidth and non-negative delay")
 	}
-	ab = &Link{net: nw, to: b, bw: abBW, delay: abDelay, queue: mkABQueue()}
-	ba = &Link{net: nw, to: a, bw: baBW, delay: baDelay, queue: mkBAQueue()}
-	ab.initCallbacks()
-	ba.initCallbacks()
-	a.links[b.ID] = ab
-	b.links[a.ID] = ba
+	ab = nw.allocLink()
+	ab.net, ab.to, ab.bw, ab.delay, ab.queue = nw, b, abBW, abDelay, abQueue
+	ba = nw.allocLink()
+	ba.net, ba.to, ba.bw, ba.delay, ba.queue = nw, a, baBW, baDelay, baQueue
+	a.links = insertAdj(a.links, b.ID, ab)
+	b.links = insertAdj(b.links, a.ID, ba)
 	// Let capacity-aware disciplines know their drain rate.
 	for _, l := range []*Link{ab, ba} {
 		if s, ok := l.queue.(ptcSetter); ok {
@@ -171,46 +343,47 @@ func (nw *Network) ConnectAsym(a, b *Node, abBW, abDelay float64, mkABQueue func
 
 // BuildRoutes computes shortest-path (hop count) next-hop tables for every
 // node with breadth-first search. It must be called after the last Connect
-// and panics if the topology is disconnected.
+// and panics if the topology is disconnected. Route tables live in one
+// n×n slab and the BFS scratch is reused across sources (and across
+// Release/New cycles), so recomputing routes costs no per-source
+// allocations.
 func (nw *Network) BuildRoutes() {
 	n := len(nw.nodes)
-	neighbors := func(nd *Node) []NodeID {
-		ids := make([]NodeID, 0, len(nd.links))
-		for id := range nd.links {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		return ids
+	if cap(nw.routeSlab) < n*n {
+		nw.routeSlab = make([]*Link, n*n)
+	}
+	slab := nw.routeSlab[:n*n]
+	clear(slab)
+	if cap(nw.visited) < n {
+		nw.visited = make([]bool, n)
 	}
 	for _, src := range nw.nodes {
-		src.route = make([]*Link, n)
+		src.route = slab[int(src.ID)*n : (int(src.ID)+1)*n]
 		// BFS from src recording the first hop toward each destination.
-		// Neighbors are visited in sorted order so equal-cost ties break
-		// deterministically.
-		visited := make([]bool, n)
+		// Adjacencies are kept sorted by neighbor ID so equal-cost ties
+		// break deterministically.
+		visited := nw.visited[:n]
+		for i := range visited {
+			visited[i] = false
+		}
 		visited[src.ID] = true
-		type hop struct {
-			node  *Node
-			first *Link
+		queue := nw.bfsQ[:0]
+		for _, ad := range src.links {
+			visited[ad.to] = true
+			src.route[ad.to] = ad.l
+			queue = append(queue, bfsHop{nw.nodes[ad.to], ad.l})
 		}
-		queue := make([]hop, 0, n)
-		for _, nbr := range neighbors(src) {
-			l := src.links[nbr]
-			visited[nbr] = true
-			src.route[nbr] = l
-			queue = append(queue, hop{nw.nodes[nbr], l})
-		}
-		for len(queue) > 0 {
-			h := queue[0]
-			queue = queue[1:]
-			for _, nbr := range neighbors(h.node) {
-				if !visited[nbr] {
-					visited[nbr] = true
-					src.route[nbr] = h.first
-					queue = append(queue, hop{nw.nodes[nbr], h.first})
+		for qi := 0; qi < len(queue); qi++ {
+			h := queue[qi]
+			for _, ad := range h.node.links {
+				if !visited[ad.to] {
+					visited[ad.to] = true
+					src.route[ad.to] = h.first
+					queue = append(queue, bfsHop{nw.nodes[ad.to], h.first})
 				}
 			}
 		}
+		nw.bfsQ = queue[:0]
 		for id, ok := range visited {
 			if !ok {
 				panic(fmt.Sprintf("netsim: node %d unreachable from node %d", id, src.ID))
@@ -224,6 +397,7 @@ func (nw *Network) BuildRoutes() {
 func (nw *Network) NewPacket() *Packet {
 	p := nw.pool.Get()
 	p.SendTime = nw.sched.Now()
+	p.net = nw
 	return p
 }
 

@@ -87,7 +87,18 @@ type Packet struct {
 	EchoSeq       int64   // sequence of the most recent data packet
 	EchoDelay     float64 // time the echoed packet spent at the receiver
 
-	hops int // forwarding count, guards against routing loops
+	hops      int      // forwarding count, guards against routing loops
+	link      *Link    // link currently carrying the packet (set by Link.Send)
+	net       *Network // owning network (set by Network.NewPacket)
+	deliverAt float64  // delivery time, fixed when serialization starts
+}
+
+// SendFn is a shared scheduler callback that injects the packet at its
+// source node. Agents that schedule (possibly jittered) departures pass
+// it with the packet as the event arg, so pacing builds no closures.
+func SendFn(x any) {
+	p := x.(*Packet)
+	p.net.nodes[p.Src].Send(p)
 }
 
 // reset clears a packet for reuse.
@@ -95,22 +106,49 @@ func (p *Packet) reset() {
 	*p = Packet{}
 }
 
+// pktChunkSize is how many packets the pool allocates at once: the
+// steady-state working set of a scenario is covered by a handful of chunk
+// allocations instead of one per packet.
+const pktChunkSize = 64
+
 // Pool recycles packets. It is deliberately not safe for concurrent use:
 // the simulator is single-threaded and the pool sits on the hot path.
+// Packets are allocated in chunks that the owning Network keeps across
+// Release/New cycles, so a recycled network re-fills its free list
+// without touching the allocator.
 type Pool struct {
-	free []*Packet
-	live int
+	free   []*Packet
+	chunks [][]Packet
+	live   int
+}
+
+// reset rebuilds the free list from the pool's chunks, reclaiming any
+// packet still checked out (used when a Network is recycled).
+func (pl *Pool) reset() {
+	pl.live = 0
+	pl.free = pl.free[:0]
+	for _, c := range pl.chunks {
+		clear(c)
+		for i := range c {
+			pl.free = append(pl.free, &c[i])
+		}
+	}
 }
 
 // Get returns a zeroed packet.
 func (pl *Pool) Get() *Packet {
 	pl.live++
-	if n := len(pl.free); n > 0 {
-		p := pl.free[n-1]
-		pl.free = pl.free[:n-1]
-		return p
+	if len(pl.free) == 0 {
+		c := make([]Packet, pktChunkSize)
+		pl.chunks = append(pl.chunks, c)
+		for i := range c {
+			pl.free = append(pl.free, &c[i])
+		}
 	}
-	return new(Packet)
+	n := len(pl.free) - 1
+	p := pl.free[n]
+	pl.free = pl.free[:n]
+	return p
 }
 
 // Put returns a packet to the pool.

@@ -71,6 +71,27 @@ func NewDropTail(limit int) *DropTail {
 	return &DropTail{fifo: newFIFO(limit), limit: limit}
 }
 
+// newDropTail is the arena-backed variant used by the topology layer:
+// the struct comes from the network's chunk slabs and the ring buffer
+// from its packet-pointer arena, both recycled across Release/New.
+func (nw *Network) newDropTail(limit int) *DropTail {
+	if limit < 1 {
+		panic("netsim: DropTail limit must be ≥ 1")
+	}
+	ci, off := nw.dtUsed/linkChunkSize, nw.dtUsed%linkChunkSize
+	if ci == len(nw.dtChunks) {
+		nw.dtChunks = append(nw.dtChunks, make([]DropTail, linkChunkSize))
+	}
+	nw.dtUsed++
+	q := &nw.dtChunks[ci][off]
+	n := limit
+	if n < 8 {
+		n = 8
+	}
+	*q = DropTail{fifo: fifo{buf: nw.pktRing(n)}, limit: limit}
+	return q
+}
+
 // Enqueue implements Queue.
 func (q *DropTail) Enqueue(p *Packet) bool {
 	if q.n >= q.limit {

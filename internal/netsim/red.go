@@ -60,9 +60,9 @@ type RED struct {
 	Marked int
 }
 
-// NewRED returns a RED queue. now supplies the current simulated time and
-// rng drives the early-drop coin flips.
-func NewRED(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
+// newREDNoBuf validates cfg and builds a RED queue without its ring
+// buffer; the caller supplies one.
+func newREDNoBuf(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
 	if cfg.Limit < 1 {
 		panic("netsim: RED limit must be ≥ 1")
 	}
@@ -72,13 +72,28 @@ func NewRED(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
 	if cfg.Wq <= 0 || cfg.Wq > 1 {
 		panic("netsim: RED Wq must be in (0, 1]")
 	}
-	return &RED{
-		fifo: newFIFO(cfg.Limit),
-		cfg:  cfg,
-		rng:  rng,
-		now:  now,
-		idle: true,
+	return &RED{cfg: cfg, rng: rng, now: now, idle: true}
+}
+
+// NewRED returns a RED queue. now supplies the current simulated time and
+// rng drives the early-drop coin flips.
+func NewRED(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
+	q := newREDNoBuf(cfg, now, rng)
+	q.fifo = newFIFO(cfg.Limit)
+	return q
+}
+
+// newRED is the arena-backed variant used by the topology layer: the
+// ring buffer comes from the network's packet-pointer arena, recycled
+// across Release/New.
+func (nw *Network) newRED(cfg REDConfig, rng *sim.Rand) *RED {
+	q := newREDNoBuf(cfg, nw.sched.Now, rng)
+	n := cfg.Limit
+	if n < 8 {
+		n = 8
 	}
+	q.fifo = fifo{buf: nw.pktRing(n)}
+	return q
 }
 
 // SetPTC informs the queue of the outbound link capacity in packets per

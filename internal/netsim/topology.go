@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"tfrc/internal/sim"
 )
@@ -29,9 +30,6 @@ type LinkChange struct {
 	Delay     float64 // seconds; 0 → unchanged
 }
 
-// linkName is the canonical name of a simplex link.
-func linkName(from, to string) string { return from + "->" + to }
-
 // Topology declaratively builds a Network: named nodes, links with
 // per-direction bandwidth/delay/queue, and time-varying link schedules.
 // Declaration order is construction order, so two topologies declared
@@ -48,17 +46,39 @@ type Topology struct {
 	built     bool
 }
 
+// topoMem recycles Topology structs (keeping their name-map buckets)
+// across instances; see Release.
+var topoMem = sync.Pool{New: func() any {
+	return &Topology{
+		nodes: make(map[string]*Node),
+		links: make(map[string]*Link),
+	}
+}}
+
 // NewTopology returns an empty topology on a fresh network bound to
 // sched. rng drives the early-drop decisions of any RED queues declared
 // via LinkSpec; it may be nil if no such queue is declared.
 func NewTopology(sched *sim.Scheduler, rng *sim.Rand) *Topology {
-	return &Topology{
-		nw:    New(sched),
-		sched: sched,
-		rng:   rng,
-		nodes: make(map[string]*Node),
-		links: make(map[string]*Link),
-	}
+	t := topoMem.Get().(*Topology)
+	t.nw = New(sched)
+	t.sched = sched
+	t.rng = rng
+	clear(t.nodes)
+	clear(t.links)
+	t.schedules = t.schedules[:0]
+	t.built = false
+	return t
+}
+
+// Release returns the topology's builder state (its name maps) to a
+// shared pool for reuse by a later NewTopology. It does not release the
+// underlying network or scheduler — the caller owns those. The topology
+// must not be used afterwards.
+func (t *Topology) Release() {
+	t.nw = nil
+	t.sched = nil
+	t.rng = nil
+	topoMem.Put(t)
 }
 
 // Network returns the underlying network.
@@ -103,9 +123,12 @@ func (t *Topology) LinkAsym(a, b string, fwd, rev LinkSpec) (ab, ba *Link) {
 		panic(fmt.Sprintf("netsim: link %q already declared", linkName(a, b)))
 	}
 	na, nb := t.Node(a), t.Node(b)
-	ab, ba = t.nw.ConnectAsym(na, nb,
-		fwd.Bandwidth, fwd.Delay, func() Queue { return t.makeQueue(fwd) },
-		rev.Bandwidth, rev.Delay, func() Queue { return t.makeQueue(rev) })
+	// Queues are built eagerly (a→b first) rather than through mkQueue
+	// closures, keeping the declaration path allocation-free.
+	qab := t.makeQueue(fwd)
+	qba := t.makeQueue(rev)
+	ab, ba = t.nw.connectAsymQueues(na, nb,
+		fwd.Bandwidth, fwd.Delay, qab, rev.Bandwidth, rev.Delay, qba)
 	t.links[linkName(a, b)] = ab
 	t.links[linkName(b, a)] = ba
 	return ab, ba
@@ -119,9 +142,9 @@ func (t *Topology) makeQueue(spec LinkSpec) Queue {
 	case QueueRED:
 		red := spec.RED
 		red.Limit = spec.QueueLimit
-		return NewRED(red, t.sched.Now, t.rng)
+		return t.nw.newRED(red, t.rng)
 	default:
-		return NewDropTail(spec.QueueLimit)
+		return t.nw.newDropTail(spec.QueueLimit)
 	}
 }
 
@@ -246,27 +269,27 @@ func NewParkingLot(sched *sim.Scheduler, cfg ParkingLotConfig, rng *sim.Rand) *P
 		Queue: QueueDropTail, QueueLimit: cfg.AccessQueue,
 	}
 	for s := 0; s <= cfg.Bottlenecks; s++ {
-		pl.Routers = append(pl.Routers, t.Node(fmt.Sprintf("r%d", s)))
+		pl.Routers = append(pl.Routers, t.Node(IndexedName("r", s)))
 	}
 	for s := 0; s < cfg.Bottlenecks; s++ {
-		fwd, _ := t.Link(fmt.Sprintf("r%d", s), fmt.Sprintf("r%d", s+1), bspec)
+		fwd, _ := t.Link(IndexedName("r", s), IndexedName("r", s+1), bspec)
 		pl.Bottlenecks = append(pl.Bottlenecks, fwd)
 	}
 	for i := 0; i < cfg.ThroughPairs; i++ {
-		src := t.Node(fmt.Sprintf("ts%d", i))
-		dst := t.Node(fmt.Sprintf("td%d", i))
-		t.Link(fmt.Sprintf("ts%d", i), "r0", aspec)
-		t.Link(fmt.Sprintf("td%d", i), fmt.Sprintf("r%d", cfg.Bottlenecks), aspec)
+		src := t.Node(IndexedName("ts", i))
+		dst := t.Node(IndexedName("td", i))
+		t.Link(IndexedName("ts", i), "r0", aspec)
+		t.Link(IndexedName("td", i), IndexedName("r", cfg.Bottlenecks), aspec)
 		pl.ThroughSrc = append(pl.ThroughSrc, src)
 		pl.ThroughDst = append(pl.ThroughDst, dst)
 	}
 	for s := 0; s < cfg.Bottlenecks; s++ {
 		var srcs, dsts []*Node
 		for i := 0; i < cfg.CrossPairs; i++ {
-			srcs = append(srcs, t.Node(fmt.Sprintf("cs%d.%d", s, i)))
-			dsts = append(dsts, t.Node(fmt.Sprintf("cd%d.%d", s, i)))
-			t.Link(fmt.Sprintf("cs%d.%d", s, i), fmt.Sprintf("r%d", s), aspec)
-			t.Link(fmt.Sprintf("cd%d.%d", s, i), fmt.Sprintf("r%d", s+1), aspec)
+			srcs = append(srcs, t.Node(SubName("cs", s, i)))
+			dsts = append(dsts, t.Node(SubName("cd", s, i)))
+			t.Link(SubName("cs", s, i), IndexedName("r", s), aspec)
+			t.Link(SubName("cd", s, i), IndexedName("r", s+1), aspec)
 		}
 		pl.CrossSrc = append(pl.CrossSrc, srcs)
 		pl.CrossDst = append(pl.CrossDst, dsts)
@@ -277,7 +300,7 @@ func NewParkingLot(sched *sim.Scheduler, cfg ParkingLotConfig, rng *sim.Rand) *P
 
 // BottleneckName returns the topology name of forward bottleneck s.
 func (pl *ParkingLot) BottleneckName(s int) string {
-	return linkName(fmt.Sprintf("r%d", s), fmt.Sprintf("r%d", s+1))
+	return linkName(IndexedName("r", s), IndexedName("r", s+1))
 }
 
 // ThroughRTT returns the base (zero-queue) round-trip time of a through
@@ -347,8 +370,8 @@ func NewAsymAccess(sched *sim.Scheduler, cfg AsymAccessConfig, rng *sim.Rand) *A
 	down := LinkSpec{Bandwidth: cfg.DownlinkBW, Delay: cfg.AccessDly,
 		Queue: QueueDropTail, QueueLimit: cfg.AccessQueue}
 	for i := 0; i < cfg.Hosts; i++ {
-		l := fmt.Sprintf("l%d", i)
-		r := fmt.Sprintf("r%d", i)
+		l := IndexedName("l", i)
+		r := IndexedName("r", i)
 		d.Left = append(d.Left, t.Node(l))
 		d.Right = append(d.Right, t.Node(r))
 		t.LinkAsym(l, "rl", up, down)

@@ -111,7 +111,7 @@ func TestParkingLotNextHops(t *testing.T) {
 	}
 	// And the reverse direction walks the chain backwards.
 	for s := 3; s > 0; s-- {
-		want := pl.Routers[s].links[pl.Routers[s-1].ID]
+		want := pl.Routers[s].LinkTo(pl.Routers[s-1])
 		if got := pl.Routers[s].route[pl.ThroughSrc[0].ID]; got != want {
 			t.Fatalf("router %d reverse next hop wrong", s)
 		}

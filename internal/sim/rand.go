@@ -17,6 +17,26 @@ func NewRand(seed int64) *Rand {
 	return &Rand{rand.New(rand.NewSource(seed))}
 }
 
+// NewRand returns a deterministic source seeded with seed whose storage
+// is owned by the scheduler: when the scheduler is Released and reused,
+// the generators it handed out are re-seeded and handed out again.
+// Re-seeding fully resets the underlying source, so a recycled generator
+// produces exactly the stream a fresh NewRand(seed) would — scenario
+// cells stay deterministic while the (large) source state stops being
+// reallocated per cell.
+func (s *Scheduler) NewRand(seed int64) *Rand {
+	if s.randUsed < len(s.rands) {
+		r := s.rands[s.randUsed]
+		s.randUsed++
+		r.Seed(seed)
+		return r
+	}
+	r := NewRand(seed)
+	s.rands = append(s.rands, r)
+	s.randUsed = len(s.rands)
+	return r
+}
+
 // Uniform returns a variate uniformly distributed on [lo, hi).
 func (r *Rand) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*r.Float64()

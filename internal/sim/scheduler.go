@@ -1,6 +1,6 @@
 // Package sim provides a deterministic discrete-event simulation engine:
-// an event scheduler with a binary-heap event queue, a simulation clock,
-// cancellable timers, and seeded random-variate helpers.
+// an event scheduler with a flat 4-ary heap event queue, a simulation
+// clock, cancellable timers, and seeded random-variate helpers.
 //
 // The engine is single-threaded by design. Determinism comes from three
 // properties: events fire in (time, insertion-sequence) order, all
@@ -9,32 +9,47 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
-// Event is a callback scheduled to run at a simulated time. Event structs
-// are recycled through the scheduler's free list; callers never hold them
-// directly — At and After hand out generation-checked Handles instead.
-type Event struct {
-	at    float64
-	seq   uint64
-	gen   uint64 // bumped on every recycle; stale Handles don't match
-	index int    // heap index; -1 when not queued
-	fn    func()
-	afn   func(any) // arg-carrying variant, used by the packet hot path
-	arg   any
+// event is one scheduled callback. Events live inline in the scheduler's
+// slot table — callers never hold them; At and After hand out
+// generation-checked Handles carrying the slot index instead.
+type event struct {
+	gen uint64 // bumped on every recycle; stale Handles don't match
+	pos int32  // index into the heap order array; -1 when not queued
+	fn  func()
+	afn func(any) // arg-carrying variant, used by the packet hot path
+	arg any
+}
+
+// entry is one element of the flat 4-ary min-heap. The sort key (time,
+// then insertion sequence for FIFO among equal times) is kept inline so
+// sift comparisons never chase a pointer into the slot table.
+type entry struct {
+	at   float64
+	seq  uint64
+	slot int32
+}
+
+func entryLess(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // Handle refers to one scheduled firing of an event. The zero Handle is
 // inert: Scheduled reports false and Cancel is a no-op. A Handle held
 // across its event's firing or cancellation goes stale — the generation
 // counter guarantees a stale Handle can never cancel the unrelated event
-// that later reuses the same recycled Event struct.
+// that later reuses the same recycled slot.
 type Handle struct {
-	e   *Event
-	gen uint64
+	s    *Scheduler
+	gen  uint64
+	slot int32
 }
 
 // Time returns the simulated time at which the event fires, or 0 for a
@@ -43,107 +58,178 @@ func (h Handle) Time() float64 {
 	if !h.Scheduled() {
 		return 0
 	}
-	return h.e.at
+	return h.s.heap[h.s.slots[h.slot].pos].at
 }
 
 // Scheduled reports whether the event this Handle was issued for is still
 // pending in the queue.
 func (h Handle) Scheduled() bool {
-	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	if h.s == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	e := &h.s.slots[h.slot]
+	return e.gen == h.gen && e.pos >= 0
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Scheduler owns the simulation clock and the pending event queue.
+// Scheduler owns the simulation clock and the pending event queue: a flat
+// 4-ary min-heap of inline entries ordered by (time, sequence), backed by
+// a slot table that gives every pending event a stable index for
+// generation-checked Handles. No interface boxing, no per-event
+// allocation: steady-state scheduling touches only the two slices.
 // The zero value is not ready for use; call NewScheduler.
 type Scheduler struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
+	heap    []entry
+	slots   []event
+	free    []int32 // recycled slot indices
 	stopped bool
-	free    []*Event // recycled Event structs
+
+	rands    []*Rand // generators handed out by NewRand, recycled on reuse
+	randUsed int
 }
 
-// NewScheduler returns a scheduler with the clock at zero.
+// schedMem recycles scheduler backing arrays across instances: sweep
+// cells build thousands of short-lived schedulers, and reusing the grown
+// slices keeps per-cell setup out of the allocator.
+var schedMem = sync.Pool{New: func() any { return new(Scheduler) }}
+
+// NewScheduler returns a scheduler with the clock at zero. Its backing
+// arrays may be recycled from a previously Released scheduler.
 func NewScheduler() *Scheduler {
-	return &Scheduler{queue: make(eventHeap, 0, 1024)}
+	s := schedMem.Get().(*Scheduler)
+	s.now = 0
+	s.seq = 0
+	s.heap = s.heap[:0]
+	s.slots = s.slots[:0]
+	s.free = s.free[:0]
+	s.stopped = false
+	s.randUsed = 0
+	return s
+}
+
+// Release returns the scheduler's backing arrays to a shared pool for
+// reuse by a later NewScheduler. The scheduler (and any Handle issued by
+// it) must not be used afterwards. Calling Release is optional — an
+// unreleased scheduler is simply collected by the GC.
+func (s *Scheduler) Release() {
+	for i := range s.slots {
+		s.slots[i].fn = nil
+		s.slots[i].afn = nil
+		s.slots[i].arg = nil
+	}
+	schedMem.Put(s)
 }
 
 // Now returns the current simulated time in seconds.
 func (s *Scheduler) Now() float64 { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.queue) }
+func (s *Scheduler) Len() int { return len(s.heap) }
 
-func (s *Scheduler) alloc(t float64) *Event {
+// alloc validates t, claims a slot, and pushes its heap entry.
+func (s *Scheduler) alloc(t float64) int32 {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, s.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
-	var e *Event
+	var slot int32
 	if n := len(s.free); n > 0 {
-		e = s.free[n-1]
+		slot = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		e = new(Event)
+		slot = int32(len(s.slots))
+		s.slots = append(s.slots, event{})
 	}
-	e.at = t
-	e.seq = s.seq
+	e := entry{at: t, seq: s.seq, slot: slot}
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap) - 1)
+	return slot
 }
 
-// recycle clears a fired or cancelled event and returns it to the free
+// recycle clears a fired or cancelled slot and returns it to the free
 // list. The generation bump invalidates every Handle issued for it.
-func (s *Scheduler) recycle(e *Event) {
+func (s *Scheduler) recycle(slot int32) {
+	e := &s.slots[slot]
 	e.fn = nil
 	e.afn = nil
 	e.arg = nil
 	e.gen++
-	s.free = append(s.free, e)
+	e.pos = -1
+	s.free = append(s.free, slot)
+}
+
+// siftUp moves heap[i] toward the root until its parent is not larger.
+func (s *Scheduler) siftUp(i int) {
+	e := s.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(&e, &s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.slots[s.heap[i].slot].pos = int32(i)
+		i = p
+	}
+	s.heap[i] = e
+	s.slots[e.slot].pos = int32(i)
+}
+
+// siftDown moves heap[i] toward the leaves until no child is smaller.
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	e := s.heap[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if entryLess(&s.heap[j], &s.heap[m]) {
+				m = j
+			}
+		}
+		if !entryLess(&s.heap[m], &e) {
+			break
+		}
+		s.heap[i] = s.heap[m]
+		s.slots[s.heap[i].slot].pos = int32(i)
+		i = m
+	}
+	s.heap[i] = e
+	s.slots[e.slot].pos = int32(i)
+}
+
+// remove deletes the heap entry at index i, restoring heap order.
+func (s *Scheduler) remove(i int) {
+	last := len(s.heap) - 1
+	if i == last {
+		s.heap = s.heap[:last]
+		return
+	}
+	s.heap[i] = s.heap[last]
+	s.heap = s.heap[:last]
+	s.siftDown(i)
+	if s.slots[s.heap[i].slot].pos == int32(i) && i > 0 {
+		s.siftUp(i)
+	}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a protocol bug rather than a recoverable
 // condition.
 func (s *Scheduler) At(t float64, fn func()) Handle {
-	e := s.alloc(t)
-	e.fn = fn
-	return Handle{e: e, gen: e.gen}
+	slot := s.alloc(t)
+	s.slots[slot].fn = fn
+	return Handle{s: s, slot: slot, gen: s.slots[slot].gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -155,10 +241,11 @@ func (s *Scheduler) After(d float64, fn func()) Handle {
 // closure: callers on hot paths build fn once and pass per-event state
 // through arg, so steady-state scheduling is allocation-free.
 func (s *Scheduler) AtArg(t float64, fn func(any), arg any) Handle {
-	e := s.alloc(t)
+	slot := s.alloc(t)
+	e := &s.slots[slot]
 	e.afn = fn
 	e.arg = arg
-	return Handle{e: e, gen: e.gen}
+	return Handle{s: s, slot: slot, gen: e.gen}
 }
 
 // AfterArg schedules fn(arg) to run d seconds from now.
@@ -173,20 +260,29 @@ func (s *Scheduler) Cancel(h Handle) {
 	if !h.Scheduled() {
 		return
 	}
-	heap.Remove(&s.queue, h.e.index)
-	s.recycle(h.e)
+	s.remove(int(s.slots[h.slot].pos))
+	s.recycle(h.slot)
 }
 
 // Step runs the earliest pending event and advances the clock to it.
 // It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	if last > 0 {
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		s.siftDown(0)
+	} else {
+		s.heap = s.heap[:0]
+	}
+	s.now = top.at
+	e := &s.slots[top.slot]
 	fn, afn, arg := e.fn, e.afn, e.arg
-	s.recycle(e)
+	s.recycle(top.slot)
 	if afn != nil {
 		afn(arg)
 	} else if fn != nil {
@@ -209,7 +305,7 @@ func (s *Scheduler) Run() {
 // and advances the clock to end.
 func (s *Scheduler) RunUntil(end float64) {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= end {
+	for !s.stopped && len(s.heap) > 0 && s.heap[0].at <= end {
 		s.Step()
 	}
 	if !s.stopped && s.now < end {

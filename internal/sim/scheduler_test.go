@@ -329,6 +329,193 @@ func TestRandBernoulli(t *testing.T) {
 	}
 }
 
+// --- Differential test: flat 4-ary heap vs a naive sorted-slice queue ---
+
+// refEvent is one event in the reference implementation: a slice kept
+// sorted by (time, sequence) with linear insertion, too slow to use but
+// trivially correct.
+type refEvent struct {
+	at  float64
+	seq uint64
+	id  int
+}
+
+type refQueue struct {
+	events []refEvent
+	seq    uint64
+}
+
+func (q *refQueue) schedule(at float64, id int) uint64 {
+	e := refEvent{at: at, seq: q.seq, id: id}
+	q.seq++
+	i := len(q.events)
+	for i > 0 {
+		p := q.events[i-1]
+		if p.at < e.at || (p.at == e.at && p.seq < e.seq) {
+			break
+		}
+		i--
+	}
+	q.events = append(q.events, refEvent{})
+	copy(q.events[i+1:], q.events[i:])
+	q.events[i] = e
+	return e.seq
+}
+
+func (q *refQueue) cancel(seq uint64) {
+	for i, e := range q.events {
+		if e.seq == seq {
+			q.events = append(q.events[:i], q.events[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *refQueue) pop() (refEvent, bool) {
+	if len(q.events) == 0 {
+		return refEvent{}, false
+	}
+	e := q.events[0]
+	q.events = q.events[1:]
+	return e, true
+}
+
+// TestSchedulerDifferential drives the flat-heap scheduler and the naive
+// reference through a long randomized interleaving of At, After, Cancel,
+// stale-handle Cancel, and Step, checking that every firing matches the
+// reference in both identity and time, that Scheduled agrees with the
+// reference's liveness, and that stale handles never disturb live events.
+func TestSchedulerDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		ref := &refQueue{}
+
+		type live struct {
+			h   Handle
+			seq uint64
+			id  int
+		}
+		var pending []live
+		var stale []Handle
+		var fired []int
+		nextID := 0
+
+		schedule := func() {
+			at := s.Now() + r.Float64()*10
+			if r.Intn(8) == 0 {
+				at = s.Now() // equal-time events exercise FIFO tie-break
+			}
+			id := nextID
+			nextID++
+			var h Handle
+			if r.Intn(2) == 0 {
+				h = s.At(at, func() { fired = append(fired, id) })
+			} else {
+				h = s.AfterArg(at-s.Now(), func(x any) { fired = append(fired, x.(int)) }, id)
+			}
+			seq := ref.schedule(at, id)
+			pending = append(pending, live{h: h, seq: seq, id: id})
+		}
+
+		step := func() {
+			fired = fired[:0]
+			want, ok := ref.pop()
+			if gotOK := s.Step(); gotOK != ok {
+				t.Fatalf("seed %d: Step = %v, reference = %v", seed, gotOK, ok)
+			}
+			if !ok {
+				return
+			}
+			if len(fired) != 1 || fired[0] != want.id {
+				t.Fatalf("seed %d: fired %v, reference expects id %d", seed, fired, want.id)
+			}
+			if s.Now() != want.at {
+				t.Fatalf("seed %d: clock %v after firing, reference says %v", seed, s.Now(), want.at)
+			}
+			for i, p := range pending {
+				if p.id == want.id {
+					stale = append(stale, p.h)
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
+			}
+		}
+
+		for op := 0; op < 3000; op++ {
+			switch k := r.Intn(10); {
+			case k < 4:
+				schedule()
+			case k < 6 && len(pending) > 0:
+				// Cancel a random live event in both implementations.
+				i := r.Intn(len(pending))
+				p := pending[i]
+				if !p.h.Scheduled() {
+					t.Fatalf("seed %d: live handle id %d reports not Scheduled", seed, p.id)
+				}
+				s.Cancel(p.h)
+				ref.cancel(p.seq)
+				stale = append(stale, p.h)
+				pending = append(pending[:i], pending[i+1:]...)
+			case k < 7 && len(stale) > 0:
+				// A stale Cancel must be a no-op on live state.
+				h := stale[r.Intn(len(stale))]
+				if h.Scheduled() {
+					t.Fatalf("seed %d: stale handle reports Scheduled", seed)
+				}
+				before := s.Len()
+				s.Cancel(h)
+				if s.Len() != before {
+					t.Fatalf("seed %d: stale Cancel changed queue length %d -> %d", seed, before, s.Len())
+				}
+			default:
+				step()
+			}
+			if s.Len() != len(ref.events) {
+				t.Fatalf("seed %d: queue length %d, reference %d", seed, s.Len(), len(ref.events))
+			}
+		}
+		// Drain: the remaining firing order must match exactly.
+		for {
+			want, ok := ref.pop()
+			fired = fired[:0]
+			if gotOK := s.Step(); gotOK != ok {
+				t.Fatalf("seed %d: drain Step = %v, reference = %v", seed, gotOK, ok)
+			}
+			if !ok {
+				break
+			}
+			if len(fired) != 1 || fired[0] != want.id {
+				t.Fatalf("seed %d: drain fired %v, reference expects %d", seed, fired, want.id)
+			}
+		}
+	}
+}
+
+// TestSchedulerReleaseReuse checks that a scheduler built from recycled
+// backing arrays behaves identically to a fresh one.
+func TestSchedulerReleaseReuse(t *testing.T) {
+	run := func() []float64 {
+		s := NewScheduler()
+		var got []float64
+		for _, at := range []float64{3, 1, 2, 1, 5} {
+			at := at
+			s.At(at, func() { got = append(got, at) })
+		}
+		h := s.At(4, func() { got = append(got, -1) })
+		s.Cancel(h)
+		s.Run()
+		s.Release()
+		return got
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); !sort.Float64sAreSorted(again) || len(again) != len(first) {
+			t.Fatalf("recycled scheduler run %d differs: %v vs %v", i, again, first)
+		}
+	}
+}
+
 func BenchmarkSchedulerChurn(b *testing.B) {
 	s := NewScheduler()
 	r := rand.New(rand.NewSource(1))
@@ -341,4 +528,28 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 		s.After(r.Float64(), func() {})
 		s.Step()
 	}
+}
+
+// BenchmarkSchedulerEventsPerSecond measures raw queue throughput on the
+// allocation-free AtArg path with a standing population of 4096 events —
+// the regime the simulator hot path operates in. The headline metric is
+// scheduler events per wall-clock second.
+func BenchmarkSchedulerEventsPerSecond(b *testing.B) {
+	s := NewScheduler()
+	r := rand.New(rand.NewSource(1))
+	delays := make([]float64, 8192)
+	for i := range delays {
+		delays[i] = r.Float64()
+	}
+	fn := func(any) {}
+	for i := 0; i < 4096; i++ {
+		s.AfterArg(delays[i%len(delays)], fn, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AfterArg(delays[i%len(delays)], fn, nil)
+		s.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }

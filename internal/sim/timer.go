@@ -3,32 +3,69 @@ package sim
 // Timer is a restartable one-shot timer bound to a scheduler. It wraps the
 // raw Event API so protocol code can re-arm a single logical timer (an RTO,
 // a feedback timer, a no-feedback timer) without tracking event handles.
-// The zero value is unusable; use NewTimer.
+//
+// A Timer is designed to be embedded by value in agent structs: call Init
+// (or the allocation-free InitArg) before first use. The zero value is
+// unusable until initialized; NewTimer remains for callers that want a
+// standalone timer.
 type Timer struct {
-	sched  *Scheduler
-	fn     func()
-	fireFn func() // t.fire bound once, so re-arming never allocates
-	ev     Handle
+	sched *Scheduler
+	fn    func()
+	afn   func(any) // arg-carrying variant; used when fn is nil
+	arg   any
+	ev    Handle
+}
+
+// timerFireFn is the shared scheduler callback: the timer itself rides in
+// the event's arg slot, so arming a timer never builds a closure.
+func timerFireFn(x any) {
+	t := x.(*Timer)
+	t.ev = Handle{}
+	if t.afn != nil {
+		t.afn(t.arg)
+	} else {
+		t.fn()
+	}
 }
 
 // NewTimer returns a stopped timer that runs fn when it expires.
 func NewTimer(s *Scheduler, fn func()) *Timer {
-	t := &Timer{sched: s, fn: fn}
-	t.fireFn = t.fire
+	t := &Timer{}
+	t.Init(s, fn)
 	return t
+}
+
+// Init prepares an embedded timer that runs fn when it expires.
+func (t *Timer) Init(s *Scheduler, fn func()) {
+	t.sched = s
+	t.fn = fn
+	t.afn = nil
+	t.arg = nil
+	t.ev = Handle{}
+}
+
+// InitArg prepares an embedded timer that runs fn(arg) when it expires.
+// With fn a package-level function and arg the owning agent, a timer costs
+// no allocations at all — neither at Init nor when (re)armed.
+func (t *Timer) InitArg(s *Scheduler, fn func(any), arg any) {
+	t.sched = s
+	t.fn = nil
+	t.afn = fn
+	t.arg = arg
+	t.ev = Handle{}
 }
 
 // Reset (re)arms the timer to fire d seconds from now, cancelling any
 // pending expiry.
 func (t *Timer) Reset(d float64) {
 	t.Stop()
-	t.ev = t.sched.After(d, t.fireFn)
+	t.ev = t.sched.AfterArg(d, timerFireFn, t)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at float64) {
 	t.Stop()
-	t.ev = t.sched.At(at, t.fireFn)
+	t.ev = t.sched.AtArg(at, timerFireFn, t)
 }
 
 // Stop cancels a pending expiry. Stopping an idle timer is a no-op.
@@ -47,9 +84,4 @@ func (t *Timer) Deadline() (float64, bool) {
 		return 0, false
 	}
 	return t.ev.Time(), true
-}
-
-func (t *Timer) fire() {
-	t.ev = Handle{}
-	t.fn()
 }

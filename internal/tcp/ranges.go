@@ -6,8 +6,6 @@
 // FreeBSD-like) and aggressive (Solaris-like) retransmit timers.
 package tcp
 
-import "sort"
-
 // rangeSet is an ordered set of disjoint half-open int64 intervals,
 // used for the sink's received-sequence record and the sender's
 // SACK scoreboard.
@@ -17,6 +15,22 @@ type rangeSet struct {
 
 type srange struct{ start, end int64 }
 
+// searchEndAtLeast returns the index of the first range whose end is ≥ v.
+// Open-coded binary search: sort.Search's closure argument escapes and
+// would put an allocation on every ACK.
+func (s *rangeSet) searchEndAtLeast(v int64) int {
+	lo, hi := 0, len(s.r)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.r[mid].end < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // add inserts [start, end), merging overlapping and adjacent ranges.
 // The merge is done in place: the backing array is reused, so
 // steady-state adds on the ACK path allocate nothing.
@@ -24,7 +38,7 @@ func (s *rangeSet) add(start, end int64) {
 	if start >= end {
 		return
 	}
-	i := sort.Search(len(s.r), func(i int) bool { return s.r[i].end >= start })
+	i := s.searchEndAtLeast(start)
 	j := i
 	for j < len(s.r) && s.r[j].start <= end {
 		if s.r[j].start < start {
@@ -49,13 +63,13 @@ func (s *rangeSet) add(start, end int64) {
 
 // contains reports whether seq is covered.
 func (s *rangeSet) contains(seq int64) bool {
-	i := sort.Search(len(s.r), func(i int) bool { return s.r[i].end > seq })
+	i := s.searchEndAtLeast(seq + 1)
 	return i < len(s.r) && s.r[i].start <= seq
 }
 
 // covered reports whether all of [start, end) is covered.
 func (s *rangeSet) covered(start, end int64) bool {
-	i := sort.Search(len(s.r), func(i int) bool { return s.r[i].end > start })
+	i := s.searchEndAtLeast(start + 1)
 	return i < len(s.r) && s.r[i].start <= start && s.r[i].end >= end
 }
 

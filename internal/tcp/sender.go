@@ -36,7 +36,7 @@ type Sender struct {
 	sacked rangeSet // receiver-held blocks above cumack
 	rtxed  rangeSet // holes retransmitted during this recovery
 
-	rtx     *sim.Timer
+	rtx     sim.Timer
 	backoff float64
 	srtt    float64
 	rttvar  float64
@@ -54,7 +54,6 @@ type Sender struct {
 
 	jitter   *sim.Rand // non-nil when SendJitter > 0
 	lastSend float64   // latest scheduled departure, preserves ordering
-	sendFn   func(any) // prebuilt AtArg callback for jittered departures
 
 	// OnComplete, if set, runs once when a limited transfer is fully
 	// acknowledged.
@@ -78,13 +77,28 @@ func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort
 		ssthresh: cfg.MaxWindow,
 		backoff:  1,
 	}
-	s.rtx = sim.NewTimer(nw.Scheduler(), s.onTimeout)
+	// One backing array serves both scoreboards; either set regrows
+	// privately in the rare case it outgrows its half.
+	buf := make([]srange, 2*256)
+	s.sacked.r = buf[0:0:256]
+	s.rtxed.r = buf[256:256:512]
+	s.rtx.InitArg(nw.Scheduler(), senderTimeoutFn, s)
 	if cfg.SendJitter > 0 {
-		s.jitter = sim.NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x9e3779b9)
-		s.sendFn = func(x any) { s.node.Send(x.(*netsim.Packet)) }
+		s.jitter = nw.Scheduler().NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x9e3779b9)
 	}
 	node.Attach(srcPort, s)
 	return s
+}
+
+// senderTimeoutFn and senderStartFn are shared scheduler callbacks (the
+// sender rides in the arg slot), so constructing and starting a sender
+// builds no closures.
+func senderTimeoutFn(x any) { x.(*Sender).onTimeout() }
+
+func senderStartFn(x any) {
+	s := x.(*Sender)
+	s.started = true
+	s.trySend()
 }
 
 // NewSenderLimited creates a sender that transfers exactly limit packets
@@ -102,10 +116,7 @@ func NewSenderLimited(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, 
 
 // Start begins transmission at the given simulated time.
 func (s *Sender) Start(at float64) {
-	s.net.Scheduler().At(at, func() {
-		s.started = true
-		s.trySend()
-	})
+	s.net.Scheduler().AtArg(at, senderStartFn, s)
 }
 
 // Stop halts transmission permanently (used to model finite transfers).
@@ -438,5 +449,5 @@ func (s *Sender) emit(seq int64, isRtx bool) {
 		at = s.lastSend
 	}
 	s.lastSend = at + 1e-9
-	s.net.Scheduler().AtArg(at, s.sendFn, p)
+	s.net.Scheduler().AtArg(at, netsim.SendFn, p)
 }

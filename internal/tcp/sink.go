@@ -28,6 +28,7 @@ func NewSink(nw *netsim.Network, node *netsim.Node, port, flow, ackSize int) *Si
 		ackSize = 40
 	}
 	s := &Sink{net: nw, node: node, ackSize: ackSize, flow: flow}
+	s.received.r = make([]srange, 0, 256)
 	node.Attach(port, s)
 	return s
 }

@@ -56,8 +56,8 @@ type Sender struct {
 
 	core    *core.Sender
 	seq     int64
-	sendTmr *sim.Timer
-	noFbTmr *sim.Timer
+	sendTmr sim.Timer
+	noFbTmr sim.Timer
 	jitter  *sim.Rand
 	started bool
 	stopped bool
@@ -88,22 +88,31 @@ func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort
 		flow: flow,
 		core: core.NewSender(cfg.Sender),
 	}
-	s.sendTmr = sim.NewTimer(nw.Scheduler(), s.onSend)
-	s.noFbTmr = sim.NewTimer(nw.Scheduler(), s.onNoFeedback)
+	s.sendTmr.InitArg(nw.Scheduler(), senderSendFn, s)
+	s.noFbTmr.InitArg(nw.Scheduler(), senderNoFeedbackFn, s)
 	if cfg.PacingJitter > 0 {
-		s.jitter = sim.NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x7f4a7c15)
+		s.jitter = nw.Scheduler().NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x7f4a7c15)
 	}
 	node.Attach(srcPort, s)
 	return s
 }
 
+// Shared scheduler callbacks (the agent rides in the arg slot), so
+// constructing and starting agents builds no closures.
+func senderSendFn(x any)       { x.(*Sender).onSend() }
+func senderNoFeedbackFn(x any) { x.(*Sender).onNoFeedback() }
+func receiverFeedbackFn(x any) { x.(*Receiver).sendFeedback() }
+
+func senderStartFn(x any) {
+	s := x.(*Sender)
+	s.started = true
+	s.onSend()
+	s.noFbTmr.Reset(s.core.NoFeedbackTimeout())
+}
+
 // Start begins transmission at the given simulated time.
 func (s *Sender) Start(at float64) {
-	s.net.Scheduler().At(at, func() {
-		s.started = true
-		s.onSend()
-		s.noFbTmr.Reset(s.core.NoFeedbackTimeout())
-	})
+	s.net.Scheduler().AtArg(at, senderStartFn, s)
 }
 
 // Stop halts the sender permanently.
@@ -212,7 +221,7 @@ type Receiver struct {
 	flow int
 
 	core  *core.Receiver
-	fbTmr *sim.Timer
+	fbTmr sim.Timer
 	peer  netsim.NodeID
 	pport int
 
@@ -241,7 +250,7 @@ func NewReceiver(nw *netsim.Network, node *netsim.Node, port, flow int, cfg Conf
 			Estimator:  cfg.Estimator,
 		}),
 	}
-	r.fbTmr = sim.NewTimer(nw.Scheduler(), r.sendFeedback)
+	r.fbTmr.InitArg(nw.Scheduler(), receiverFeedbackFn, r)
 	node.Attach(port, r)
 	return r
 }

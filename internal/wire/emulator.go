@@ -75,8 +75,8 @@ type PathSpec struct {
 func NewPath(spec PathSpec) (a, b *EmuConn, stop func()) {
 	spec.AtoB.fill()
 	spec.BtoA.fill()
-	ea := &EmuConn{name: "emu-a", inbox: make(chan []byte, 1024)}
-	eb := &EmuConn{name: "emu-b", inbox: make(chan []byte, 1024)}
+	ea := &EmuConn{name: "emu-a", inbox: make(chan frame, 1024)}
+	eb := &EmuConn{name: "emu-b", inbox: make(chan frame, 1024)}
 	ea.out = newPipeDir(spec.AtoB, eb)
 	eb.out = newPipeDir(spec.BtoA, ea)
 	timers := make([]*time.Timer, 0, len(spec.Schedule))
@@ -101,6 +101,50 @@ func NewPath(spec PathSpec) (a, b *EmuConn, stop func()) {
 		}
 	}
 	return ea, eb, stop
+}
+
+// frameBufCap covers every frame the TFRC endpoints emit (data packets
+// default to 1000 bytes); larger datagrams fall back to a private
+// allocation.
+const frameBufCap = 2048
+
+// framePool recycles the per-frame buffers of the emulated path: every
+// datagram in flight used to be a fresh allocation, which at wire rates
+// dominated the emulator's garbage. Fixed-size array pointers keep
+// sync.Pool from allocating per Put.
+var framePool = sync.Pool{New: func() any { return new([frameBufCap]byte) }}
+
+// frame is one datagram in flight: pooled storage for typical sizes, a
+// private slice for oversized ones.
+type frame struct {
+	buf *[frameBufCap]byte // nil when oversized; data then lives in big
+	n   int
+	big []byte
+}
+
+func newFrame(p []byte) frame {
+	if len(p) <= frameBufCap {
+		buf := framePool.Get().(*[frameBufCap]byte)
+		copy(buf[:], p)
+		return frame{buf: buf, n: len(p)}
+	}
+	big := make([]byte, len(p))
+	copy(big, p)
+	return frame{big: big, n: len(p)}
+}
+
+func (f frame) bytes() []byte {
+	if f.buf != nil {
+		return f.buf[:f.n]
+	}
+	return f.big
+}
+
+// recycle returns pooled storage; safe to call once per frame.
+func (f frame) recycle() {
+	if f.buf != nil {
+		framePool.Put(f.buf)
+	}
 }
 
 // pipeDir is one direction's impairment state.
@@ -149,10 +193,9 @@ func (d *pipeDir) send(p []byte) {
 	d.free = depart
 	d.mu.Unlock()
 
-	buf := make([]byte, len(p))
-	copy(buf, p)
+	fr := newFrame(p)
 	deliverAt := depart.Add(d.cfg.Delay)
-	time.AfterFunc(time.Until(deliverAt), func() { d.dst.deliver(buf) })
+	time.AfterFunc(time.Until(deliverAt), func() { d.dst.deliver(fr) })
 }
 
 // EmuAddr is the synthetic address of an emulated endpoint.
@@ -169,23 +212,25 @@ func (a EmuAddr) String() string { return string(a) }
 type EmuConn struct {
 	name  string
 	out   *pipeDir
-	inbox chan []byte
+	inbox chan frame
 
 	mu       sync.Mutex
 	closed   bool
 	deadline time.Time
 }
 
-func (c *EmuConn) deliver(p []byte) {
+func (c *EmuConn) deliver(fr frame) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
+		fr.recycle()
 		return
 	}
 	select {
-	case c.inbox <- p:
+	case c.inbox <- fr:
 	default: // receiver hopelessly behind: drop at the host
+		fr.recycle()
 	}
 }
 
@@ -228,11 +273,12 @@ func (c *EmuConn) ReadFrom(p []byte) (int, net.Addr, error) {
 		timeout = t.C
 	}
 	select {
-	case b, ok := <-c.inbox:
+	case fr, ok := <-c.inbox:
 		if !ok {
 			return 0, nil, net.ErrClosed
 		}
-		n := copy(p, b)
+		n := copy(p, fr.bytes())
+		fr.recycle()
 		return n, EmuAddr(peerName(c.name)), nil
 	case <-timeout:
 		return 0, nil, errTimeout{}
