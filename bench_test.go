@@ -9,6 +9,7 @@ package tfrc_test
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"tfrc/internal/core"
@@ -435,6 +436,38 @@ func BenchmarkSimulatorPacketsPerSecond(b *testing.B) {
 		}
 	}
 	b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/sec")
+}
+
+// BenchmarkSweepCellsPerSecond measures the sweep engine end to end: a
+// Figure 6-shaped grid of short scenarios executed on the worker-pinned
+// runner at realistic parallelism. The metric is grid cells completed
+// per wall-clock second — the quantity that decides how long PaperFig11
+// takes. `tfrcsim -bench` snapshots the same workload (plus per-cell
+// setup allocations) into BENCH_<n>.json for the CI regression gate.
+func BenchmarkSweepCellsPerSecond(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	prev := exp.SetParallelism(workers)
+	defer exp.SetParallelism(prev)
+	pr := exp.Fig06Params{
+		LinkMbps:    []float64{2, 8},
+		TotalFlows:  []int{4, 8},
+		Queues:      []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED},
+		Duration:    15,
+		MeasureTail: 10,
+		Seed:        1,
+		Seeds:       4,
+	}
+	cells := len(pr.LinkMbps) * len(pr.TotalFlows) * len(pr.Queues) * pr.Seeds
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig06(pr)
+		if len(r.Cells) == 0 {
+			b.Fatal("empty grid")
+		}
+	}
+	b.ReportMetric(float64(b.N*cells)/b.Elapsed().Seconds(), "cells/sec")
 }
 
 // --- Extension benches: the paper's §7 future-work items ---

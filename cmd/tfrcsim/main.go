@@ -108,9 +108,10 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "tfrcsim: writing bench snapshot: %v\n", err)
 			return 1
 		}
-		fmt.Printf("bench: %.0f pkts/sec, %.0f allocs/op, %.2fM scheduler events/sec -> %s\n",
+		fmt.Printf("bench: %.0f pkts/sec, %.0f allocs/op, %.2fM scheduler events/sec, %.1f setup allocs/cell, %.1f cells/sec (%d workers) -> %s\n",
 			rep.Scenario.PktsPerSec, rep.Scenario.AllocsPerOp,
-			rep.Scheduler.EventsPerSec/1e6, out)
+			rep.Scheduler.EventsPerSec/1e6, rep.Sweep.CellSetupAllocs,
+			rep.Sweep.CellsPerSec, rep.Sweep.Workers, out)
 		if *benchCompare != "" {
 			base, err := bench.Load(*benchCompare)
 			if err != nil {

@@ -19,7 +19,9 @@ import (
 )
 
 // Schema identifies the report layout for forward compatibility.
-const Schema = 1
+// Schema 2 added the sweep-engine metrics (cell_setup_allocs,
+// cells_per_sec); schema-1 baselines simply leave them ungated.
+const Schema = 2
 
 // ScenarioMetrics measures the end-to-end simulator on the standard
 // 8-flow RED dumbbell (the BenchmarkSimulatorPacketsPerSecond workload).
@@ -40,6 +42,22 @@ type SchedulerMetrics struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// SweepMetrics measures the sweep engine end to end: what one grid cell
+// costs to set up, and how many cells per second a worker pool sustains
+// (the BenchmarkSweepCellsPerSecond workload).
+type SweepMetrics struct {
+	// CellSetupAllocs is the allocations per cell of a short scenario
+	// run sequentially on a warm worker arena. The steady-state event
+	// loop allocates nothing, so this is construction plus result
+	// harvest — the cost the pooled agent arenas exist to eliminate.
+	CellSetupAllocs float64 `json:"cell_setup_allocs"`
+	// Cells and Workers describe the grid throughput workload; cells/sec
+	// is wall-clock grid throughput at that worker count.
+	Cells       int     `json:"cells"`
+	Workers     int     `json:"workers"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
 // Report is one BENCH_<n>.json snapshot.
 type Report struct {
 	Schema    int              `json:"schema"`
@@ -49,6 +67,7 @@ type Report struct {
 	GOARCH    string           `json:"goarch"`
 	Scenario  ScenarioMetrics  `json:"scenario"`
 	Scheduler SchedulerMetrics `json:"scheduler"`
+	Sweep     SweepMetrics     `json:"sweep"`
 }
 
 func benchScenario(iters int) ScenarioMetrics {
@@ -92,6 +111,58 @@ func benchScenario(iters int) ScenarioMetrics {
 	}
 }
 
+func benchSweep() SweepMetrics {
+	short := func(seed int64) {
+		exp.RunScenario(exp.Scenario{
+			NTCP: 2, NTFRC: 2,
+			BottleneckBW: 4e6,
+			Queue:        netsim.QueueRED,
+			Duration:     3,
+			Warmup:       1,
+			Seed:         seed,
+		})
+	}
+	// Per-cell setup allocations, sequential on a warm worker arena.
+	prev := exp.SetParallelism(1)
+	short(0) // warm the pooled cell
+	const setupIters = 50
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < setupIters; i++ {
+		short(int64(i))
+	}
+	runtime.ReadMemStats(&after)
+	m := SweepMetrics{
+		CellSetupAllocs: float64(after.Mallocs-before.Mallocs) / setupIters,
+	}
+
+	// End-to-end grid throughput on the worker-pinned runner. The worker
+	// count is capped at 4 so snapshots from common CI hosts stay
+	// comparable; Compare only gates cells/sec between matching counts.
+	m.Workers = runtime.GOMAXPROCS(0)
+	if m.Workers > 4 {
+		m.Workers = 4
+	}
+	exp.SetParallelism(m.Workers)
+	grid := exp.Fig06Params{
+		LinkMbps:    []float64{2, 8},
+		TotalFlows:  []int{4, 8},
+		Queues:      []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED},
+		Duration:    15,
+		MeasureTail: 10,
+		Seed:        1,
+		Seeds:       8,
+	}
+	m.Cells = len(grid.LinkMbps) * len(grid.TotalFlows) * len(grid.Queues) * grid.Seeds
+	exp.RunFig06(grid) // warm every worker's arena
+	start := time.Now()
+	exp.RunFig06(grid)
+	m.CellsPerSec = float64(m.Cells) / time.Since(start).Seconds()
+	exp.SetParallelism(prev)
+	return m
+}
+
 func benchScheduler(ops int) SchedulerMetrics {
 	s := sim.NewScheduler()
 	r := rand.New(rand.NewSource(1))
@@ -123,6 +194,7 @@ func Run(name string) *Report {
 		GOARCH:    runtime.GOARCH,
 		Scenario:  benchScenario(20),
 		Scheduler: benchScheduler(2_000_000),
+		Sweep:     benchSweep(),
 	}
 }
 
@@ -160,10 +232,13 @@ func Load(path string) (*Report, error) {
 func Compare(cur, base *Report, tolerance float64) error {
 	var fails []string
 	if base.Scenario.AllocsPerOp > 0 {
-		limit := base.Scenario.AllocsPerOp * (1 + tolerance)
+		// One alloc of absolute slack: the count is single digits per op
+		// since the agent arenas landed, so ±1 of profiler or pool jitter
+		// would otherwise exceed any reasonable percentage.
+		limit := base.Scenario.AllocsPerOp*(1+tolerance) + 1
 		if cur.Scenario.AllocsPerOp > limit {
 			fails = append(fails, fmt.Sprintf(
-				"allocs/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				"allocs/op %.0f exceeds baseline %.0f by more than %.0f%%+1",
 				cur.Scenario.AllocsPerOp, base.Scenario.AllocsPerOp, tolerance*100))
 		}
 	}
@@ -175,6 +250,31 @@ func Compare(cur, base *Report, tolerance float64) error {
 			fails = append(fails, fmt.Sprintf(
 				"pkts/sec %.0f below machine-calibrated baseline %.0f (raw baseline %.0f × cpu scale %.2f) by more than %.0f%%",
 				cur.Scenario.PktsPerSec, expected, base.Scenario.PktsPerSec, scale, tolerance*100))
+		}
+	}
+	if base.Sweep.CellSetupAllocs > 0 {
+		// Allocation counts are deterministic but tiny (single digits per
+		// cell), so a one-alloc absolute slack keeps ±1 jitter from
+		// tripping a percentage gate while an un-pooled agent (tens of
+		// allocations) still fails loudly.
+		limit := base.Sweep.CellSetupAllocs*(1+tolerance) + 1
+		if cur.Sweep.CellSetupAllocs > limit {
+			fails = append(fails, fmt.Sprintf(
+				"cell_setup_allocs %.1f exceeds baseline %.1f by more than %.0f%%+1",
+				cur.Sweep.CellSetupAllocs, base.Sweep.CellSetupAllocs, tolerance*100))
+		}
+	}
+	if base.Sweep.CellsPerSec > 0 && cur.Sweep.Workers == base.Sweep.Workers &&
+		base.Scheduler.EventsPerSec > 0 && cur.Scheduler.EventsPerSec > 0 {
+		// Grid throughput depends on worker count as well as single-core
+		// speed, so the gate applies only between snapshots taken at the
+		// same parallelism, calibrated like pkts/sec.
+		scale := cur.Scheduler.EventsPerSec / base.Scheduler.EventsPerSec
+		expected := base.Sweep.CellsPerSec * scale
+		if cur.Sweep.CellsPerSec < expected*(1-tolerance) {
+			fails = append(fails, fmt.Sprintf(
+				"cells/sec %.1f below machine-calibrated baseline %.1f (raw baseline %.1f × cpu scale %.2f, %d workers) by more than %.0f%%",
+				cur.Sweep.CellsPerSec, expected, base.Sweep.CellsPerSec, scale, cur.Sweep.Workers, tolerance*100))
 		}
 	}
 	if len(fails) == 0 {

@@ -40,6 +40,8 @@ type LossHistory struct {
 	open    float64   // s₀
 	dfCur   float64   // discount factor currently applied to history
 	lastAvg float64   // previous AvgInterval result, the discount trigger
+
+	scratch []float64 // Intervals snapshot buffer, reused across calls
 }
 
 // Weights returns the paper's weight sequence for n intervals: 1 for the
@@ -67,6 +69,15 @@ var sharedWeights8 = Weights(8)
 // interval buffers are preallocated to the window size so steady-state
 // OnLossEvent calls never grow them.
 func NewLossHistory(cfg LossHistoryConfig) *LossHistory {
+	h := new(LossHistory)
+	h.Init(cfg)
+	return h
+}
+
+// Init resets a history in place to the empty state, reusing its interval
+// buffers when the configured window still fits — the re-initialization
+// path for histories embedded by value in pooled receivers.
+func (h *LossHistory) Init(cfg LossHistoryConfig) {
 	if cfg.N < 1 {
 		panic("core: loss history needs N ≥ 1")
 	}
@@ -85,14 +96,20 @@ func NewLossHistory(cfg LossHistoryConfig) *LossHistory {
 	default:
 		w = Weights(cfg.N)
 	}
-	// One backing array serves both interval buffers.
-	buf := make([]float64, 2*(cfg.N+1))
-	return &LossHistory{
+	closed, df := h.closed[:0], h.df[:0]
+	if cap(closed) < cfg.N+1 || cap(df) < cfg.N+1 {
+		// One backing array serves both interval buffers.
+		buf := make([]float64, 2*(cfg.N+1))
+		closed = buf[0 : 0 : cfg.N+1]
+		df = buf[cfg.N+1 : cfg.N+1 : 2*(cfg.N+1)]
+	}
+	*h = LossHistory{
 		cfg:     cfg,
 		weights: w,
-		closed:  buf[0 : 0 : cfg.N+1],
-		df:      buf[cfg.N+1 : cfg.N+1 : 2*(cfg.N+1)],
+		closed:  closed,
+		df:      df,
 		dfCur:   1,
+		scratch: h.scratch[:0],
 	}
 }
 
@@ -158,11 +175,18 @@ func (h *LossHistory) SetOpen(pkts float64) {
 // Open returns the current open interval s₀ in packets.
 func (h *LossHistory) Open() float64 { return h.open }
 
-// Intervals returns a copy of the closed intervals, most recent first.
+// Intervals returns a snapshot of the closed intervals, most recent
+// first. The slice is a history-owned scratch buffer, valid until the
+// next Intervals call on the same history: callers that need the values
+// past that must copy them. Keeping the buffer on the history removes
+// the per-call allocation this observer used to put on trace loops.
 func (h *LossHistory) Intervals() []float64 {
-	out := make([]float64, len(h.closed))
-	copy(out, h.closed)
-	return out
+	if cap(h.scratch) < len(h.closed) {
+		h.scratch = make([]float64, len(h.closed))
+	}
+	h.scratch = h.scratch[:len(h.closed)]
+	copy(h.scratch, h.closed)
+	return h.scratch
 }
 
 // avgExcluding returns ŝ computed over the closed intervals only

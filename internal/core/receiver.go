@@ -41,6 +41,10 @@ func (r Report) RTTSample(now float64) float64 {
 type Receiver struct {
 	cfg ReceiverConfig
 	est LossRateEstimator
+	// defaultHist backs est when no estimator override is configured:
+	// embedding the paper's Average Loss Interval history by value lets a
+	// pooled receiver re-Init without reallocating its interval buffers.
+	defaultHist LossHistory
 
 	haveData    bool
 	maxSeq      int64
@@ -60,17 +64,32 @@ type Receiver struct {
 
 // NewReceiver returns a receiver with no data received yet.
 func NewReceiver(cfg ReceiverConfig) *Receiver {
+	r := new(Receiver)
+	r.Init(cfg)
+	return r
+}
+
+// Init resets a receiver in place to its initial state — the
+// re-initialization path for receivers embedded by value in pooled
+// simulator agents. With no estimator override the default Average Loss
+// Interval history is rebuilt in place, reusing its buffers.
+func (r *Receiver) Init(cfg ReceiverConfig) {
 	if cfg.PacketSize <= 0 {
 		panic("core: receiver needs a positive packet size")
 	}
 	if cfg.Eq == nil {
 		cfg.Eq = PFTK
 	}
-	est := cfg.Estimator
-	if est == nil {
-		est = NewALI(DefaultLossHistory())
+	hist := r.defaultHist
+	*r = Receiver{cfg: cfg, defaultHist: hist}
+	if cfg.Estimator != nil {
+		r.est = cfg.Estimator
+		return
 	}
-	return &Receiver{cfg: cfg, est: est}
+	r.defaultHist.Init(DefaultLossHistory())
+	// ALI is pointer-shaped, so this interface conversion does not
+	// allocate.
+	r.est = ALI{&r.defaultHist}
 }
 
 // DataPacket describes one arriving data packet.

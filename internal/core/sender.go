@@ -63,7 +63,7 @@ func DefaultSenderConfig() SenderConfig {
 // caller's clock.
 type Sender struct {
 	cfg SenderConfig
-	rtt *RTTEstimator
+	rtt RTTEstimator // embedded by value so pooled senders carry no heap graph
 
 	rate      float64 // allowed transmission rate X, bytes/sec
 	slowStart bool
@@ -74,6 +74,15 @@ type Sender struct {
 // until the first feedback establishes the RTT, then rate-doubling slow
 // start until the first loss report.
 func NewSender(cfg SenderConfig) *Sender {
+	s := new(Sender)
+	s.Init(cfg)
+	return s
+}
+
+// Init resets a sender in place to its initial state — the
+// re-initialization path for senders embedded by value in pooled
+// simulator agents.
+func (s *Sender) Init(cfg SenderConfig) {
 	if cfg.PacketSize <= 0 {
 		panic("core: sender needs a positive packet size")
 	}
@@ -86,13 +95,9 @@ func NewSender(cfg SenderConfig) *Sender {
 	if cfg.MaxBackoffInterval == 0 {
 		cfg.MaxBackoffInterval = 64
 	}
-	s := &Sender{
-		cfg:       cfg,
-		rtt:       NewRTTEstimator(cfg.RTTWeight),
-		slowStart: true,
-	}
+	*s = Sender{cfg: cfg, slowStart: true}
+	s.rtt.Init(cfg.RTTWeight)
 	s.rate = float64(cfg.PacketSize) // 1 packet/sec until the RTT is known
-	return s
 }
 
 // Feedback is one receiver report (§3.1): the measured loss event rate,
@@ -205,7 +210,7 @@ func (s *Sender) InSlowStart() bool { return s.slowStart }
 // RTT exposes the sender's estimator for observers (tests, traces) and
 // for stamping the current RTT estimate onto data packets, which the
 // receiver needs for loss-event aggregation.
-func (s *Sender) RTT() *RTTEstimator { return s.rtt }
+func (s *Sender) RTT() *RTTEstimator { return &s.rtt }
 
 // PacketInterval returns the spacing to the next packet in seconds. With
 // SqrtSpacing it applies the §3.4 adjustment t = s·√R₀/(T·M): the spacing

@@ -36,16 +36,55 @@ type ScenarioBuilder struct {
 	qmon         *netsim.QueueMonitor
 }
 
+// expArenaID is this package's slot in every scheduler's arena table;
+// it pools scenario builders alongside the simulator objects they wire.
+var expArenaID = sim.NewArenaID()
+
+type builderArena struct {
+	builders []*ScenarioBuilder
+	used     int
+}
+
+// ResetArena implements sim.Arena.
+func (a *builderArena) ResetArena() { a.used = 0 }
+
+func builderFor(s *sim.Scheduler) *ScenarioBuilder {
+	a := s.Arena(expArenaID, func() sim.Arena { return &builderArena{} }).(*builderArena)
+	if a.used < len(a.builders) {
+		b := a.builders[a.used]
+		a.used++
+		return b
+	}
+	b := new(ScenarioBuilder)
+	a.builders = append(a.builders, b)
+	a.used = len(a.builders)
+	return b
+}
+
 // NewScenarioBuilder returns a builder over the topology, building it
-// (routes + schedules) if the caller has not already done so.
+// (routes + schedules) if the caller has not already done so. The
+// builder struct and its bookkeeping slices come from the scheduler's
+// arena and are recycled across sweep cells.
 func NewScenarioBuilder(t *netsim.Topology) *ScenarioBuilder {
 	nw := t.Build()
-	return &ScenarioBuilder{
-		topo:     t,
-		nw:       nw,
-		ports:    make([]int, len(nw.Nodes())),
-		micePort: 5000,
+	b := builderFor(nw.Scheduler())
+	ports := b.ports[:0]
+	if cap(ports) < len(nw.Nodes()) {
+		ports = make([]int, len(nw.Nodes()))
+	} else {
+		ports = ports[:len(nw.Nodes())]
+		clear(ports)
 	}
+	*b = ScenarioBuilder{
+		topo:      t,
+		nw:        nw,
+		ports:     ports,
+		micePort:  5000,
+		tcpFlows:  b.tcpFlows[:0],
+		tfrcFlows: b.tfrcFlows[:0],
+		monitors:  b.monitors[:0],
+	}
+	return b
 }
 
 // Topology returns the underlying topology for direct access to nodes
@@ -141,7 +180,7 @@ func (b *ScenarioBuilder) AddMice(src, dst string, cfg traffic.MiceConfig, rng *
 // series, drop rate, and fair share are harvested from it.
 func (b *ScenarioBuilder) MonitorLink(link string, binWidth, start float64) *netsim.FlowMonitor {
 	l := b.topo.LinkByName(link)
-	m := netsim.NewFlowMonitor(binWidth, start)
+	m := b.nw.NewFlowMonitor(binWidth, start)
 	l.AddTap(m.Tap())
 	b.monitors = append(b.monitors, m)
 	if b.primary == nil {

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"tfrc/internal/netsim"
-	"tfrc/internal/sim"
 	"tfrc/internal/stats"
 	"tfrc/internal/tcp"
 	"tfrc/internal/tfrcsim"
@@ -73,21 +72,22 @@ type BWStepResult struct {
 	Seeds     int
 }
 
-func runBWStepSeed(pr BWStepParams, seed int64) *BWStepResult {
-	rng := sim.NewRand(seed)
+func runBWStepSeed(c *Cell, pr BWStepParams, seed int64) *BWStepResult {
+	sched := c.begin()
+	rng := sched.NewRand(seed)
 	bw := pr.LinkMbps * 1e6
 	queueLimit := int(max(10, bw*0.1/(8*1000)))
 	red := netsim.DefaultRED(queueLimit)
 	red.MinThresh = max(5, float64(queueLimit)/10)
 	red.MaxThresh = float64(queueLimit) / 2
-	d := netsim.NewDumbbell(sim.NewScheduler(), netsim.DumbbellConfig{
+	d := netsim.NewDumbbell(sched, netsim.DumbbellConfig{
 		Hosts:         pr.NTCP + pr.NTFRC,
 		BottleneckBW:  bw,
 		BottleneckDly: 0.025,
 		Queue:         pr.Queue,
 		QueueLimit:    queueLimit,
 		RED:           red,
-	}, sim.NewRand(seed+1))
+	}, sched.NewRand(seed+1))
 
 	// The tentpole move: the bottleneck is a scheduled, time-varying
 	// link. Declarations on a built topology install immediately.
@@ -186,8 +186,8 @@ func RunBWStep(pr BWStepParams) *BWStepResult {
 	if seeds < 1 {
 		seeds = 1
 	}
-	cells := runCells(seeds, func(i int) *BWStepResult {
-		return runBWStepSeed(pr, pr.Seed+int64(i)*6151)
+	cells := runCellsCtx(seeds, func(c *Cell, i int) *BWStepResult {
+		return runBWStepSeed(c, pr, pr.Seed+int64(i)*6151)
 	})
 	out := cells[0]
 	if seeds > 1 {

@@ -12,7 +12,6 @@ import (
 	"math"
 
 	"tfrc/internal/netsim"
-	"tfrc/internal/sim"
 	"tfrc/internal/stats"
 	"tfrc/internal/tcp"
 	"tfrc/internal/tfrcsim"
@@ -147,10 +146,21 @@ func (r *ScenarioResult) NormalizedPerFlow(series [][]float64) []float64 {
 // the clock, and harvests measurements. It is a preset over
 // ScenarioBuilder: the dumbbell topology, one monitor set on the
 // congested link, and the paper's flow mix, in a fixed deterministic
-// order.
+// order. The simulation runs on a pooled worker Cell, so repeated calls
+// reuse a warm arena; grid experiments pass their worker-pinned cell to
+// runScenarioCell directly.
 func RunScenario(sc Scenario) *ScenarioResult {
+	c := getCell()
+	defer putCell(c)
+	return runScenarioCell(c, sc)
+}
+
+// runScenarioCell is RunScenario on an explicit worker cell. The result
+// is fully private to the caller: every harvested series is copied out
+// of the arena before the cell can be reused.
+func runScenarioCell(c *Cell, sc Scenario) *ScenarioResult {
 	sc.fill()
-	sched := sim.NewScheduler()
+	sched := c.begin()
 	rng := sched.NewRand(sc.Seed)
 
 	hosts := sc.NTCP + sc.NTFRC
@@ -158,7 +168,7 @@ func RunScenario(sc Scenario) *ScenarioResult {
 	if sc.OnOffSources > 0 || sc.MiceLoad > 0 {
 		extra = 1 // a dedicated host pair carries all background traffic
 	}
-	accessDly := make([]float64, hosts+extra)
+	accessDly := c.floats(hosts + extra)
 	for i := range accessDly {
 		if sc.AccessDlyMax > 0 {
 			accessDly[i] = rng.Uniform(sc.AccessDlyMin, sc.AccessDlyMax)
@@ -185,8 +195,8 @@ func RunScenario(sc Scenario) *ScenarioResult {
 	b.MonitorUtilization("rl->rr", sc.Warmup)
 	b.MonitorQueue("rl->rr", 0.05, sc.Duration)
 
-	start := func() float64 { return rng.Uniform(0, sc.StaggerStarts) }
-
+	// Start times are drawn inline (not through a closure) so the cell's
+	// setup path builds no per-call function values.
 	left := func(h int) string { return netsim.IndexedName("l", h) }
 	right := func(h int) string { return netsim.IndexedName("r", h) }
 	for i := 0; i < sc.NTCP; i++ {
@@ -196,7 +206,7 @@ func RunScenario(sc Scenario) *ScenarioResult {
 			AggressiveRTO: sc.TCPAggressive,
 			SendJitter:    0.001, // break deterministic phase effects
 			JitterSeed:    sc.Seed,
-		}, start())
+		}, rng.Uniform(0, sc.StaggerStarts))
 	}
 	for i := 0; i < sc.NTFRC; i++ {
 		h := sc.NTCP + i
@@ -205,7 +215,7 @@ func RunScenario(sc Scenario) *ScenarioResult {
 			tf.PacingJitter = 0.05
 			tf.JitterSeed = sc.Seed
 		}
-		b.AddTFRC(left(h), right(h), tf, start())
+		b.AddTFRC(left(h), right(h), tf, rng.Uniform(0, sc.StaggerStarts))
 	}
 
 	if extra > 0 {

@@ -6,7 +6,6 @@ import (
 
 	"tfrc/internal/core"
 	"tfrc/internal/netsim"
-	"tfrc/internal/sim"
 	"tfrc/internal/stats"
 	"tfrc/internal/tfrcsim"
 )
@@ -68,9 +67,10 @@ type Fig03Result struct {
 }
 
 // runFig03Buffer runs one cell of the buffer sweep: a two-node pipe
-// topology with a single TFRC flow, composed on the scenario builder.
-func runFig03Buffer(pr Fig03Params, buf int) Fig03Curve {
-	t := netsim.NewTopology(sim.NewScheduler(), nil)
+// topology with a single TFRC flow, composed on the scenario builder
+// over the worker's pinned arena.
+func runFig03Buffer(c *Cell, pr Fig03Params, buf int) Fig03Curve {
+	t := netsim.NewTopology(c.begin(), nil)
 	t.Link("src", "dst", netsim.LinkSpec{
 		Bandwidth: pr.Bandwidth, Delay: pr.BaseRTT / 2,
 		Queue: netsim.QueueDropTail, QueueLimit: buf,
@@ -96,8 +96,8 @@ func runFig03Buffer(pr Fig03Params, buf int) Fig03Curve {
 // RunFig03 runs the sweep, one independent simulation per buffer size.
 func RunFig03(pr Fig03Params) *Fig03Result {
 	res := &Fig03Result{SqrtSpacing: pr.SqrtSpacing, BinWidth: pr.BinWidth}
-	res.Curves = runCells(len(pr.BufferSizes), func(i int) Fig03Curve {
-		return runFig03Buffer(pr, pr.BufferSizes[i])
+	res.Curves = runCellsCtx(len(pr.BufferSizes), func(c *Cell, i int) Fig03Curve {
+		return runFig03Buffer(c, pr, pr.BufferSizes[i])
 	})
 	return res
 }

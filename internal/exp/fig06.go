@@ -77,8 +77,15 @@ type Fig06Cell struct {
 // Fig06Result is the full surface.
 type Fig06Result struct{ Cells []Fig06Cell }
 
-// RunFig06Cell runs one cell of the grid.
+// RunFig06Cell runs one cell of the grid on a pooled worker cell.
 func RunFig06Cell(queue netsim.QueueKind, linkMbps float64, flows int, duration, tail float64, seed int64) Fig06Cell {
+	c := getCell()
+	defer putCell(c)
+	return runFig06Cell(c, queue, linkMbps, flows, duration, tail, seed)
+}
+
+// runFig06Cell is RunFig06Cell on an explicit worker cell.
+func runFig06Cell(c *Cell, queue netsim.QueueKind, linkMbps float64, flows int, duration, tail float64, seed int64) Fig06Cell {
 	n := flows / 2
 	sc := Scenario{
 		NTCP:         n,
@@ -91,7 +98,7 @@ func RunFig06Cell(queue netsim.QueueKind, linkMbps float64, flows int, duration,
 		BinWidth:     0.5,
 		Seed:         seed,
 	}
-	res := RunScenario(sc)
+	res := runScenarioCell(c, sc)
 	return Fig06Cell{
 		Queue:       queue,
 		LinkMbps:    linkMbps,
@@ -128,9 +135,9 @@ func RunFig06(pr Fig06Params) *Fig06Result {
 	}
 	// Grid-major, seed-minor flattening; replicate 0 uses pr.Seed itself
 	// so single-seed results are unchanged by this refactor.
-	raw := runCells(len(keys)*seeds, func(i int) Fig06Cell {
+	raw := runCellsCtx(len(keys)*seeds, func(c *Cell, i int) Fig06Cell {
 		k, rep := keys[i/seeds], i%seeds
-		return RunFig06Cell(k.q, k.bw, k.fl, pr.Duration, pr.MeasureTail,
+		return runFig06Cell(c, k.q, k.bw, k.fl, pr.Duration, pr.MeasureTail,
 			pr.Seed+int64(rep)*6151)
 	})
 	res := &Fig06Result{}
@@ -204,7 +211,7 @@ func RunFig07(totalFlows []int, duration, tail float64, seed int64) []Fig06Cell 
 	if len(totalFlows) == 0 {
 		totalFlows = []int{16, 32, 48, 64, 80, 96, 112, 128}
 	}
-	return runCells(len(totalFlows), func(i int) Fig06Cell {
-		return RunFig06Cell(netsim.QueueRED, 15, totalFlows[i], duration, tail, seed)
+	return runCellsCtx(len(totalFlows), func(c *Cell, i int) Fig06Cell {
+		return runFig06Cell(c, netsim.QueueRED, 15, totalFlows[i], duration, tail, seed)
 	})
 }

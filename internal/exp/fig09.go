@@ -71,7 +71,7 @@ type fig09Run struct {
 func RunFig09(pr Fig09Params) *Fig09Result {
 	nscale := len(pr.Timescales)
 	base := 0.1
-	runs := runCells(pr.Runs, func(run int) fig09Run {
+	runs := runCellsCtx(pr.Runs, func(c *Cell, run int) fig09Run {
 		sc := Scenario{
 			NTCP:          pr.FlowsEach,
 			NTFRC:         pr.FlowsEach,
@@ -89,7 +89,7 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 			BinWidth:      base,
 			Seed:          pr.Seed + int64(run)*1000,
 		}
-		res := RunScenario(sc)
+		res := runScenarioCell(c, sc)
 		tcp0, tcp1 := res.TCPSeries[0], res.TCPSeries[1]
 		tf0, tf1 := res.TFRCSeries[0], res.TFRCSeries[1]
 		out := fig09Run{

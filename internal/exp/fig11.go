@@ -73,7 +73,7 @@ func RunFig11(pr Fig11Params) *Fig11Result {
 	res := &Fig11Result{Timescales: pr.Timescales}
 	base := 0.1
 	nscale := len(pr.Timescales)
-	cells := runCells(len(pr.Sources)*pr.Runs, func(i int) fig11Run {
+	cells := runCellsCtx(len(pr.Sources)*pr.Runs, func(c *Cell, i int) fig11Run {
 		n, run := pr.Sources[i/pr.Runs], i%pr.Runs
 		sc := Scenario{
 			NTCP:          1,
@@ -91,7 +91,7 @@ func RunFig11(pr Fig11Params) *Fig11Result {
 			BinWidth:      base,
 			Seed:          pr.Seed + int64(run)*977 + int64(n),
 		}
-		r := RunScenario(sc)
+		r := runScenarioCell(c, sc)
 		out := fig11Run{
 			loss: r.DropRate,
 			eq:   make([]float64, nscale),

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"tfrc/internal/netsim"
-	"tfrc/internal/sim"
 	"tfrc/internal/stats"
 	"tfrc/internal/tcp"
 	"tfrc/internal/tfrcsim"
@@ -68,15 +67,18 @@ type ParkingLotResult struct {
 }
 
 // runParkingLotCell runs one (bottlenecks, seed) cell on the declarative
-// topology + scenario layer.
-func runParkingLotCell(pr ParkingLotParams, k int, seed int64) ParkingLotCell {
-	rng := sim.NewRand(seed)
+// topology + scenario layer, over the worker's pinned arena. The random
+// sources come from the scheduler's recycled generators, which re-seed
+// to exactly the stream a fresh source would produce.
+func runParkingLotCell(c *Cell, pr ParkingLotParams, k int, seed int64) ParkingLotCell {
+	sched := c.begin()
+	rng := sched.NewRand(seed)
 	bw := pr.LinkMbps * 1e6
 	queueLimit := int(max(10, bw*0.1/(8*1000)))
 	red := netsim.DefaultRED(queueLimit)
 	red.MinThresh = max(5, float64(queueLimit)/10)
 	red.MaxThresh = float64(queueLimit) / 2
-	pl := netsim.NewParkingLot(sim.NewScheduler(), netsim.ParkingLotConfig{
+	pl := netsim.NewParkingLot(sched, netsim.ParkingLotConfig{
 		Bottlenecks:   k,
 		ThroughPairs:  2, // pair 0 carries TFRC, pair 1 TCP
 		CrossPairs:    pr.CrossPairs,
@@ -85,7 +87,7 @@ func runParkingLotCell(pr ParkingLotParams, k int, seed int64) ParkingLotCell {
 		Queue:         pr.Queue,
 		QueueLimit:    queueLimit,
 		RED:           red,
-	}, sim.NewRand(seed+1))
+	}, sched.NewRand(seed+1))
 
 	b := NewScenarioBuilder(pl.Topo)
 	segMons := make([]*netsim.FlowMonitor, k)
@@ -148,9 +150,9 @@ func RunParkingLot(pr ParkingLotParams) *ParkingLotResult {
 	if seeds < 1 {
 		seeds = 1
 	}
-	raw := runCells(len(pr.Bottlenecks)*seeds, func(i int) ParkingLotCell {
+	raw := runCellsCtx(len(pr.Bottlenecks)*seeds, func(c *Cell, i int) ParkingLotCell {
 		k, rep := pr.Bottlenecks[i/seeds], i%seeds
-		return runParkingLotCell(pr, k, pr.Seed+int64(rep)*6151)
+		return runParkingLotCell(c, pr, k, pr.Seed+int64(rep)*6151)
 	})
 	res := &ParkingLotResult{Params: pr}
 	for c := range pr.Bottlenecks {

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tfrc/internal/netsim"
+)
+
+// The arena discipline's core promise: a cell computed on a recycled
+// worker context is indistinguishable from one computed on freshly
+// constructed state. These tests drive a randomized mixed sequence of
+// dumbbell (fig-6 style) and parking-lot cells through ONE pooled Cell —
+// maximizing cross-contamination opportunities between consecutive,
+// differently-shaped scenarios — and require every result to match a
+// fresh-cell run field for field.
+
+// reuseCellSpec describes one randomized cell of the differential test.
+type reuseCellSpec struct {
+	parking bool
+	queue   netsim.QueueKind
+	link    float64
+	flows   int
+	lots    int
+	seed    int64
+}
+
+func randomReuseSequence(n int, seed int64) []reuseCellSpec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]reuseCellSpec, n)
+	for i := range specs {
+		q := netsim.QueueDropTail
+		if rng.Intn(2) == 1 {
+			q = netsim.QueueRED
+		}
+		specs[i] = reuseCellSpec{
+			parking: rng.Intn(3) == 0, // every third cell, on average
+			queue:   q,
+			link:    []float64{2, 4, 8}[rng.Intn(3)],
+			flows:   []int{2, 4, 8}[rng.Intn(3)],
+			lots:    1 + rng.Intn(2),
+			seed:    rng.Int63n(1 << 30),
+		}
+	}
+	return specs
+}
+
+// run executes the spec on the given worker cell.
+func (s reuseCellSpec) run(c *Cell) any {
+	if s.parking {
+		return runParkingLotCell(c, ParkingLotParams{
+			CrossPairs: 1,
+			LinkMbps:   s.link,
+			Queue:      s.queue,
+			Duration:   16,
+			Warmup:     6,
+		}, s.lots, s.seed)
+	}
+	return runFig06Cell(c, s.queue, s.link, s.flows, 16, 8, s.seed)
+}
+
+// TestReusedCellMatchesFreshCell is the randomized reuse-vs-fresh
+// differential: the same mixed cell sequence, once through a single
+// recycled Cell (worker-pinned reuse) and once with a brand-new Cell per
+// cell (fresh construction), must produce identical results.
+func TestReusedCellMatchesFreshCell(t *testing.T) {
+	specs := randomReuseSequence(14, 71)
+
+	pooled := newCell() // one worker context reused for every cell
+	for i, spec := range specs {
+		reused := spec.run(pooled)
+		fresh := spec.run(newCell())
+		if !reflect.DeepEqual(reused, fresh) {
+			t.Fatalf("cell %d (%+v): pooled-context result differs from fresh construction:\npooled: %+v\nfresh:  %+v",
+				i, spec, reused, fresh)
+		}
+	}
+}
+
+// TestReusedCellPrintedOutputByteIdentical renders a reused-cell grid
+// and a fresh-cell grid to text and compares bytes, catching any
+// divergence DeepEqual's field comparison could mask (NaN, -0, shared
+// aliasing) on the exact surface the figure files are built from.
+func TestReusedCellPrintedOutputByteIdentical(t *testing.T) {
+	specs := randomReuseSequence(10, 1234)
+	render := func(results []any) string {
+		out := ""
+		for _, r := range results {
+			out += fmt.Sprintf("%#v\n", r)
+		}
+		return out
+	}
+	pooled := newCell()
+	var reused, fresh []any
+	for _, spec := range specs {
+		reused = append(reused, spec.run(pooled))
+	}
+	for _, spec := range specs {
+		fresh = append(fresh, spec.run(newCell()))
+	}
+	if a, b := render(reused), render(fresh); a != b {
+		t.Fatalf("pooled-context output differs from fresh construction:\n--- pooled\n%s--- fresh\n%s", a, b)
+	}
+}
+
+// TestRunScenarioResultsOutliveCellReuse pins result privacy: a harvested
+// ScenarioResult must not change when its worker cell is recycled and
+// overwritten by a different scenario.
+func TestRunScenarioResultsOutliveCellReuse(t *testing.T) {
+	c := newCell()
+	sc := Scenario{
+		NTCP: 2, NTFRC: 2,
+		BottleneckBW: 4e6,
+		Queue:        netsim.QueueRED,
+		Duration:     12,
+		Warmup:       4,
+		Seed:         9,
+	}
+	first := runScenarioCell(c, sc)
+	snapshot := fmt.Sprintf("%#v %v %v %v", *first, first.TCPSeries, first.TFRCSeries, first.Queue)
+
+	// Overwrite the arena with a differently shaped, longer scenario.
+	sc2 := sc
+	sc2.NTCP, sc2.NTFRC, sc2.Seed, sc2.Duration = 4, 4, 10, 14
+	_ = runScenarioCell(c, sc2)
+
+	if got := fmt.Sprintf("%#v %v %v %v", *first, first.TCPSeries, first.TFRCSeries, first.Queue); got != snapshot {
+		t.Fatalf("harvested result mutated by cell reuse:\nbefore: %s\nafter:  %s", snapshot, got)
+	}
+}

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"sync"
 	"sync/atomic"
 
+	"tfrc/internal/sim"
 	"tfrc/internal/sweep"
 )
 
@@ -34,4 +36,56 @@ func Parallelism() int { return int(parallelism.Load()) }
 // worker pool, returning results in cell order.
 func runCells[T any](n int, fn func(i int) T) []T {
 	return sweep.Map(Parallelism(), n, fn)
+}
+
+// Cell is a worker-pinned simulation arena: a pinned scheduler plus the
+// package arenas riding on it (network, topology, monitors, TCP/TFRC/
+// traffic agents, scenario builders). A sweep worker passes the same
+// Cell to every cell it executes, so cell i+workers rebuilds its entire
+// working set out of cell i's memory — after each worker's first cell, a
+// scenario run touches the allocator only to harvest its result.
+type Cell struct {
+	sched   *sim.Scheduler
+	scratch []float64 // per-cell float scratch (access-delay draws)
+}
+
+func newCell() *Cell {
+	s := sim.NewScheduler()
+	s.Pin()
+	return &Cell{sched: s}
+}
+
+// cellPool recycles Cells across sweeps and across the standalone
+// entry points (RunScenario et al.), so even non-sweep callers reuse a
+// warm arena.
+var cellPool = sync.Pool{New: func() any { return newCell() }}
+
+func getCell() *Cell  { return cellPool.Get().(*Cell) }
+func putCell(c *Cell) { cellPool.Put(c) }
+
+// begin rewinds the cell's arena for a fresh scenario and returns its
+// scheduler. Everything drawn from the previous scenario on this cell is
+// reclaimed — results harvested earlier stay valid because harvests copy
+// into private storage.
+func (c *Cell) begin() *sim.Scheduler {
+	c.sched.Reset()
+	return c.sched
+}
+
+// floats returns an n-element scratch slice owned by the cell, valid
+// until the next call.
+func (c *Cell) floats(n int) []float64 {
+	if cap(c.scratch) < n {
+		c.scratch = make([]float64, n)
+	}
+	return c.scratch[:n]
+}
+
+// runCellsCtx executes n independent experiment cells on the configured
+// worker pool with worker-pinned Cells, returning results in cell order.
+// The grid-shaped figure experiments run on this variant: it preserves
+// runCells' exactly-once, deterministic-order contract while letting
+// consecutive cells on one worker share an arena.
+func runCellsCtx[T any](n int, fn func(c *Cell, i int) T) []T {
+	return sweep.MapCtx(Parallelism(), n, getCell, putCell, fn)
 }

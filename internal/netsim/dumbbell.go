@@ -69,10 +69,14 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbb
 	if cfg.PktBytes > 0 {
 		t.Network().SetNominalPacketSize(cfg.PktBytes)
 	}
-	d := &Dumbbell{
+	// The realized-topology struct rides the scheduler's arena like the
+	// builder state it wraps; its host slices keep their capacity across
+	// sweep cells.
+	d := arenaOf(sched).dumbbell()
+	*d = Dumbbell{
 		Topo: t, Net: t.Network(), cfg: cfg,
-		Left:  make([]*Node, 0, cfg.Hosts),
-		Right: make([]*Node, 0, cfg.Hosts),
+		Left:  d.Left[:0],
+		Right: d.Right[:0],
 	}
 	d.RouterL = t.Node("rl")
 	d.RouterR = t.Node("rr")
@@ -83,19 +87,17 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig, rng *sim.Rand) *Dumbb
 	d.ForwardQ = d.Forward.Queue()
 	d.RevQ = d.Reverse.Queue()
 
-	accessDelay := func(i int) float64 {
-		if cfg.AccessDly == nil {
-			return 0.001
-		}
-		return cfg.AccessDly[i%len(cfg.AccessDly)]
-	}
 	for i := 0; i < cfg.Hosts; i++ {
+		dly := 0.001
+		if cfg.AccessDly != nil {
+			dly = cfg.AccessDly[i%len(cfg.AccessDly)]
+		}
 		l := IndexedName("l", i)
 		r := IndexedName("r", i)
 		d.Left = append(d.Left, t.Node(l))
 		d.Right = append(d.Right, t.Node(r))
 		aspec := LinkSpec{
-			Bandwidth: cfg.AccessBW, Delay: accessDelay(i),
+			Bandwidth: cfg.AccessBW, Delay: dly,
 			Queue: QueueDropTail, QueueLimit: cfg.AccessQueueLen,
 		}
 		t.Link(l, "rl", aspec)

@@ -24,27 +24,61 @@ type FlowMonitor struct {
 }
 
 // NewFlowMonitor returns a monitor with the given bin width (seconds),
-// with bin 0 starting at time start.
+// with bin 0 starting at time start. Network.NewFlowMonitor is the
+// arena-backed variant sweep cells should prefer.
 func NewFlowMonitor(binWidth, start float64) *FlowMonitor {
-	if binWidth <= 0 {
-		panic("netsim: FlowMonitor bin width must be positive")
-	}
-	m := &FlowMonitor{binWidth: binWidth, start: start}
-	m.tap = m.observe
+	m := &FlowMonitor{}
+	m.init(binWidth, start)
 	return m
 }
 
+// NewFlowMonitor returns a flow monitor drawn from the scheduler's
+// arena: a recycled monitor keeps its per-flow state table and every
+// flow's bin capacity, so repeated sweep cells monitor their links
+// without reallocating series storage.
+func (nw *Network) NewFlowMonitor(binWidth, start float64) *FlowMonitor {
+	m := arenaOf(nw.sched).flowMonitor()
+	m.init(binWidth, start)
+	return m
+}
+
+// init (re)configures a monitor, zeroing per-flow state while keeping
+// the state table and each flow's bin capacity for reuse.
+func (m *FlowMonitor) init(binWidth, start float64) {
+	if binWidth <= 0 {
+		panic("netsim: FlowMonitor bin width must be positive")
+	}
+	m.binWidth = binWidth
+	m.start = start
+	if m.tap == nil {
+		m.tap = m.observe
+	}
+	flows := m.flows[:cap(m.flows)]
+	for i := range flows {
+		f := &flows[i]
+		f.arrivals, f.departs, f.drops = 0, 0, 0
+		f.bins = f.bins[:0]
+	}
+	m.flows = m.flows[:0]
+}
+
 // Register preallocates flow state for flow IDs 0..flows-1 with capacity
-// for nbins bins each, carving every flow's series out of one backing
-// slab. Unregistered flows still work — their state grows on first
-// sight — but registration keeps the packet path allocation-free.
+// for nbins bins each, carving any series that still lacks capacity out
+// of one backing slab. A recycled monitor usually needs no slab at all —
+// the previous scenario's bin capacities are reused. Unregistered flows
+// still work — their state grows on first sight — but registration keeps
+// the packet path allocation-free.
 func (m *FlowMonitor) Register(flows, nbins int) {
 	if flows <= len(m.flows) {
 		flows = len(m.flows)
 	}
-	grown := make([]flowSeries, flows)
-	copy(grown, m.flows)
-	m.flows = grown
+	if flows > cap(m.flows) {
+		grown := make([]flowSeries, flows)
+		copy(grown, m.flows)
+		m.flows = grown
+	} else {
+		m.flows = m.flows[:flows]
+	}
 	if nbins < 1 {
 		nbins = 1
 	}
@@ -53,6 +87,9 @@ func (m *FlowMonitor) Register(flows, nbins int) {
 		if cap(m.flows[i].bins) < nbins {
 			need++
 		}
+	}
+	if need == 0 {
+		return
 	}
 	slab := make([]float64, need*nbins)
 	off := 0
@@ -200,12 +237,15 @@ func qmonTickFn(x any) { x.(*QueueMonitor).tick() }
 // scheduler stops running or end is reached (end ≤ 0 means forever). The
 // ticks ride the arg-carrying event path, so steady-state sampling is
 // allocation-free; with a known end the sample buffer is preallocated
-// too.
+// too. The monitor struct is drawn from the scheduler's arena, but
+// Samples is always freshly allocated: harvested results keep the slice,
+// so a recycled monitor must never write into it again.
 func NewQueueMonitor(nw *Network, q Queue, period, end float64) *QueueMonitor {
 	if period <= 0 {
 		panic("netsim: QueueMonitor period must be positive")
 	}
-	m := &QueueMonitor{nw: nw, q: q, period: period, end: end}
+	m := arenaOf(nw.sched).queueMonitor()
+	*m = QueueMonitor{nw: nw, q: q, period: period, end: end}
 	if end > 0 {
 		m.Samples = make([]QueueSample, 0, int(end/period)+1)
 	}
@@ -253,19 +293,30 @@ type UtilizationMonitor struct {
 	start   float64
 	bytes   float64
 	lastDep float64
+	tap     Tap // prebuilt once, kept across arena reuse
 }
 
 // NewUtilizationMonitor attaches a utilization tap to the link, counting
-// departures from time start onward.
+// departures from time start onward. The monitor is drawn from the
+// owning scheduler's arena and recycled across scenarios.
 func NewUtilizationMonitor(l *Link, start float64) *UtilizationMonitor {
-	m := &UtilizationMonitor{bw: l.Bandwidth(), start: start}
-	l.AddTap(func(ev TapEvent, now float64, p *Packet) {
-		if ev == TapDepart && now >= start {
-			m.bytes += float64(p.Size)
-			m.lastDep = now
-		}
-	})
+	m := arenaOf(l.net.sched).utilizationMonitor()
+	m.bw = l.Bandwidth()
+	m.start = start
+	m.bytes = 0
+	m.lastDep = 0
+	if m.tap == nil {
+		m.tap = m.observe
+	}
+	l.AddTap(m.tap)
 	return m
+}
+
+func (m *UtilizationMonitor) observe(ev TapEvent, now float64, p *Packet) {
+	if ev == TapDepart && now >= m.start {
+		m.bytes += float64(p.Size)
+		m.lastDep = now
+	}
 }
 
 // Utilization returns delivered bits over capacity·elapsed, measured up to

@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"sync"
 
 	"tfrc/internal/sim"
 )
@@ -133,9 +132,10 @@ type bfsHop struct {
 //
 // All working memory — node and link structs, route tables, queue rings,
 // packets, and route-computation scratch — is slab-allocated on the
-// Network and survives Release/New cycles through a shared pool, so sweep
-// cells that build thousands of short-lived networks stop paying setup
-// allocations after the first few.
+// Network, which itself lives in its scheduler's arena and survives
+// Release/New and Scheduler.Reset cycles, so sweep cells that build
+// thousands of short-lived networks stop paying setup allocations after
+// the first few.
 type Network struct {
 	sched      *sim.Scheduler
 	pool       Pool
@@ -148,6 +148,13 @@ type Network struct {
 	linksUsed  int
 	dtChunks   [][]DropTail
 	dtUsed     int
+	redChunks  [][]RED
+	redUsed    int
+
+	// nowFn is the clock closure handed to capacity-aware queues. It
+	// captures the (stable) Network rather than the current scheduler, so
+	// it is built once per Network lifetime instead of once per queue.
+	nowFn func() float64
 
 	routeSlab []*Link // n*n next-hop table, partitioned per node
 
@@ -159,34 +166,36 @@ type Network struct {
 	bfsQ    []bfsHop // BuildRoutes scratch
 }
 
-// netMem recycles Network structs (and all their slab storage) across
-// instances; see Release.
-var netMem = sync.Pool{New: func() any { return new(Network) }}
-
-// New returns an empty network driven by the given scheduler. Its backing
-// memory may be recycled from a previously Released network.
+// New returns an empty network driven by the given scheduler. Its
+// backing memory comes from the scheduler's netsim arena: when the
+// scheduler is recycled (Reset or a pool round-trip), the network — and
+// all its slab storage — is handed out again, so sweep cells that build
+// thousands of short-lived networks stop paying setup allocations.
 func New(sched *sim.Scheduler) *Network {
-	nw := netMem.Get().(*Network)
+	nw := arenaOf(sched).network()
 	nw.sched = sched
 	nw.nominalPkt = 1000
 	nw.nodes = nw.nodes[:0]
 	nw.nodesUsed = 0
 	nw.linksUsed = 0
 	nw.dtUsed = 0
+	nw.redUsed = 0
 	nw.ringBlock = 0
 	nw.ringOff = 0
 	nw.pool.reset()
+	if nw.nowFn == nil {
+		nw.nowFn = func() float64 { return nw.sched.Now() }
+	}
 	return nw
 }
 
-// Release returns the network's backing memory to a shared pool for reuse
-// by a later New. The network, its nodes, links, queues, and every packet
-// drawn from its pool must not be used afterwards. Calling Release is
-// optional — an unreleased network is simply collected by the GC.
-//
-// Outward references are scrubbed so a pooled network does not pin the
-// previous scenario's object graph (agents bound to ports, tap closures
-// over monitors and their series) while it sits in the pool.
+// Release scrubs the network's outward references — agents bound to
+// ports, tap closures over monitors and their series — so the recycled
+// network does not pin the finished scenario's object graph while it
+// waits in the scheduler's arena for the next New. The network, its
+// nodes, links, queues, and every packet drawn from its pool must not be
+// used afterwards. Calling Release is optional: the arena reclaims the
+// memory at the next Scheduler.Reset either way.
 func (nw *Network) Release() {
 	nw.sched = nil
 	for i := 0; i < nw.nodesUsed; i++ {
@@ -202,7 +211,6 @@ func (nw *Network) Release() {
 		l.queue = nil
 	}
 	clear(nw.routeSlab)
-	netMem.Put(nw)
 }
 
 // SetNominalPacketSize sets the mean packet size (bytes) used to convert

@@ -60,9 +60,9 @@ type RED struct {
 	Marked int
 }
 
-// newREDNoBuf validates cfg and builds a RED queue without its ring
-// buffer; the caller supplies one.
-func newREDNoBuf(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
+// validateRED panics on an unusable configuration; both construction
+// paths share it.
+func validateRED(cfg REDConfig) {
 	if cfg.Limit < 1 {
 		panic("netsim: RED limit must be ≥ 1")
 	}
@@ -72,6 +72,12 @@ func newREDNoBuf(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
 	if cfg.Wq <= 0 || cfg.Wq > 1 {
 		panic("netsim: RED Wq must be in (0, 1]")
 	}
+}
+
+// newREDNoBuf validates cfg and builds a RED queue without its ring
+// buffer; the caller supplies one.
+func newREDNoBuf(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
+	validateRED(cfg)
 	return &RED{cfg: cfg, rng: rng, now: now, idle: true}
 }
 
@@ -84,15 +90,22 @@ func NewRED(cfg REDConfig, now func() float64, rng *sim.Rand) *RED {
 }
 
 // newRED is the arena-backed variant used by the topology layer: the
-// ring buffer comes from the network's packet-pointer arena, recycled
-// across Release/New.
+// struct comes from the network's chunk slabs, the ring buffer from its
+// packet-pointer arena, and the clock closure is the network's shared
+// one — all recycled across Release/New.
 func (nw *Network) newRED(cfg REDConfig, rng *sim.Rand) *RED {
-	q := newREDNoBuf(cfg, nw.sched.Now, rng)
+	validateRED(cfg)
+	ci, off := nw.redUsed/linkChunkSize, nw.redUsed%linkChunkSize
+	if ci == len(nw.redChunks) {
+		nw.redChunks = append(nw.redChunks, make([]RED, linkChunkSize))
+	}
+	nw.redUsed++
+	q := &nw.redChunks[ci][off]
 	n := cfg.Limit
 	if n < 8 {
 		n = 8
 	}
-	q.fifo = fifo{buf: nw.pktRing(n)}
+	*q = RED{cfg: cfg, rng: rng, now: nw.nowFn, idle: true, fifo: fifo{buf: nw.pktRing(n)}}
 	return q
 }
 

@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"sync"
 
 	"tfrc/internal/sim"
 )
@@ -46,20 +45,14 @@ type Topology struct {
 	built     bool
 }
 
-// topoMem recycles Topology structs (keeping their name-map buckets)
-// across instances; see Release.
-var topoMem = sync.Pool{New: func() any {
-	return &Topology{
-		nodes: make(map[string]*Node),
-		links: make(map[string]*Link),
-	}
-}}
-
 // NewTopology returns an empty topology on a fresh network bound to
 // sched. rng drives the early-drop decisions of any RED queues declared
-// via LinkSpec; it may be nil if no such queue is declared.
+// via LinkSpec; it may be nil if no such queue is declared. The builder
+// state (its name-map buckets) comes from the scheduler's arena, so
+// repeated cells on a recycled scheduler rebuild their topology without
+// reallocating it.
 func NewTopology(sched *sim.Scheduler, rng *sim.Rand) *Topology {
-	t := topoMem.Get().(*Topology)
+	t := arenaOf(sched).topology()
 	t.nw = New(sched)
 	t.sched = sched
 	t.rng = rng
@@ -70,15 +63,16 @@ func NewTopology(sched *sim.Scheduler, rng *sim.Rand) *Topology {
 	return t
 }
 
-// Release returns the topology's builder state (its name maps) to a
-// shared pool for reuse by a later NewTopology. It does not release the
-// underlying network or scheduler — the caller owns those. The topology
-// must not be used afterwards.
+// Release scrubs the topology's references to its network and scheduler
+// so the recycled builder state pins nothing while it waits in the
+// scheduler's arena for the next NewTopology. The topology must not be
+// used afterwards; calling Release is optional.
 func (t *Topology) Release() {
 	t.nw = nil
 	t.sched = nil
 	t.rng = nil
-	topoMem.Put(t)
+	clear(t.nodes)
+	clear(t.links)
 }
 
 // Network returns the underlying network.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // event is one scheduled callback. Events live inline in the scheduler's
@@ -45,11 +46,14 @@ func entryLess(a, b *entry) bool {
 // inert: Scheduled reports false and Cancel is a no-op. A Handle held
 // across its event's firing or cancellation goes stale — the generation
 // counter guarantees a stale Handle can never cancel the unrelated event
-// that later reuses the same recycled slot.
+// that later reuses the same recycled slot, and the epoch stamp
+// guarantees a Handle issued before a Scheduler.Reset can never touch
+// the rebuilt slot table of the next scenario.
 type Handle struct {
-	s    *Scheduler
-	gen  uint64
-	slot int32
+	s     *Scheduler
+	gen   uint64
+	epoch uint64
+	slot  int32
 }
 
 // Time returns the simulated time at which the event fires, or 0 for a
@@ -62,9 +66,11 @@ func (h Handle) Time() float64 {
 }
 
 // Scheduled reports whether the event this Handle was issued for is still
-// pending in the queue.
+// pending in the queue. The epoch check comes first: after a Reset the
+// slot table is rebuilt from empty, so a pre-Reset slot index may exceed
+// it (or alias an unrelated new event at the same generation).
 func (h Handle) Scheduled() bool {
-	if h.s == nil {
+	if h.s == nil || h.epoch != h.s.epoch {
 		return false
 	}
 	e := &h.s.slots[h.slot]
@@ -80,13 +86,49 @@ func (h Handle) Scheduled() bool {
 type Scheduler struct {
 	now     float64
 	seq     uint64
+	epoch   uint64 // bumped by Reset; stale-epoch Handles are inert
 	heap    []entry
 	slots   []event
 	free    []int32 // recycled slot indices
 	stopped bool
+	pinned  bool // owned by a worker context: Release is a no-op
 
 	rands    []*Rand // generators handed out by NewRand, recycled on reuse
 	randUsed int
+
+	arenas []Arena // per-package agent arenas, indexed by ArenaID
+}
+
+// Arena is a scheduler-attached memory arena: a package-private pool of
+// that package's per-scenario objects (agents, monitors, networks). The
+// scheduler calls ResetArena at every Reset, which marks every object
+// the arena ever handed out as free again — the whole working set of the
+// previous scenario becomes the construction stock of the next one.
+type Arena interface{ ResetArena() }
+
+// ArenaID names one package's arena slot on every scheduler. IDs are
+// allocated once at package init via NewArenaID.
+type ArenaID int32
+
+var arenaIDs atomic.Int32
+
+// NewArenaID reserves a process-wide arena slot index.
+func NewArenaID() ArenaID { return ArenaID(arenaIDs.Add(1) - 1) }
+
+// Arena returns the scheduler's arena for the given ID, calling mk to
+// build it on first use. Arenas survive Reset and Release: they are the
+// mechanism by which a reused scheduler carries an entire recycled
+// object graph from one sweep cell to the next.
+func (s *Scheduler) Arena(id ArenaID, mk func() Arena) Arena {
+	for int(id) >= len(s.arenas) {
+		s.arenas = append(s.arenas, nil)
+	}
+	a := s.arenas[id]
+	if a == nil {
+		a = mk()
+		s.arenas[id] = a
+	}
+	return a
 }
 
 // schedMem recycles scheduler backing arrays across instances: sweep
@@ -98,21 +140,53 @@ var schedMem = sync.Pool{New: func() any { return new(Scheduler) }}
 // arrays may be recycled from a previously Released scheduler.
 func NewScheduler() *Scheduler {
 	s := schedMem.Get().(*Scheduler)
+	s.Reset()
+	return s
+}
+
+// Reset rewinds the scheduler for a fresh scenario: the clock returns to
+// zero, every pending event is dropped (and its callback reference
+// scrubbed), recycled random generators and arena objects all become
+// available again. Any Handle, Rand, or arena object obtained before the
+// Reset must be re-acquired. Worker contexts that pin a scheduler call
+// Reset once per sweep cell instead of round-tripping it through the
+// shared pool.
+func (s *Scheduler) Reset() {
+	for i := range s.slots {
+		s.slots[i].fn = nil
+		s.slots[i].afn = nil
+		s.slots[i].arg = nil
+	}
 	s.now = 0
 	s.seq = 0
+	s.epoch++
 	s.heap = s.heap[:0]
 	s.slots = s.slots[:0]
 	s.free = s.free[:0]
 	s.stopped = false
 	s.randUsed = 0
-	return s
+	for _, a := range s.arenas {
+		if a != nil {
+			a.ResetArena()
+		}
+	}
 }
+
+// Pin marks the scheduler as owned by a long-lived worker context:
+// Release becomes a no-op, so the scheduler (and the arenas riding on
+// it) stays with its owner instead of returning to the shared pool. The
+// owner recycles it with Reset.
+func (s *Scheduler) Pin() { s.pinned = true }
 
 // Release returns the scheduler's backing arrays to a shared pool for
 // reuse by a later NewScheduler. The scheduler (and any Handle issued by
 // it) must not be used afterwards. Calling Release is optional — an
-// unreleased scheduler is simply collected by the GC.
+// unreleased scheduler is simply collected by the GC — and it is a no-op
+// on a pinned scheduler, whose owner keeps recycling it via Reset.
 func (s *Scheduler) Release() {
+	if s.pinned {
+		return
+	}
 	for i := range s.slots {
 		s.slots[i].fn = nil
 		s.slots[i].afn = nil
@@ -229,7 +303,7 @@ func (s *Scheduler) remove(i int) {
 func (s *Scheduler) At(t float64, fn func()) Handle {
 	slot := s.alloc(t)
 	s.slots[slot].fn = fn
-	return Handle{s: s, slot: slot, gen: s.slots[slot].gen}
+	return Handle{s: s, slot: slot, gen: s.slots[slot].gen, epoch: s.epoch}
 }
 
 // After schedules fn to run d seconds from now.
@@ -245,7 +319,7 @@ func (s *Scheduler) AtArg(t float64, fn func(any), arg any) Handle {
 	e := &s.slots[slot]
 	e.afn = fn
 	e.arg = arg
-	return Handle{s: s, slot: slot, gen: e.gen}
+	return Handle{s: s, slot: slot, gen: e.gen, epoch: s.epoch}
 }
 
 // AfterArg schedules fn(arg) to run d seconds from now.

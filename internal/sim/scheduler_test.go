@@ -516,6 +516,42 @@ func TestSchedulerReleaseReuse(t *testing.T) {
 	}
 }
 
+// TestHandlesFromBeforeResetAreInert pins the epoch guard: a Handle
+// issued before Scheduler.Reset must be completely inert afterwards —
+// Scheduled false, Time zero, Cancel a no-op — even when the new
+// scenario's slot table is smaller than the old slot index (which would
+// otherwise index out of range) or reuses the same (slot, generation)
+// pair for an unrelated event (which a stale Cancel would otherwise
+// kill).
+func TestHandlesFromBeforeResetAreInert(t *testing.T) {
+	s := NewScheduler()
+	// Grow the slot table, keeping a pending handle at a high slot and
+	// one at slot 0 with generation 0 — the aliasing candidates.
+	var stale []Handle
+	for i := 0; i < 32; i++ {
+		stale = append(stale, s.At(float64(i+1), func() {}))
+	}
+
+	s.Reset()
+	if stale[7].Scheduled() {
+		t.Fatal("pre-Reset handle still reports Scheduled")
+	}
+	if got := stale[7].Time(); got != 0 {
+		t.Fatalf("pre-Reset handle Time = %v, want 0", got)
+	}
+	// One fresh event: its slot 0 / generation 0 collides with stale[0]'s
+	// identity, and every higher stale slot exceeds the new table.
+	fired := false
+	s.At(1, func() { fired = true })
+	for _, h := range stale {
+		s.Cancel(h) // must not panic and must not cancel the new event
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale pre-Reset Cancel killed an unrelated post-Reset event")
+	}
+}
+
 func BenchmarkSchedulerChurn(b *testing.B) {
 	s := NewScheduler()
 	r := rand.New(rand.NewSource(1))

@@ -1,0 +1,50 @@
+package tcp
+
+import "tfrc/internal/sim"
+
+var tcpArenaID = sim.NewArenaID()
+
+// agentArena is the scheduler-attached pool of TCP agents. Long-lived
+// senders and sinks are reclaimed wholesale at the next Scheduler.Reset;
+// short-lived ones (mice sessions) can be handed back mid-scenario via
+// Release, so a 5000-second cell with thousands of web-mouse transfers
+// churns a bounded set of structs instead of growing without limit.
+type agentArena struct {
+	senders  []*Sender // every sender ever built on this scheduler
+	freeSnd  []*Sender // subset currently available
+	sinks    []*Sink
+	freeSink []*Sink
+}
+
+// ResetArena implements sim.Arena: everything ever handed out becomes
+// available again.
+func (a *agentArena) ResetArena() {
+	a.freeSnd = append(a.freeSnd[:0], a.senders...)
+	a.freeSink = append(a.freeSink[:0], a.sinks...)
+}
+
+func arenaOf(s *sim.Scheduler) *agentArena {
+	return s.Arena(tcpArenaID, func() sim.Arena { return &agentArena{} }).(*agentArena)
+}
+
+func (a *agentArena) sender() *Sender {
+	if n := len(a.freeSnd); n > 0 {
+		s := a.freeSnd[n-1]
+		a.freeSnd = a.freeSnd[:n-1]
+		return s
+	}
+	s := new(Sender)
+	a.senders = append(a.senders, s)
+	return s
+}
+
+func (a *agentArena) sink() *Sink {
+	if n := len(a.freeSink); n > 0 {
+		s := a.freeSink[n-1]
+		a.freeSink = a.freeSink[:n-1]
+		return s
+	}
+	s := new(Sink)
+	a.sinks = append(a.sinks, s)
+	return s
+}

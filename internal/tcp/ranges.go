@@ -61,6 +61,10 @@ func (s *rangeSet) add(start, end int64) {
 	s.r = append(s.r[:i+1], s.r[j:]...)
 }
 
+// clear empties the set in place, keeping the backing array so later
+// adds reuse it instead of regrowing from nil.
+func (s *rangeSet) clear() { s.r = s.r[:0] }
+
 // contains reports whether seq is covered.
 func (s *rangeSet) contains(seq int64) bool {
 	i := s.searchEndAtLeast(seq + 1)

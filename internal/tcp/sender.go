@@ -37,6 +37,7 @@ type Sender struct {
 	rtxed  rangeSet // holes retransmitted during this recovery
 
 	rtx     sim.Timer
+	startEv sim.Handle // pending Start event, cancelled by Release
 	backoff float64
 	srtt    float64
 	rttvar  float64
@@ -50,7 +51,8 @@ type Sender struct {
 	started   bool
 	stopped   bool
 
-	limit int64 // 0 = infinite backlog; else stop after this many packets
+	limit    int64 // 0 = infinite backlog; else stop after this many packets
+	released bool  // guards against double Release
 
 	jitter   *sim.Rand // non-nil when SendJitter > 0
 	lastSend float64   // latest scheduled departure, preserves ordering
@@ -62,10 +64,22 @@ type Sender struct {
 
 // NewSender creates a sender on node, addressing the sink at dst:dstPort.
 // ACKs must be routed back to srcPort on node (Attach does this). flow
-// tags all packets for monitors.
+// tags all packets for monitors. The sender struct — including its SACK
+// scoreboard backing — is drawn from the scheduler's agent arena, so
+// sweep cells and short-session generators construct senders without
+// touching the allocator once the arena is warm.
 func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort, srcPort, flow int, cfg Config) *Sender {
 	cfg.fill()
-	s := &Sender{
+	s := arenaOf(nw.Scheduler()).sender()
+	sacked, rtxed := s.sacked.r[:0], s.rtxed.r[:0]
+	if cap(sacked) == 0 || cap(rtxed) == 0 {
+		// One backing array serves both scoreboards; either set regrows
+		// privately in the rare case it outgrows its half.
+		buf := make([]srange, 2*256)
+		sacked = buf[0:0:256]
+		rtxed = buf[256:256:512]
+	}
+	*s = Sender{
 		cfg:      cfg,
 		net:      nw,
 		node:     node,
@@ -77,17 +91,35 @@ func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort
 		ssthresh: cfg.MaxWindow,
 		backoff:  1,
 	}
-	// One backing array serves both scoreboards; either set regrows
-	// privately in the rare case it outgrows its half.
-	buf := make([]srange, 2*256)
-	s.sacked.r = buf[0:0:256]
-	s.rtxed.r = buf[256:256:512]
+	s.sacked.r = sacked
+	s.rtxed.r = rtxed
 	s.rtx.InitArg(nw.Scheduler(), senderTimeoutFn, s)
 	if cfg.SendJitter > 0 {
 		s.jitter = nw.Scheduler().NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x9e3779b9)
 	}
 	node.Attach(srcPort, s)
 	return s
+}
+
+// Release hands the sender back to its scheduler's agent arena for reuse
+// by a later NewSender, stopping its timers and cancelling any pending
+// Start event first. The caller must have detached the sender from its
+// port (a completed limited transfer detaches itself); the sender must
+// not be used afterwards. Release is optional — Scheduler.Reset reclaims
+// every agent wholesale — and exists so long scenarios that churn
+// short-lived senders (web mice) recycle them mid-run.
+func (s *Sender) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.stopped = true
+	s.rtx.Stop()
+	s.net.Scheduler().Cancel(s.startEv)
+	s.startEv = sim.Handle{}
+	s.OnComplete = nil
+	a := arenaOf(s.net.Scheduler())
+	a.freeSnd = append(a.freeSnd, s)
 }
 
 // senderTimeoutFn and senderStartFn are shared scheduler callbacks (the
@@ -116,7 +148,7 @@ func NewSenderLimited(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, 
 
 // Start begins transmission at the given simulated time.
 func (s *Sender) Start(at float64) {
-	s.net.Scheduler().AtArg(at, senderStartFn, s)
+	s.startEv = s.net.Scheduler().AtArg(at, senderStartFn, s)
 }
 
 // Stop halts transmission permanently (used to model finite transfers).
@@ -220,7 +252,7 @@ func (s *Sender) grow() {
 func (s *Sender) exitRecovery() {
 	s.inRecovery = false
 	s.cwnd = s.ssthresh
-	s.rtxed = rangeSet{}
+	s.rtxed.clear()
 }
 
 func (s *Sender) onPartialAck(newly int64) {
@@ -304,8 +336,8 @@ func (s *Sender) onTimeout() {
 	s.dupacks = 0
 	s.lastCut = s.next
 	s.inRecovery = false
-	s.sacked = rangeSet{}
-	s.rtxed = rangeSet{}
+	s.sacked.clear()
+	s.rtxed.clear()
 	s.backoff = math.Min(s.backoff*2, 64)
 	// Go back N: resume transmission from the cumulative ACK and let
 	// slow start walk back through the holes (ns-2: t_seqno_ =

@@ -7,10 +7,11 @@ import "tfrc/internal/netsim"
 // and a timestamp echo for the sender's RTT sampling. It has an infinite
 // receive window.
 type Sink struct {
-	net     *netsim.Network
-	node    *netsim.Node
-	ackSize int
-	flow    int
+	net      *netsim.Network
+	node     *netsim.Node
+	ackSize  int
+	flow     int
+	released bool
 
 	received rangeSet
 	next     int64 // cumulative ACK: lowest sequence not yet received
@@ -22,15 +23,34 @@ type Sink struct {
 }
 
 // NewSink attaches a sink to node:port. ACKs carry the given flow id (the
-// data flow's id, so monitors can pair them).
+// data flow's id, so monitors can pair them). Like senders, sinks are
+// drawn from the scheduler's agent arena and keep their received-range
+// backing across reuse.
 func NewSink(nw *netsim.Network, node *netsim.Node, port, flow, ackSize int) *Sink {
 	if ackSize == 0 {
 		ackSize = 40
 	}
-	s := &Sink{net: nw, node: node, ackSize: ackSize, flow: flow}
-	s.received.r = make([]srange, 0, 256)
+	s := arenaOf(nw.Scheduler()).sink()
+	received := s.received.r[:0]
+	if cap(received) == 0 {
+		received = make([]srange, 0, 256)
+	}
+	*s = Sink{net: nw, node: node, ackSize: ackSize, flow: flow}
+	s.received.r = received
 	node.Attach(port, s)
 	return s
+}
+
+// Release hands the sink back to its scheduler's agent arena for reuse
+// by a later NewSink. The caller must have detached it from its port;
+// the sink must not be used afterwards. Optional, like Sender.Release.
+func (s *Sink) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	a := arenaOf(s.net.Scheduler())
+	a.freeSink = append(a.freeSink, s)
 }
 
 // CumAck returns the current cumulative acknowledgment (next expected

@@ -1,0 +1,49 @@
+package tfrcsim
+
+import "tfrc/internal/sim"
+
+var tfrcArenaID = sim.NewArenaID()
+
+// agentArena pools TFRC agents per scheduler. Agents live for a whole
+// scenario, so there is no mid-cell free list: ResetArena reclaims
+// everything when the scheduler is recycled for the next sweep cell.
+type agentArena struct {
+	senders []*Sender
+	sndUsed int
+	recvs   []*Receiver
+	rcvUsed int
+}
+
+// ResetArena implements sim.Arena.
+func (a *agentArena) ResetArena() {
+	a.sndUsed = 0
+	a.rcvUsed = 0
+}
+
+func arenaOf(s *sim.Scheduler) *agentArena {
+	return s.Arena(tfrcArenaID, func() sim.Arena { return &agentArena{} }).(*agentArena)
+}
+
+func (a *agentArena) sender() *Sender {
+	if a.sndUsed < len(a.senders) {
+		s := a.senders[a.sndUsed]
+		a.sndUsed++
+		return s
+	}
+	s := new(Sender)
+	a.senders = append(a.senders, s)
+	a.sndUsed = len(a.senders)
+	return s
+}
+
+func (a *agentArena) receiver() *Receiver {
+	if a.rcvUsed < len(a.recvs) {
+		r := a.recvs[a.rcvUsed]
+		a.rcvUsed++
+		return r
+	}
+	r := new(Receiver)
+	a.recvs = append(a.recvs, r)
+	a.rcvUsed = len(a.recvs)
+	return r
+}

@@ -54,7 +54,7 @@ type Sender struct {
 	sprt int
 	flow int
 
-	core    *core.Sender
+	core    core.Sender // embedded by value so pooled agents reuse its state
 	seq     int64
 	sendTmr sim.Timer
 	noFbTmr sim.Timer
@@ -73,12 +73,15 @@ type Sender struct {
 }
 
 // NewSender creates the agent on node, addressing its receiver at
-// dst:dstPort; feedback must come back to srcPort.
+// dst:dstPort; feedback must come back to srcPort. The agent — with its
+// embedded rate-control state machine — comes from the scheduler's agent
+// arena and is recycled across sweep cells.
 func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort, srcPort, flow int, cfg Config) *Sender {
 	if cfg.FeedbackEvery == 0 {
 		cfg.FeedbackEvery = 1
 	}
-	s := &Sender{
+	s := arenaOf(nw.Scheduler()).sender()
+	*s = Sender{
 		cfg:  cfg,
 		net:  nw,
 		node: node,
@@ -86,8 +89,8 @@ func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort
 		dprt: dstPort,
 		sprt: srcPort,
 		flow: flow,
-		core: core.NewSender(cfg.Sender),
 	}
+	s.core.Init(cfg.Sender)
 	s.sendTmr.InitArg(nw.Scheduler(), senderSendFn, s)
 	s.noFbTmr.InitArg(nw.Scheduler(), senderNoFeedbackFn, s)
 	if cfg.PacingJitter > 0 {
@@ -126,7 +129,7 @@ func (s *Sender) Stop() {
 func (s *Sender) Rate() float64 { return s.core.Rate() }
 
 // Core exposes the rate-control state machine for traces and tests.
-func (s *Sender) Core() *core.Sender { return s.core }
+func (s *Sender) Core() *core.Sender { return &s.core }
 
 func (s *Sender) onSend() {
 	if s.stopped {
@@ -220,7 +223,7 @@ type Receiver struct {
 	port int
 	flow int
 
-	core  *core.Receiver
+	core  core.Receiver // embedded by value so pooled agents reuse its state
 	fbTmr sim.Timer
 	peer  netsim.NodeID
 	pport int
@@ -229,7 +232,9 @@ type Receiver struct {
 	Reports int64
 }
 
-// NewReceiver attaches a TFRC receiver at node:port.
+// NewReceiver attaches a TFRC receiver at node:port. Like the sender it
+// is drawn from the scheduler's agent arena; re-initializing the
+// embedded receiver reuses its loss-interval buffers.
 func NewReceiver(nw *netsim.Network, node *netsim.Node, port, flow int, cfg Config) *Receiver {
 	if cfg.FeedbackEvery == 0 {
 		cfg.FeedbackEvery = 1
@@ -238,25 +243,30 @@ func NewReceiver(nw *netsim.Network, node *netsim.Node, port, flow int, cfg Conf
 	if pktSize == 0 {
 		pktSize = 1000
 	}
-	r := &Receiver{
+	r := arenaOf(nw.Scheduler()).receiver()
+	// Preserve the embedded state machine across the wholesale reset so
+	// its Init can reuse the loss-interval buffers it already owns.
+	saved := r.core
+	*r = Receiver{
 		cfg:  cfg,
 		net:  nw,
 		node: node,
 		port: port,
 		flow: flow,
-		core: core.NewReceiver(core.ReceiverConfig{
-			PacketSize: pktSize,
-			Eq:         cfg.Sender.Eq,
-			Estimator:  cfg.Estimator,
-		}),
 	}
+	r.core = saved
+	r.core.Init(core.ReceiverConfig{
+		PacketSize: pktSize,
+		Eq:         cfg.Sender.Eq,
+		Estimator:  cfg.Estimator,
+	})
 	r.fbTmr.InitArg(nw.Scheduler(), receiverFeedbackFn, r)
 	node.Attach(port, r)
 	return r
 }
 
 // Core exposes the receiver state machine for traces and tests.
-func (r *Receiver) Core() *core.Receiver { return r.core }
+func (r *Receiver) Core() *core.Receiver { return &r.core }
 
 // P returns the receiver's current loss event rate estimate.
 func (r *Receiver) P() float64 { return r.core.P() }

@@ -1,0 +1,79 @@
+package traffic
+
+import "tfrc/internal/sim"
+
+var trafficArenaID = sim.NewArenaID()
+
+// genArena pools the background-traffic generators per scheduler. They
+// all live for a whole scenario, so ResetArena reclaims everything when
+// the scheduler is recycled for the next sweep cell.
+type genArena struct {
+	onoffs []*OnOff
+	ooUsed int
+	cbrs   []*CBR
+	cbUsed int
+	sinks  []*Sink
+	skUsed int
+	mice   []*Mice
+	miUsed int
+}
+
+// ResetArena implements sim.Arena.
+func (a *genArena) ResetArena() {
+	a.ooUsed = 0
+	a.cbUsed = 0
+	a.skUsed = 0
+	a.miUsed = 0
+}
+
+func arenaOf(s *sim.Scheduler) *genArena {
+	return s.Arena(trafficArenaID, func() sim.Arena { return &genArena{} }).(*genArena)
+}
+
+func (a *genArena) onoff() *OnOff {
+	if a.ooUsed < len(a.onoffs) {
+		o := a.onoffs[a.ooUsed]
+		a.ooUsed++
+		return o
+	}
+	o := new(OnOff)
+	a.onoffs = append(a.onoffs, o)
+	a.ooUsed = len(a.onoffs)
+	return o
+}
+
+func (a *genArena) cbr() *CBR {
+	if a.cbUsed < len(a.cbrs) {
+		c := a.cbrs[a.cbUsed]
+		a.cbUsed++
+		return c
+	}
+	c := new(CBR)
+	a.cbrs = append(a.cbrs, c)
+	a.cbUsed = len(a.cbrs)
+	return c
+}
+
+func (a *genArena) sink() *Sink {
+	if a.skUsed < len(a.sinks) {
+		s := a.sinks[a.skUsed]
+		a.skUsed++
+		return s
+	}
+	s := new(Sink)
+	a.sinks = append(a.sinks, s)
+	a.skUsed = len(a.sinks)
+	return s
+}
+
+func (a *genArena) miceGen() *Mice {
+	if a.miUsed < len(a.mice) {
+		m := a.mice[a.miUsed]
+		a.miUsed++
+		return m
+	}
+	m := new(Mice)
+	a.mice = append(a.mice, m)
+	a.miUsed = len(a.mice)
+	return m
+}

@@ -54,7 +54,9 @@ type OnOff struct {
 }
 
 // NewOnOff creates a source on node sending to dst:port while ON. Each
-// source should get its own rng so sources are independent.
+// source should get its own rng so sources are independent. Sources are
+// drawn from the scheduler's arena; their bound callbacks capture only
+// the (stable) source pointer, so reuse rebinds nothing.
 func NewOnOff(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, flow int, cfg OnOffConfig, rng *sim.Rand) *OnOff {
 	if cfg.PacketSize == 0 {
 		cfg.PacketSize = 1000
@@ -62,10 +64,15 @@ func NewOnOff(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, fl
 	if cfg.Rate <= 0 || cfg.MeanOn <= 0 || cfg.MeanOff <= 0 {
 		panic("traffic: ON/OFF source needs positive rate and sojourn times")
 	}
-	o := &OnOff{cfg: cfg, net: nw, node: node, dst: dst, port: port, flow: flow, rng: rng}
-	o.emitFn = o.emit
-	o.startOnFn = o.startOn
-	o.startOffFn = o.startOff
+	o := arenaOf(nw.Scheduler()).onoff()
+	emitFn, startOnFn, startOffFn := o.emitFn, o.startOnFn, o.startOffFn
+	*o = OnOff{cfg: cfg, net: nw, node: node, dst: dst, port: port, flow: flow, rng: rng}
+	o.emitFn, o.startOnFn, o.startOffFn = emitFn, startOnFn, startOffFn
+	if o.emitFn == nil {
+		o.emitFn = o.emit
+		o.startOnFn = o.startOn
+		o.startOffFn = o.startOff
+	}
 	return o
 }
 
@@ -136,16 +143,21 @@ func NewCBR(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, port, flow
 	if rate <= 0 || size <= 0 {
 		panic("traffic: CBR needs positive rate and size")
 	}
-	c := &CBR{
+	c := arenaOf(nw.Scheduler()).cbr()
+	emitFn := c.emitFn
+	*c = CBR{
 		net: nw, node: node, dst: dst, port: port, flow: flow,
 		size: size, gap: float64(size) * 8 / rate,
 	}
-	c.emitFn = c.emit
+	c.emitFn = emitFn
+	if c.emitFn == nil {
+		c.emitFn = c.emit
+	}
 	return c
 }
 
 // Start begins emission at the given time.
-func (c *CBR) Start(at float64) { c.net.Scheduler().At(at, c.emit) }
+func (c *CBR) Start(at float64) { c.net.Scheduler().At(at, c.emitFn) }
 
 // Stop silences the source.
 func (c *CBR) Stop() { c.stopped = true }
@@ -176,7 +188,8 @@ type Sink struct {
 
 // NewSink attaches a discarding sink at node:port.
 func NewSink(nw *netsim.Network, node *netsim.Node, port int) *Sink {
-	s := &Sink{net: nw}
+	s := arenaOf(nw.Scheduler()).sink()
+	*s = Sink{net: nw}
 	node.Attach(port, s)
 	return s
 }
@@ -217,6 +230,13 @@ type Mice struct {
 	Sessions int64
 	stopped  bool
 	spawnFn  func() // bound once: spawn reschedules itself per session
+
+	// Per-slot live agents: when a slot is recycled its previous
+	// sender/sink pair is handed back to the TCP agent arena, so a long
+	// scenario churns a bounded set of structs instead of allocating a
+	// fresh pair per session.
+	slotSnd  []*tcp.Sender
+	slotSink []*tcp.Sink
 }
 
 // NewMice creates the generator; flow tags all its packets.
@@ -230,8 +250,26 @@ func NewMice(nw *netsim.Network, src, dst *netsim.Node, flow int, cfg MiceConfig
 	if cfg.BasePort == 0 {
 		cfg.BasePort = 1000
 	}
-	m := &Mice{cfg: cfg, net: nw, src: src, dst: dst, flow: flow, rng: rng}
-	m.spawnFn = m.spawn
+	m := arenaOf(nw.Scheduler()).miceGen()
+	spawnFn, slotSnd, slotSink := m.spawnFn, m.slotSnd, m.slotSink
+	*m = Mice{cfg: cfg, net: nw, src: src, dst: dst, flow: flow, rng: rng}
+	m.spawnFn = spawnFn
+	if m.spawnFn == nil {
+		m.spawnFn = m.spawn
+	}
+	maxc := cfg.MaxConcurrent
+	if cap(slotSnd) < maxc {
+		slotSnd = make([]*tcp.Sender, maxc)
+		slotSink = make([]*tcp.Sink, maxc)
+	} else {
+		// Slot entries from a previous scenario were reclaimed wholesale
+		// by the arena reset; forget them rather than re-releasing.
+		slotSnd = slotSnd[:maxc]
+		slotSink = slotSink[:maxc]
+		clear(slotSnd)
+		clear(slotSink)
+	}
+	m.slotSnd, m.slotSink = slotSnd, slotSink
 	return m
 }
 
@@ -254,14 +292,21 @@ func (m *Mice) spawn() {
 	srcPort := m.cfg.BasePort + 2*k + 1
 	size := int64(m.rng.Exponential(m.cfg.MeanSize)) + 1
 
-	// Fresh sink and sender per session. Ports are recycled: evict any
-	// stragglers still bound to this slot (a slow old session simply
-	// dies; with MaxConcurrent slots that is rare and harmless for
-	// background load).
+	// Ports are recycled: evict any straggler still bound to this slot (a
+	// slow old session simply dies; with MaxConcurrent slots that is rare
+	// and harmless for background load) and hand its agents back to the
+	// arena, which the new session immediately reuses.
 	m.src.Detach(srcPort)
 	m.dst.Detach(sinkPort)
-	tcp.NewSink(m.net, m.dst, sinkPort, m.flow, 40)
+	if old := m.slotSnd[k]; old != nil {
+		old.Release()
+	}
+	if old := m.slotSink[k]; old != nil {
+		old.Release()
+	}
+	m.slotSink[k] = tcp.NewSink(m.net, m.dst, sinkPort, m.flow, 40)
 	snd := tcp.NewSenderLimited(m.net, m.src, m.dst.ID, sinkPort, srcPort, m.flow, tcp.Config{Variant: m.cfg.Variant}, size)
+	m.slotSnd[k] = snd
 	snd.Start(m.net.Now())
 	m.net.Scheduler().After(m.rng.Exponential(m.cfg.MeanInterarrival), m.spawnFn)
 }
