@@ -1,43 +1,54 @@
-// Command tfrcsim regenerates the paper's evaluation figures and runs
-// the beyond-the-paper topology experiments. Each run executes one
-// experiment and prints gnuplot-ready rows to stdout.
+// Command tfrcsim runs the paper's evaluation figures and the
+// beyond-the-paper experiments from the public experiment registry.
+// Each run executes one experiment and writes either the gnuplot-ready
+// text table or a JSON record to stdout.
 //
 // Usage:
 //
-//	tfrcsim -fig 2            # Figure 2 at default (laptop) scale
-//	tfrcsim -fig 6 -paper     # Figure 6 at the paper's full scale
-//	tfrcsim -fig 9 -seed 7    # change the random seed
-//	tfrcsim -fig 6 -parallel 8   # run sweep cells on 8 workers
-//	tfrcsim -fig 6 -seeds 5      # 5 seeds per cell, mean ± 90% CI
-//	tfrcsim -exp parkinglot      # multi-bottleneck fairness grid
-//	tfrcsim -exp bwstep -seeds 3 # bandwidth-step transient, 3 seeds
-//	tfrcsim -list             # list available experiments
+//	tfrcsim run fig6                  # Figure 6 at default (laptop) scale
+//	tfrcsim run fig6 -preset paper    # the paper's full-scale parameters
+//	tfrcsim run fig6 -format json     # {experiment, params, result} JSON
+//	tfrcsim run fig9 -seed 7          # change the random seed
+//	tfrcsim run fig6 -params p.json   # overlay a JSON parameter file
+//	tfrcsim run parkinglot -seeds 3   # 3 seeds per cell, mean ± 90% CI
+//	tfrcsim list                      # enumerate the registry
 //
-//	tfrcsim -fig 6 -cpuprofile cpu.out -memprofile mem.out  # pprof a run
+// The historical flag spellings keep working: -fig 6 is run fig6,
+// -exp parkinglot is run parkinglot, -paper is -preset paper, and
+// -list is list. Experiment names resolve through registry aliases, so
+// run 10 and run fig10 both reach fig9 (which includes Figure 10).
+//
+// Sweep-shaped experiments execute their independent cells on a worker
+// pool; -parallel defaults to the number of CPUs and results are
+// bit-identical at any worker count. -seeds applies to experiments
+// whose parameters support multi-seed replication (figures 6, 8, 14,
+// 15 and the parkinglot/bwstep scenarios); each cell then repeats at
+// that many seeds and reports mean ± 90% CI.
+//
+// A -params file is JSON overlaid on the selected preset's defaults, so
+// it may name only the fields it changes; unknown fields are rejected.
+// Parameters are validated before running: impossible durations, empty
+// grids, or zero flow counts fail loudly instead of producing empty
+// tables.
+//
+//	tfrcsim run fig6 -cpuprofile cpu.out -memprofile mem.out  # pprof a run
 //	tfrcsim -bench -bench-name PR3             # write BENCH_PR3.json
 //	tfrcsim -bench -bench-compare bench/BENCH_3.json  # CI regression gate
-//
-// Sweep-shaped experiments (3-7, 9-13, 16-18, 21, and both -exp
-// scenarios) execute their independent cells on a worker pool; -parallel
-// defaults to the number of CPUs and results are bit-identical at any
-// worker count. -seeds applies to figures 6, 8, 14, 15 and to the -exp
-// scenarios: each cell repeats at that many seeds and reports mean ± 90%
-// CI.
-//
-// Figures: 2 3 4 5 6 7 8 9 (includes 10) 11 (includes 12, 13) 14 15 16
-// (includes 17) 18 19 20 21. Experiments: parkinglot, bwstep.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 
+	"tfrc/experiment"
 	"tfrc/internal/bench"
-	"tfrc/internal/exp"
-	"tfrc/internal/netsim"
 )
 
 func main() { os.Exit(run()) }
@@ -45,14 +56,17 @@ func main() { os.Exit(run()) }
 // run holds the real main body and reports the process exit code, so
 // deferred profile writers always flush before the process exits.
 func run() int {
-	fig := flag.Int("fig", 0, "figure number to reproduce (2-21)")
-	expName := flag.String("exp", "", "beyond-the-paper experiment: parkinglot | bwstep")
-	paper := flag.Bool("paper", false, "use the paper's full-scale parameters (slow)")
+	fig := flag.Int("fig", 0, "figure number to reproduce (2-21); same as: run fig<N>")
+	expName := flag.String("exp", "", "experiment name; same as: run <name>")
+	paper := flag.Bool("paper", false, "use the paper's full-scale parameters; same as -preset paper")
+	preset := flag.String("preset", "", "named parameter preset (\"default\", \"paper\")")
+	paramsFile := flag.String("params", "", "JSON parameter file overlaid on the preset's defaults")
+	format := flag.String("format", "table", "output format: table | json")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count for sweep cells (1 = sequential; results are identical either way)")
 	seeds := flag.Int("seeds", 1,
-		"seeds per cell for figures 6, 8, 14, 15 and -exp scenarios: >1 reports mean ± 90% CI")
+		"seeds per cell for experiments supporting multi-seed replication: >1 reports mean ± 90% CI")
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
@@ -64,9 +78,37 @@ func run() int {
 		"compare the fresh bench snapshot against this committed baseline and exit non-zero on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 0.15,
 		"allowed fractional regression for -bench-compare (0.15 = 15%)")
-	flag.Parse()
 
-	exp.SetParallelism(*parallel)
+	// Subcommand forms: "tfrcsim run <name> [flags]" and "tfrcsim list".
+	// A bare leading word is taken as an experiment name directly.
+	args := os.Args[1:]
+	runName := ""
+	listCmd := false
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "run":
+			if len(args) < 2 || strings.HasPrefix(args[1], "-") {
+				fmt.Fprintln(os.Stderr, "tfrcsim: run needs an experiment name (try: tfrcsim list)")
+				return 2
+			}
+			runName, args = args[1], args[2:]
+		case "list":
+			listCmd, args = true, args[1:]
+		default:
+			runName, args = args[0], args[1:]
+		}
+	}
+	flag.CommandLine.Parse(args)
+	if rest := flag.CommandLine.Args(); len(rest) > 0 {
+		fmt.Fprintf(os.Stderr, "tfrcsim: unexpected arguments %q (one experiment per run)\n", rest)
+		return 2
+	}
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "tfrcsim: unknown -format %q (want table or json)\n", *format)
+		return 2
+	}
+
+	experiment.SetParallelism(*parallel)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -128,140 +170,147 @@ func run() int {
 		return 0
 	}
 
-	if *list {
-		fmt.Println("fig 2   Average Loss Interval dynamics under periodic loss")
-		fmt.Println("fig 3   send-rate oscillation vs buffer size (no spacing adjustment)")
-		fmt.Println("fig 4   send-rate oscillation vs buffer size (with adjustment)")
-		fmt.Println("fig 5   loss-event fraction vs Bernoulli loss probability")
-		fmt.Println("fig 6   normalized TCP throughput vs link rate × flows × queue")
-		fmt.Println("fig 7   per-flow normalized throughput at 15 Mb/s RED")
-		fmt.Println("fig 8   per-flow throughput traces (DropTail and RED)")
-		fmt.Println("fig 9   equivalence ratio and CoV vs timescale (incl. fig 10)")
-		fmt.Println("fig 11  ON/OFF background sweep (incl. figs 12, 13)")
-		fmt.Println("fig 14  queue dynamics: 40 TCP vs 40 TFRC flows")
-		fmt.Println("fig 15  3 TCP + 1 TFRC on the transcontinental path profile")
-		fmt.Println("fig 16  equivalence and CoV across path profiles (incl. fig 17)")
-		fmt.Println("fig 18  loss-predictor error vs history size and weighting")
-		fmt.Println("fig 19  rate increase after congestion ends")
-		fmt.Println("fig 20  rate decrease under persistent congestion")
-		fmt.Println("fig 21  round-trips to halve the rate vs initial drop rate")
-		fmt.Println("exp parkinglot  through TFRC vs TCP across 1-3 bottlenecks")
-		fmt.Println("exp bwstep      tracking a bottleneck bandwidth step")
+	if *list || listCmd {
+		printList(os.Stdout)
 		return 0
 	}
 
-	w := os.Stdout
-	switch *expName {
-	case "parkinglot":
-		pr := exp.DefaultParkingLot()
-		if *paper {
-			pr.Duration, pr.Warmup = 300, 60
-			pr.LinkMbps = 15
+	// Exactly one way of naming the experiment: run <name>, -fig, or -exp.
+	name := runName
+	sources := 0
+	for _, set := range []bool{runName != "", *fig != 0, *expName != ""} {
+		if set {
+			sources++
 		}
-		pr.Seed = *seed
-		pr.Seeds = *seeds
-		exp.RunParkingLot(pr).Print(w)
-		return 0
-	case "bwstep":
-		pr := exp.DefaultBWStep()
-		if *paper {
-			pr.NTCP, pr.NTFRC = 8, 8
-			pr.LinkMbps = 15
-			pr.StepAt, pr.RestoreAt, pr.Duration = 100, 200, 300
-		}
-		pr.Seed = *seed
-		pr.Seeds = *seeds
-		exp.RunBWStep(pr).Print(w)
-		return 0
-	case "":
-	default:
-		fmt.Fprintf(os.Stderr, "tfrcsim: unknown experiment %q (want parkinglot or bwstep)\n", *expName)
+	}
+	if sources > 1 {
+		fmt.Fprintln(os.Stderr, "tfrcsim: pass only one of: run <name>, -fig, -exp")
+		return 2
+	}
+	if *fig != 0 {
+		name = fmt.Sprintf("fig%d", *fig)
+	}
+	if *expName != "" {
+		name = *expName
+	}
+	if name == "" {
+		fmt.Fprintln(os.Stderr, "tfrcsim: pass run <name> (try: tfrcsim list), -fig 2..21, or -exp <name>")
 		return 2
 	}
 
-	switch *fig {
-	case 2:
-		exp.RunFig02(exp.DefaultFig02()).Print(w)
-	case 3:
-		pr := exp.DefaultFig03()
-		pr.Seed = *seed
-		exp.RunFig03(pr).Print(w)
-	case 4:
-		pr := exp.DefaultFig04()
-		pr.Seed = *seed
-		exp.RunFig03(pr).Print(w)
-	case 5:
-		exp.RunFig05(exp.DefaultFig05()).Print(w)
-	case 6:
-		pr := exp.DefaultFig06()
-		if *paper {
-			pr = exp.PaperFig06()
-		}
-		pr.Seed = *seed
-		pr.Seeds = *seeds
-		exp.RunFig06(pr).Print(w)
-	case 7:
-		flows := []int{16, 32, 64}
-		dur, tail := 60.0, 30.0
-		if *paper {
-			flows = []int{16, 32, 48, 64, 80, 96, 112, 128}
-			dur, tail = 150, 60
-		}
-		exp.PrintFig07(w, exp.RunFig07(flows, dur, tail, *seed))
-	case 8:
-		for _, q := range []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED} {
-			pr := exp.DefaultFig08(q)
-			pr.Seed = *seed
-			pr.Seeds = *seeds
-			exp.RunFig08(pr).Print(w)
-		}
-	case 9, 10:
-		pr := exp.DefaultFig09()
-		if *paper {
-			pr = exp.PaperFig09()
-		}
-		pr.Seed = *seed
-		exp.RunFig09(pr).Print(w)
-	case 11, 12, 13:
-		pr := exp.DefaultFig11()
-		if *paper {
-			pr = exp.PaperFig11()
-		}
-		pr.Seed = *seed
-		exp.RunFig11(pr).Print(w)
-	case 14:
-		pr := exp.DefaultFig14()
-		pr.Seed = *seed
-		pr.Seeds = *seeds
-		exp.RunFig14(pr).Print(w)
-	case 15:
-		dur := 120.0
-		if *paper {
-			dur = 300
-		}
-		exp.RunFig15Seeds(dur, *seed, *seeds).Print(w)
-	case 16, 17:
-		dur := 120.0
-		if *paper {
-			dur = 600
-		}
-		exp.RunFig16(nil, dur, *seed).Print(w)
-	case 18:
-		pr := exp.DefaultFig18()
-		if *paper {
-			pr.Duration = 600
-		}
-		pr.Seed = *seed
-		exp.RunFig18(pr).Print(w)
-	case 19:
-		exp.RunFig19(exp.DefaultFig19()).Print(w)
-	case 20:
-		exp.RunFig19(exp.DefaultFig20()).Print(w)
-	case 21:
-		exp.RunFig21(nil, 0.05).Print(w)
-	default:
-		fmt.Fprintln(os.Stderr, "tfrcsim: pass -fig 2..21, -exp parkinglot|bwstep, or -list")
+	d, err := experiment.Get(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
 		return 2
 	}
+
+	// Resolve the preset. -paper is legacy shorthand for -preset paper,
+	// and — as the old per-figure switch did — silently means "default"
+	// for experiments that have no paper-scale setup (with a warning).
+	presetName := *preset
+	if *paper {
+		if presetName != "" && presetName != "paper" {
+			fmt.Fprintln(os.Stderr, "tfrcsim: -paper conflicts with -preset")
+			return 2
+		}
+		if _, ok := d.Presets["paper"]; !ok {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %s has no paper-scale preset; using defaults\n", d.Name)
+		} else {
+			presetName = "paper"
+		}
+	}
+	p, err := d.PresetParams(presetName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return 2
+	}
+
+	if *paramsFile != "" {
+		data, err := os.ReadFile(*paramsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return 1
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: parsing %s for %s: %v\n", *paramsFile, d.Name, err)
+			return 1
+		}
+		if dec.More() {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %s: trailing data after the parameter object\n", *paramsFile)
+			return 1
+		}
+	}
+
+	// -seed/-seeds apply only when passed explicitly, so a -params file's
+	// seeds survive; experiments without the knob warn instead of
+	// silently accepting it.
+	seedSet, seedsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "seeds":
+			seedsSet = true
+		}
+	})
+	if seedSet {
+		if s, ok := p.(experiment.SeedSetter); ok {
+			s.SetSeed(*seed)
+		} else {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %s takes no -seed; ignored\n", d.Name)
+		}
+	}
+	if seedsSet {
+		if s, ok := p.(experiment.SeedsSetter); ok {
+			s.SetSeeds(*seeds)
+		} else {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %s takes no -seeds; ignored\n", d.Name)
+		}
+	}
+
+	res, err := experiment.Run(d, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return 1
+	}
+	if *format == "json" {
+		if err := experiment.WriteJSON(os.Stdout, d.Name, p, res); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: encoding result: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	res.Table(os.Stdout)
 	return 0
+}
+
+// printList enumerates the registry: one row per experiment, generated
+// from the descriptors rather than hand-maintained.
+func printList(w *os.File) {
+	descs := experiment.List()
+	width := 0
+	for _, d := range descs {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	for _, d := range descs {
+		line := fmt.Sprintf("%-*s  %s", width, d.Name, d.Description)
+		if len(d.Presets) > 0 {
+			names := make([]string, 0, len(d.Presets))
+			for n := range d.Presets {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			if len(names) == 1 {
+				line += fmt.Sprintf("  [preset: %s]", names[0])
+			} else {
+				line += fmt.Sprintf("  [presets: %s]", strings.Join(names, ", "))
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintln(w, "\nrun one with: tfrcsim run <name> [-preset paper] [-format json] [-params file.json]")
 }

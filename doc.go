@@ -12,47 +12,44 @@
 // handling of the still-open interval and history discounting after long
 // loss-free periods.
 //
-// The package exposes three layers:
+// The module exposes three public layers:
 //
-//   - The algorithms: Throughput (the TCP response function), LossHistory
-//     (the Average Loss Interval method), RTTEstimator, and the
-//     transport-agnostic Sender/Receiver state machines, all clock-
-//     injected and allocation-light. Use these to embed TFRC in your own
-//     transport.
+//   - The algorithms (this package): Throughput (the TCP response
+//     function), LossHistory (the Average Loss Interval method),
+//     RTTEstimator, and the transport-agnostic Sender/Receiver state
+//     machines, all clock-injected and allocation-light — plus a wire
+//     implementation over any net.PacketConn (NewWireSender /
+//     NewWireReceiver, with NewEmulatedPath as an in-process
+//     Dummynet-style impaired path). Use these to embed TFRC in your
+//     own transport.
 //
-//   - A wire implementation over any net.PacketConn (UDP in practice):
-//     NewWireSender/NewWireReceiver, with a compact binary format for
-//     data and feedback packets, plus NewEmulatedPath — an in-process
-//     Dummynet-style impaired path for tests and demos.
+//   - Package scenario: the packet-level simulator's composition
+//     surface. Topologies are declared, not hardcoded — named nodes,
+//     per-direction LinkSpecs, time-varying link schedules — with the
+//     dumbbell, parking-lot, and asymmetric-access presets, and a
+//     Builder placing TCP (Tahoe/Reno/NewReno/SACK), TFRC, and
+//     background flows on named host pairs with monitors on named
+//     links, harvested into one Result. Scenarios run on the same
+//     arena-pooled zero-allocation engine as the paper experiments. A
+//     parking lot in four lines:
 //
-//   - The reproduction harness: a deterministic packet-level network
-//     simulator with TCP (Tahoe/Reno/NewReno/SACK) baselines and every
-//     experiment from the paper's evaluation (internal/exp, driven by
-//     cmd/tfrcsim and the benchmarks in this package). Grid-shaped
-//     experiments run their independent cells on a parallel sweep
-//     runner (internal/sweep) whose output is bit-identical to a
-//     sequential run; cmd/tfrcsim exposes it as -parallel N, plus
-//     -seeds K for per-cell mean ± 90% CI (figures 6, 8, 14, 15 and
-//     the -exp scenarios).
+//     topo := scenario.NewTopology(scenario.NewScheduler(), rng)
+//     topo.Link("r0", "r1", bottleneck) // LinkSpec{Bandwidth, Delay, Queue, ...}
+//     topo.Link("r1", "r2", bottleneck)
+//     topo.Link("src", "r0", access); topo.Link("dst", "r2", access)
+//     topo.Schedule("r0", "r1", scenario.LinkChange{At: 30, Bandwidth: 1e6})
 //
-// Topologies are declared, not hardcoded: netsim.Topology names nodes,
-// joins them with per-direction LinkSpecs, and attaches time-varying
-// link schedules (bandwidth/delay steps fired as simulation events);
-// exp.ScenarioBuilder places flows on named host pairs and monitors on
-// named links, harvesting one ScenarioResult. The paper's dumbbell
-// (netsim.NewDumbbell) is a preset over this builder, alongside
-// netsim.NewParkingLot (multi-bottleneck) and netsim.NewAsymAccess
-// (asymmetric host access). A parking lot in four lines:
-//
-//	topo := netsim.NewTopology(sim.NewScheduler(), rng)
-//	topo.Link("r0", "r1", bottleneck) // LinkSpec{Bandwidth, Delay, Queue, ...}
-//	topo.Link("r1", "r2", bottleneck)
-//	topo.Link("src", "r0", access); topo.Link("dst", "r2", access)
-//	topo.Schedule("r0", "r1", netsim.LinkChange{At: 30, Bandwidth: 1e6})
-//
-// Beyond-the-paper experiments exercising the layer: the parking-lot
-// fairness grid (tfrcsim -exp parkinglot) and the bandwidth-step
-// transient (tfrcsim -exp bwstep).
+//   - Package experiment: the registry of the paper's evaluation.
+//     Every figure (2-21) and beyond-paper experiment (parkinglot,
+//     bwstep) self-registers a Descriptor with JSON-serializable,
+//     self-validating parameters (the paper's full scale is the
+//     "paper" preset) and a Result that renders both the gnuplot-ready
+//     table and stable-keyed JSON. experiment.Get("fig6") → tweak
+//     params → experiment.Run; cmd/tfrcsim is a thin shell over the
+//     registry ("tfrcsim run fig6 -format json"). Grid-shaped
+//     experiments execute their independent cells on a parallel sweep
+//     runner whose output is bit-identical to a sequential run
+//     (-parallel N), with -seeds K for per-cell mean ± 90% CI.
 //
 // The module path is "tfrc"; packages import as tfrc/internal/...
 //

@@ -1,29 +1,44 @@
 // Fairness: a scaled-down run of the paper's Figure 6 — n SACK TCP and
 // n TFRC flows sharing a bottleneck across a grid of link speeds and
 // queue disciplines, reporting TCP's throughput normalized so that 1.0
-// is a perfectly fair share.
+// is a perfectly fair share. Built entirely on the public scenario
+// package: each grid cell is one dumbbell Spec.
 //
 //	go run ./examples/fairness
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"tfrc/internal/exp"
-	"tfrc/internal/netsim"
+	"tfrc/scenario"
 )
 
 func main() {
 	fmt.Println("n TCP + n TFRC flows on one bottleneck; normTCP = 1.0 means fair")
 	fmt.Println()
 	fmt.Println("queue     link     flows   normTCP  normTFRC  util   drops")
-	for _, q := range []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED} {
+	for _, q := range []scenario.QueueKind{scenario.QueueDropTail, scenario.QueueRED} {
 		for _, link := range []float64{2, 8, 32} {
 			for _, flows := range []int{2, 8, 16} {
-				c := exp.RunFig06Cell(q, link, flows, 60, 30, 1)
+				res, err := scenario.Run(scenario.Spec{
+					NTCP:         flows / 2,
+					NTFRC:        flows / 2,
+					BottleneckBW: link * 1e6,
+					Queue:        q,
+					TCPVariant:   scenario.TCPSack,
+					Duration:     60,
+					Warmup:       30,
+					BinWidth:     0.5,
+					Seed:         1,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 				fmt.Printf("%-8s  %3.0f Mb/s  %4d   %6.2f   %6.2f   %4.2f   %.4f\n",
-					c.Queue, c.LinkMbps, c.Flows, c.NormTCP, c.NormTFRC,
-					c.Utilization, c.DropRate)
+					q, link, flows, res.NormalizedMeanTCP(), res.NormalizedMeanTFRC(),
+					res.Utilization, res.DropRate)
 			}
 		}
 	}

@@ -2,20 +2,31 @@
 // estimator tracks a loss rate that steps 1% → 10% → 0.5%, and how the
 // transmission rate follows: a sharp decrease on congestion, a smooth
 // ramp on recovery with no step-increases as old intervals leave the
-// history.
+// history. Runs through the public experiment registry.
 //
 //	go run ./examples/lossdynamics
 package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
-	"tfrc/internal/exp"
+	"tfrc/experiment"
 )
 
 func main() {
-	r := exp.RunFig02(exp.DefaultFig02())
+	d, err := experiment.Get("fig2")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := experiment.Run(d, d.Params())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := res.(*experiment.Fig02Result)
 
 	fmt.Println("single TFRC flow; periodic loss 1% (t<6), 10% (6≤t<9), 0.5% (t≥9)")
 	fmt.Println()

@@ -2,7 +2,8 @@
 // dumbbell — a hand-built 3-bottleneck parking lot where one TFRC and
 // one TCP flow cross every bottleneck while per-segment TCP cross
 // traffic loads each hop, plus a scheduled bandwidth step on the middle
-// bottleneck halfway through.
+// bottleneck halfway through. Built entirely on the public scenario
+// package — no internal imports.
 //
 //	go run ./examples/parkinglot
 package main
@@ -10,11 +11,7 @@ package main
 import (
 	"fmt"
 
-	"tfrc/internal/exp"
-	"tfrc/internal/netsim"
-	"tfrc/internal/sim"
-	"tfrc/internal/tcp"
-	"tfrc/internal/tfrcsim"
+	"tfrc/scenario"
 )
 
 func main() {
@@ -25,15 +22,15 @@ func main() {
 	)
 	// Declare the topology: 4 routers in a row, a through pair on each
 	// end, one cross pair per segment.
-	topo := netsim.NewTopology(sim.NewScheduler(), sim.NewRand(2))
-	bottleneck := netsim.LinkSpec{
+	topo := scenario.NewTopology(scenario.NewScheduler(), scenario.NewRand(2))
+	bottleneck := scenario.LinkSpec{
 		Bandwidth: bw, Delay: 0.010,
-		Queue: netsim.QueueRED, QueueLimit: 50,
-		RED: netsim.DefaultRED(50),
+		Queue: scenario.QueueRED, QueueLimit: 50,
+		RED: scenario.DefaultRED(50),
 	}
-	access := netsim.LinkSpec{
+	access := scenario.LinkSpec{
 		Bandwidth: 10 * bw, Delay: 0.001,
-		Queue: netsim.QueueDropTail, QueueLimit: 1000,
+		Queue: scenario.QueueDropTail, QueueLimit: 1000,
 	}
 	for s := 0; s < 3; s++ {
 		topo.Link(fmt.Sprintf("r%d", s), fmt.Sprintf("r%d", s+1), bottleneck)
@@ -46,27 +43,27 @@ func main() {
 	}
 	// The middle bottleneck loses half its capacity for 20 seconds.
 	topo.Schedule("r1", "r2",
-		netsim.LinkChange{At: 25, Bandwidth: bw / 2},
-		netsim.LinkChange{At: 45, Bandwidth: bw},
+		scenario.LinkChange{At: 25, Bandwidth: bw / 2},
+		scenario.LinkChange{At: 45, Bandwidth: bw},
 	)
 
 	// Compose the scenario: flows on named host pairs, monitors on the
 	// named bottlenecks, one harvest at the end.
-	rng := sim.NewRand(1)
-	b := exp.NewScenarioBuilder(topo)
+	rng := scenario.NewRand(1)
+	b := scenario.NewBuilder(topo)
 	mon0 := b.MonitorLink("r0->r1", 0.5, warmup)
 	mon1 := b.MonitorLink("r1->r2", 0.5, warmup)
-	tfrcFlow := b.AddTFRC("src", "dst", tfrcsim.DefaultConfig(), rng.Uniform(0, 2))
-	tcpFlow := b.AddTCP("src", "dst", tcp.Config{Variant: tcp.Sack}, rng.Uniform(0, 2))
+	tfrcFlow := b.AddTFRC("src", "dst", scenario.DefaultTFRCConfig(), rng.Uniform(0, 2))
+	tcpFlow := b.AddTCP("src", "dst", scenario.TCPConfig{Variant: scenario.TCPSack}, rng.Uniform(0, 2))
 	for s := 0; s < 3; s++ {
 		b.AddTCP(fmt.Sprintf("xs%d", s), fmt.Sprintf("xd%d", s),
-			tcp.Config{Variant: tcp.Sack}, rng.Uniform(0, 2))
+			scenario.TCPConfig{Variant: scenario.TCPSack}, rng.Uniform(0, 2))
 	}
 	res := b.Run(duration)
 
 	fmt.Println("3-bottleneck parking lot, middle hop squeezed to 50% in [25s, 45s)")
 	fmt.Println()
-	kbps := func(m *netsim.FlowMonitor, flow int) float64 {
+	kbps := func(m *scenario.FlowMonitor, flow int) float64 {
 		return m.TotalBytes(flow) / (duration - warmup) / 1000
 	}
 	fmt.Printf("through TFRC: %6.1f KB/s   (crosses all 3 bottlenecks)\n", kbps(mon0, tfrcFlow))

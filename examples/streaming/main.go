@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"tfrc"
-	"tfrc/internal/wire"
 )
 
 // tiers are encoder ladder rungs in bytes/sec (≈ 0.4-2.4 Mb/s video).
@@ -71,7 +70,7 @@ func main() {
 
 	// Mid-run congestion: at t=4s the path loses most of its capacity
 	// (as if competing flows arrived), recovering at t=8s.
-	lossy := a.(*wire.EmuConn)
+	lossy := a.(*tfrc.EmulatedConn)
 	t1 := time.AfterFunc(4*time.Second, func() {
 		fmt.Println("--- congestion begins: capacity cut to 600 kb/s ---")
 		lossy.SetBandwidth(600e3)

@@ -1,0 +1,99 @@
+// Package experiment is the public, registry-driven face of the
+// reproduction harness. Every figure of the paper's evaluation and
+// every beyond-the-paper scenario registers a Descriptor here; callers
+// look experiments up by name, obtain a JSON-(de)serializable parameter
+// set (defaults or a named preset such as "paper"), and run them to a
+// Result that renders both the historical gnuplot-ready text table and
+// stable-keyed JSON.
+//
+//	d, err := experiment.Get("fig6")
+//	p, _ := d.PresetParams("paper")        // or d.Params() for defaults
+//	res, err := experiment.Run(d, p)       // validates, then runs
+//	res.Table(os.Stdout)                   // byte-identical to the CLI table
+//	experiment.WriteJSON(os.Stdout, d.Name, p, res)
+//
+// Parameters are pointers to plain structs (aliased in this package:
+// Fig06Params, ParkingLotParams, ...), so callers can type-assert and
+// tweak fields, or overlay a JSON document on the defaults with
+// json.Unmarshal. Register adds user-defined experiments to the same
+// registry the CLI enumerates.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tfrc/internal/exp"
+)
+
+// Core registry types, aliased from the implementation so descriptors
+// registered by the figure files and by user code are interchangeable.
+type (
+	// Descriptor declares one experiment: name, aliases, description,
+	// default/preset parameter constructors, and the run function.
+	Descriptor = exp.Descriptor
+	// Params is an experiment's parameter set: a pointer to a plain
+	// JSON-round-trippable struct with self-validation.
+	Params = exp.Params
+	// Result is what a run produces: Table writes the gnuplot-ready
+	// text table; the concrete structs also marshal to JSON.
+	Result = exp.Result
+	// SeedSetter is implemented by params whose base seed can be set.
+	SeedSetter = exp.SeedSetter
+	// SeedsSetter is implemented by params supporting multi-seed
+	// replication with mean ± 90% CI aggregation.
+	SeedsSetter = exp.SeedsSetter
+)
+
+// Register adds an experiment to the registry. The paper's figures
+// self-register at init time; user code may add its own. Duplicate
+// names panic.
+func Register(d Descriptor) { exp.Register(d) }
+
+// Get finds an experiment by canonical name or alias ("fig6", "6",
+// "parkinglot"). Unknown names produce an error that includes the
+// closest registered name, when one is plausibly close.
+func Get(name string) (Descriptor, error) {
+	if d, ok := exp.Lookup(name); ok {
+		return d, nil
+	}
+	if s := exp.Suggest(name); s != "" {
+		return Descriptor{}, fmt.Errorf("unknown experiment %q (did you mean %q?)", name, s)
+	}
+	return Descriptor{}, fmt.Errorf("unknown experiment %q", name)
+}
+
+// List returns every registered descriptor: figures first in numeric
+// order, then named experiments alphabetically.
+func List() []Descriptor { return exp.Experiments() }
+
+// Run validates the parameters and executes the experiment. All
+// callers (the CLI included) run through here, so no experiment ever
+// runs on unvalidated parameters.
+func Run(d Descriptor, p Params) (Result, error) { return exp.RunExperiment(d, p) }
+
+// SetParallelism sets the worker count used by grid-shaped experiments
+// to execute their independent sweep cells, returning the previous
+// value. Results are bit-identical at any setting.
+func SetParallelism(n int) int { return exp.SetParallelism(n) }
+
+// Parallelism returns the current sweep worker count.
+func Parallelism() int { return exp.Parallelism() }
+
+// Record is the JSON envelope WriteJSON emits: the experiment's name,
+// the exact parameters that ran, and the full result.
+type Record struct {
+	Experiment string `json:"experiment"`
+	Params     Params `json:"params"`
+	Result     Result `json:"result"`
+}
+
+// WriteJSON writes the {experiment, params, result} envelope as
+// indented JSON. Keys are stable: encoding/json emits struct fields in
+// declaration order, and the result structs are plain data.
+func WriteJSON(w io.Writer, name string, p Params, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Record{Experiment: name, Params: p, Result: r})
+}

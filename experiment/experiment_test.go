@@ -1,0 +1,384 @@
+package experiment_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tfrc/experiment"
+	"tfrc/scenario"
+)
+
+// readGolden loads a pre-refactor golden from internal/exp/testdata: the
+// registry path must reproduce those tables byte-for-byte.
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "internal", "exp", "testdata", name))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	return b
+}
+
+func runTable(t *testing.T, name string, p experiment.Params) []byte {
+	t.Helper()
+	d, err := experiment.Get(name)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", name, err)
+	}
+	res, err := experiment.Run(d, p)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", name, err)
+	}
+	var b bytes.Buffer
+	res.Table(&b)
+	return b.Bytes()
+}
+
+func TestFig06GoldenViaRegistry(t *testing.T) {
+	d, err := experiment.Get("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Params().(*experiment.Fig06Params)
+	*p = experiment.Fig06Params{
+		LinkMbps:    []float64{2, 4},
+		TotalFlows:  []int{2, 4},
+		Queues:      []scenario.QueueKind{scenario.QueueDropTail, scenario.QueueRED},
+		Duration:    20,
+		MeasureTail: 10,
+		Seed:        3,
+	}
+	got := runTable(t, "fig6", p)
+	if want := readGolden(t, "fig06_regression.golden"); !bytes.Equal(got, want) {
+		t.Fatalf("registry fig6 output differs from golden:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+func TestFig09GoldenViaRegistry(t *testing.T) {
+	d, err := experiment.Get("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Params().(*experiment.Fig09Params)
+	*p = experiment.Fig09Params{
+		Runs:       3,
+		FlowsEach:  4,
+		Duration:   25,
+		Warmup:     10,
+		Timescales: []float64{0.5, 1, 5},
+		Seed:       2,
+	}
+	got := runTable(t, "fig9", p)
+	if want := readGolden(t, "fig09_regression.golden"); !bytes.Equal(got, want) {
+		t.Fatalf("registry fig9 output differs from golden:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+func TestParkingLotGoldenViaRegistry(t *testing.T) {
+	d, err := experiment.Get("parkinglot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Params().(*experiment.ParkingLotParams)
+	*p = experiment.ParkingLotParams{
+		Bottlenecks: []int{1, 2},
+		CrossPairs:  1,
+		LinkMbps:    3,
+		Queue:       scenario.QueueRED,
+		Duration:    25,
+		Warmup:      10,
+		Seed:        5,
+	}
+	got := runTable(t, "parkinglot", p)
+	if want := readGolden(t, "parkinglot_regression.golden"); !bytes.Equal(got, want) {
+		t.Fatalf("registry parkinglot output differs from golden:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestParamsJSONRoundTrip: every registered parameter set must survive
+// params → JSON → params unchanged, for the defaults and every preset.
+func TestParamsJSONRoundTrip(t *testing.T) {
+	for _, d := range experiment.List() {
+		sets := map[string]experiment.Params{"default": d.Params()}
+		for name := range d.Presets {
+			p, err := d.PresetParams(name)
+			if err != nil {
+				t.Fatalf("%s preset %s: %v", d.Name, name, err)
+			}
+			sets[name] = p
+		}
+		for preset, p := range sets {
+			data, err := json.Marshal(p)
+			if err != nil {
+				t.Fatalf("%s/%s: marshal: %v", d.Name, preset, err)
+			}
+			fresh := d.Params()
+			if err := json.Unmarshal(data, fresh); err != nil {
+				t.Fatalf("%s/%s: unmarshal: %v", d.Name, preset, err)
+			}
+			// The overlay target starts from defaults, so compare
+			// against the preset decoded over defaults a second time —
+			// fields the preset leaves at defaults must agree too.
+			if !reflect.DeepEqual(p, fresh) {
+				t.Errorf("%s/%s: params changed across JSON round-trip:\n got %+v\nwant %+v",
+					d.Name, preset, fresh, p)
+			}
+		}
+	}
+}
+
+// TestEnumUnmarshalCaseInsensitive: hand-written params files may spell
+// the enums in any case.
+func TestEnumUnmarshalCaseInsensitive(t *testing.T) {
+	var p experiment.Fig06Params
+	if err := json.Unmarshal([]byte(`{"Queues": ["droptail", "Red", "DROPTAIL"]}`), &p); err != nil {
+		t.Fatalf("case-insensitive queue names rejected: %v", err)
+	}
+	want := []scenario.QueueKind{scenario.QueueDropTail, scenario.QueueRED, scenario.QueueDropTail}
+	if !reflect.DeepEqual(p.Queues, want) {
+		t.Fatalf("Queues = %v, want %v", p.Queues, want)
+	}
+	if err := json.Unmarshal([]byte(`{"Queues": ["fifo"]}`), &p); err == nil {
+		t.Fatal("unknown queue kind accepted")
+	}
+}
+
+// TestSpecRunRejectsBadBinWidth: the public dumbbell preset must error,
+// not panic, on malformed monitor parameters.
+func TestSpecRunRejectsBadBinWidth(t *testing.T) {
+	_, err := scenario.Run(scenario.Spec{
+		NTCP: 1, NTFRC: 1, BottleneckBW: 2e6, Duration: 5, BinWidth: -1,
+	})
+	if err == nil {
+		t.Fatal("negative BinWidth accepted")
+	}
+}
+
+// TestRunDeterministicAfterJSONRoundTrip: running round-tripped params
+// must reproduce the original run byte-for-byte.
+func TestRunDeterministicAfterJSONRoundTrip(t *testing.T) {
+	d, err := experiment.Get("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Params().(*experiment.Fig03Params)
+	p.BufferSizes = []int{4, 16}
+	p.Duration, p.Warmup = 30, 10
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := d.Params()
+	if err := json.Unmarshal(data, rt); err != nil {
+		t.Fatal(err)
+	}
+	a := runTable(t, "fig3", p)
+	b := runTable(t, "fig3", rt)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round-tripped params produced different output:\n--- direct\n%s--- round-trip\n%s", a, b)
+	}
+}
+
+// TestResultJSONStable: the JSON envelope is valid, carries the three
+// envelope keys, and marshals identically on repeated encodings.
+func TestResultJSONStable(t *testing.T) {
+	d, err := experiment.Get("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Params().(*experiment.Fig05Params)
+	p.PLoss = []float64{0.01, 0.05}
+	res, err := experiment.Run(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := experiment.WriteJSON(&a, d.Name, p, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiment.WriteJSON(&b, d.Name, p, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("repeated JSON encodings differ")
+	}
+	var env struct {
+		Experiment string          `json:"experiment"`
+		Params     json.RawMessage `json:"params"`
+		Result     json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if env.Experiment != "fig5" || len(env.Params) == 0 || len(env.Result) == 0 {
+		t.Fatalf("envelope incomplete: %s", a.String())
+	}
+}
+
+// TestResultJSONForSimResult: a packet-level experiment's result (not
+// just the analytic fig5) must also marshal.
+func TestResultJSONForSimResult(t *testing.T) {
+	d, err := experiment.Get("fig19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiment.Run(d, d.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal fig19 result: %v", err)
+	}
+	if !strings.Contains(string(data), "Points") {
+		t.Fatalf("fig19 result JSON missing Points: %s", data[:min(200, len(data))])
+	}
+}
+
+func TestGetAliasesAndSuggestions(t *testing.T) {
+	for alias, want := range map[string]string{
+		"6": "fig6", "fig10": "fig9", "10": "fig9", "12": "fig11",
+		"17": "fig16", "parkinglot": "parkinglot",
+	} {
+		d, err := experiment.Get(alias)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", alias, err)
+		}
+		if d.Name != want {
+			t.Errorf("Get(%q).Name = %q, want %q", alias, d.Name, want)
+		}
+	}
+	_, err := experiment.Get("parkinglt")
+	if err == nil || !strings.Contains(err.Error(), `"parkinglot"`) {
+		t.Errorf("Get(parkinglt) error should suggest parkinglot, got %v", err)
+	}
+	if _, err := experiment.Get("fig99"); err == nil {
+		t.Error("Get(fig99) should fail")
+	}
+}
+
+func TestListCoversAllFiguresInOrder(t *testing.T) {
+	names := []string{}
+	for _, d := range experiment.List() {
+		names = append(names, d.Name)
+	}
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig11", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20",
+		"fig21", "bwstep", "parkinglot",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("List() order = %v, want %v", names, want)
+	}
+}
+
+func TestRunRejectsInvalidParams(t *testing.T) {
+	d, err := experiment.Get("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Params().(*experiment.Fig06Params)
+	p.Duration = -1
+	if _, err := experiment.Run(d, p); err == nil {
+		t.Fatal("Run accepted a negative duration")
+	}
+}
+
+func TestRunRejectsForeignParamsType(t *testing.T) {
+	d, err := experiment.Get("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := experiment.Get("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiment.Run(d, other.Params()); err == nil {
+		t.Fatal("Run accepted fig5 params for fig6")
+	}
+}
+
+// TestSeedKnobs pins which experiments expose the -seed/-seeds knobs.
+func TestSeedKnobs(t *testing.T) {
+	seeded := map[string]bool{}
+	multi := map[string]bool{}
+	for _, d := range experiment.List() {
+		p := d.Params()
+		if _, ok := p.(experiment.SeedSetter); ok {
+			seeded[d.Name] = true
+		}
+		if _, ok := p.(experiment.SeedsSetter); ok {
+			multi[d.Name] = true
+		}
+	}
+	for _, name := range []string{"fig3", "fig6", "fig8", "fig9", "fig11", "fig14", "fig15", "fig16", "fig18", "parkinglot", "bwstep"} {
+		if !seeded[name] {
+			t.Errorf("%s should support -seed", name)
+		}
+	}
+	for _, name := range []string{"fig6", "fig8", "fig14", "fig15", "parkinglot", "bwstep"} {
+		if !multi[name] {
+			t.Errorf("%s should support -seeds", name)
+		}
+	}
+	for _, name := range []string{"fig2", "fig5", "fig19", "fig20", "fig21"} {
+		if seeded[name] {
+			t.Errorf("%s is deterministic and should not claim -seed support", name)
+		}
+	}
+}
+
+// TestRegisterUserExperiment exercises the public extension point with
+// a scenario-package experiment, end to end.
+func TestRegisterUserExperiment(t *testing.T) {
+	experiment.Register(experiment.Descriptor{
+		Name:        "user-dumbbell",
+		Description: "test-only user experiment",
+		Params: func() experiment.Params {
+			return &userDumbbellParams{Flows: 2, Duration: 10}
+		},
+		Run: func(p experiment.Params) (experiment.Result, error) {
+			up := p.(*userDumbbellParams)
+			res, err := scenario.Run(scenario.Spec{
+				NTCP: up.Flows, NTFRC: up.Flows,
+				BottleneckBW: 2e6, Duration: up.Duration, Seed: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &userDumbbellResult{Util: res.Utilization}, nil
+		},
+	})
+	d, err := experiment.Get("user-dumbbell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiment.Run(d, d.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := res.(*userDumbbellResult).Util; u <= 0 || u > 1.01 {
+		t.Fatalf("implausible utilization %v", u)
+	}
+}
+
+type userDumbbellParams struct {
+	Flows    int
+	Duration float64
+}
+
+func (p *userDumbbellParams) Validate() error { return nil }
+
+type userDumbbellResult struct{ Util float64 }
+
+func (r *userDumbbellResult) Table(w io.Writer) {
+	fmt.Fprintf(w, "util\t%.3f\n", r.Util)
+}

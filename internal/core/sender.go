@@ -25,7 +25,9 @@ type SenderConfig struct {
 	// PacketSize is the segment size s in bytes (paper default: 1000).
 	PacketSize int
 	// Eq is the control equation; nil means PFTK (the paper's Eq. 1).
-	Eq ThroughputEq
+	// Functions cannot ride through JSON, so serialized configs always
+	// mean the default equation.
+	Eq ThroughputEq `json:"-"`
 	// RTTWeight is the EWMA weight on new RTT samples; 0 means 0.1.
 	RTTWeight float64
 	// SqrtSpacing enables the §3.4 inter-packet-spacing adjustment

@@ -46,6 +46,55 @@ func DefaultBWStep() BWStepParams {
 	}
 }
 
+// PaperBWStep is the full-scale transient the CLI's -paper flag selects.
+func PaperBWStep() BWStepParams {
+	p := DefaultBWStep()
+	p.NTCP, p.NTFRC = 8, 8
+	p.LinkMbps = 15
+	p.StepAt, p.RestoreAt, p.Duration = 100, 200, 300
+	return p
+}
+
+// Validate implements Params.
+func (p *BWStepParams) Validate() error {
+	if p.NTCP < 0 || p.NTFRC < 0 || p.NTCP+p.NTFRC < 1 {
+		return fmt.Errorf("need at least one flow, got NTCP=%d NTFRC=%d", p.NTCP, p.NTFRC)
+	}
+	if p.LinkMbps <= 0 {
+		return fmt.Errorf("LinkMbps must be positive, got %v", p.LinkMbps)
+	}
+	if p.Factor < 0 || p.Factor >= 1 {
+		return fmt.Errorf("Factor must be in (0, 1) (or 0 for the default 0.5), got %v", p.Factor)
+	}
+	if !(0 < p.StepAt && p.StepAt < p.RestoreAt && p.RestoreAt <= p.Duration) {
+		return fmt.Errorf("need 0 < StepAt < RestoreAt <= Duration, got StepAt=%v RestoreAt=%v Duration=%v",
+			p.StepAt, p.RestoreAt, p.Duration)
+	}
+	if p.BinWidth <= 0 {
+		return fmt.Errorf("BinWidth must be positive, got %v", p.BinWidth)
+	}
+	if p.Seeds < 0 {
+		return fmt.Errorf("Seeds must be non-negative, got %d", p.Seeds)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *BWStepParams) SetSeed(seed int64) { p.Seed = seed }
+
+// SetSeeds implements SeedsSetter.
+func (p *BWStepParams) SetSeeds(n int) { p.Seeds = n }
+
+func init() {
+	Register(Descriptor{
+		Name:        "bwstep",
+		Description: "tracking a bottleneck bandwidth step",
+		Params:      paramsFn[BWStepParams](DefaultBWStep),
+		Presets:     map[string]func() Params{"paper": paramsFn[BWStepParams](PaperBWStep)},
+		Run:         runAs(func(p *BWStepParams) Result { return RunBWStep(*p) }),
+	})
+}
+
 // BWStepPhase aggregates one phase (before / squeezed / after) of the
 // transient: per-protocol aggregate throughput as a fraction of the
 // phase's capacity, and the TFRC smoothness within the phase.
@@ -207,6 +256,9 @@ func RunBWStep(pr BWStepParams) *BWStepResult {
 	}
 	return out
 }
+
+// Table implements Result.
+func (r *BWStepResult) Table(w io.Writer) { r.Print(w) }
 
 // Print emits the phase summary and the aggregate traces.
 func (r *BWStepResult) Print(w io.Writer) {

@@ -60,6 +60,46 @@ type Scenario struct {
 	Seed int64
 }
 
+// Validate checks the scenario for parameter mistakes that would
+// otherwise produce an empty or meaningless result. Zero-valued fields
+// that fill defaults (queue limit, bin width, ...) are fine.
+func (sc *Scenario) Validate() error {
+	if sc.NTCP < 0 || sc.NTFRC < 0 {
+		return fmt.Errorf("flow counts must be non-negative, got NTCP=%d NTFRC=%d", sc.NTCP, sc.NTFRC)
+	}
+	if sc.BottleneckBW <= 0 {
+		return fmt.Errorf("BottleneckBW must be positive, got %v", sc.BottleneckBW)
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("Duration must be positive, got %v", sc.Duration)
+	}
+	if sc.Warmup < 0 || sc.Warmup >= sc.Duration {
+		return fmt.Errorf("need 0 <= Warmup < Duration, got Warmup=%v Duration=%v", sc.Warmup, sc.Duration)
+	}
+	if sc.OnOffSources < 0 {
+		return fmt.Errorf("OnOffSources must be non-negative, got %d", sc.OnOffSources)
+	}
+	if sc.MiceLoad < 0 {
+		return fmt.Errorf("MiceLoad must be non-negative, got %v", sc.MiceLoad)
+	}
+	if sc.BinWidth < 0 {
+		return fmt.Errorf("BinWidth must be non-negative (0 means the 0.1 s default), got %v", sc.BinWidth)
+	}
+	if sc.BottleneckDly < 0 {
+		return fmt.Errorf("BottleneckDly must be non-negative (0 means the 25 ms default), got %v", sc.BottleneckDly)
+	}
+	if sc.QueueLimit < 0 {
+		return fmt.Errorf("QueueLimit must be non-negative (0 means one BDP), got %d", sc.QueueLimit)
+	}
+	if sc.StaggerStarts < 0 {
+		return fmt.Errorf("StaggerStarts must be non-negative (0 means the default spread), got %v", sc.StaggerStarts)
+	}
+	if sc.AccessDlyMin < 0 || sc.AccessDlyMax < sc.AccessDlyMin {
+		return fmt.Errorf("need 0 <= AccessDlyMin <= AccessDlyMax, got %v..%v", sc.AccessDlyMin, sc.AccessDlyMax)
+	}
+	return nil
+}
+
 func (sc *Scenario) fill() {
 	if sc.BottleneckDly == 0 {
 		sc.BottleneckDly = 0.025

@@ -28,6 +28,32 @@ func DefaultFig02() Fig02Params {
 	return Fig02Params{P1: 0.01, P2: 0.10, P3: 0.005, T1: 6, T2: 9, Duration: 16, RTT: 0.05}
 }
 
+// Validate implements Params.
+func (p *Fig02Params) Validate() error {
+	for _, l := range []float64{p.P1, p.P2, p.P3} {
+		if l <= 0 || l > 1 {
+			return fmt.Errorf("phase loss rates must be in (0, 1], got %v/%v/%v", p.P1, p.P2, p.P3)
+		}
+	}
+	if !(0 < p.T1 && p.T1 < p.T2 && p.T2 < p.Duration) {
+		return fmt.Errorf("need 0 < T1 < T2 < Duration, got T1=%v T2=%v Duration=%v", p.T1, p.T2, p.Duration)
+	}
+	if p.RTT <= 0 {
+		return fmt.Errorf("RTT must be positive, got %v", p.RTT)
+	}
+	return nil
+}
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig2",
+		Aliases:     []string{"2"},
+		Description: "Average Loss Interval dynamics under periodic loss",
+		Params:      paramsFn[Fig02Params](DefaultFig02),
+		Run:         runAs(func(p *Fig02Params) Result { return RunFig02(*p) }),
+	})
+}
+
 // Fig02Point is one receiver-side sample, taken once per feedback.
 type Fig02Point struct {
 	Time         float64
@@ -112,6 +138,9 @@ func sqrt(x float64) float64 {
 	}
 	return math.Sqrt(x)
 }
+
+// Table implements Result.
+func (r *Fig02Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits "time s0 estInterval p sqrtP txRateKBps" rows.
 func (r *Fig02Result) Print(w io.Writer) {

@@ -51,6 +51,51 @@ func DefaultFig04() Fig03Params {
 	return p
 }
 
+// Validate implements Params.
+func (p *Fig03Params) Validate() error {
+	if len(p.BufferSizes) == 0 {
+		return fmt.Errorf("BufferSizes must be non-empty")
+	}
+	for _, b := range p.BufferSizes {
+		if b < 1 {
+			return fmt.Errorf("buffer sizes must be at least 1 packet, got %d", b)
+		}
+	}
+	if p.Bandwidth <= 0 {
+		return fmt.Errorf("Bandwidth must be positive, got %v", p.Bandwidth)
+	}
+	if p.BaseRTT <= 0 {
+		return fmt.Errorf("BaseRTT must be positive, got %v", p.BaseRTT)
+	}
+	if p.BinWidth <= 0 {
+		return fmt.Errorf("BinWidth must be positive, got %v", p.BinWidth)
+	}
+	if p.Duration <= 0 || p.Warmup < 0 || p.Warmup >= p.Duration {
+		return fmt.Errorf("need 0 <= Warmup < Duration, got Warmup=%v Duration=%v", p.Warmup, p.Duration)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig03Params) SetSeed(seed int64) { p.Seed = seed }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig3",
+		Aliases:     []string{"3"},
+		Description: "send-rate oscillation vs buffer size (no spacing adjustment)",
+		Params:      paramsFn[Fig03Params](DefaultFig03),
+		Run:         runAs(func(p *Fig03Params) Result { return RunFig03(*p) }),
+	})
+	Register(Descriptor{
+		Name:        "fig4",
+		Aliases:     []string{"4"},
+		Description: "send-rate oscillation vs buffer size (with adjustment)",
+		Params:      paramsFn[Fig03Params](DefaultFig04),
+		Run:         runAs(func(p *Fig03Params) Result { return RunFig03(*p) }),
+	})
+}
+
 // Fig03Curve is the send-rate trace for one buffer size plus its
 // oscillation measure.
 type Fig03Curve struct {
@@ -101,6 +146,9 @@ func RunFig03(pr Fig03Params) *Fig03Result {
 	})
 	return res
 }
+
+// Table implements Result.
+func (r *Fig03Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits "buffer cov" summary rows and the traces.
 func (r *Fig03Result) Print(w io.Writer) {

@@ -32,6 +32,43 @@ func DefaultFig05() Fig05Params {
 	}
 }
 
+// Validate implements Params.
+func (p *Fig05Params) Validate() error {
+	if len(p.PLoss) == 0 {
+		return fmt.Errorf("PLoss must be non-empty")
+	}
+	for _, q := range p.PLoss {
+		if q <= 0 || q >= 1 {
+			return fmt.Errorf("loss probabilities must be in (0, 1), got %v", q)
+		}
+	}
+	if len(p.Multiplier) == 0 {
+		return fmt.Errorf("Multiplier must be non-empty")
+	}
+	for _, m := range p.Multiplier {
+		if m <= 0 {
+			return fmt.Errorf("rate multipliers must be positive, got %v", m)
+		}
+	}
+	if p.RTT <= 0 {
+		return fmt.Errorf("RTT must be positive, got %v", p.RTT)
+	}
+	if p.PacketSize <= 0 {
+		return fmt.Errorf("PacketSize must be positive, got %d", p.PacketSize)
+	}
+	return nil
+}
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig5",
+		Aliases:     []string{"5"},
+		Description: "loss-event fraction vs Bernoulli loss probability",
+		Params:      paramsFn[Fig05Params](DefaultFig05),
+		Run:         runAs(func(p *Fig05Params) Result { return RunFig05(*p) }),
+	})
+}
+
 // Fig05Row is one curve point: the loss-event fraction for each rate
 // multiplier at one Bernoulli loss probability.
 type Fig05Row struct {
@@ -82,6 +119,9 @@ func RunFig05(pr Fig05Params) *Fig05Result {
 	})
 	return res
 }
+
+// Table implements Result.
+func (r *Fig05Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits "pLoss pEvent(m1) pEvent(m2) ..." rows.
 func (r *Fig05Result) Print(w io.Writer) {

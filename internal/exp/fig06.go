@@ -52,6 +52,56 @@ func PaperFig06() Fig06Params {
 	}
 }
 
+// Validate implements Params.
+func (p *Fig06Params) Validate() error {
+	if len(p.LinkMbps) == 0 || len(p.TotalFlows) == 0 || len(p.Queues) == 0 {
+		return fmt.Errorf("LinkMbps, TotalFlows, and Queues must all be non-empty")
+	}
+	for _, bw := range p.LinkMbps {
+		if bw <= 0 {
+			return fmt.Errorf("link rates must be positive, got %v", bw)
+		}
+	}
+	for _, fl := range p.TotalFlows {
+		if fl < 2 {
+			return fmt.Errorf("total flows must be at least 2 (half TCP, half TFRC), got %d", fl)
+		}
+	}
+	if p.Duration <= 0 || p.MeasureTail <= 0 || p.MeasureTail > p.Duration {
+		return fmt.Errorf("need 0 < MeasureTail <= Duration, got MeasureTail=%v Duration=%v",
+			p.MeasureTail, p.Duration)
+	}
+	if p.Seeds < 0 {
+		return fmt.Errorf("Seeds must be non-negative, got %d", p.Seeds)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig06Params) SetSeed(seed int64) { p.Seed = seed }
+
+// SetSeeds implements SeedsSetter.
+func (p *Fig06Params) SetSeeds(n int) { p.Seeds = n }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig6",
+		Aliases:     []string{"6"},
+		Description: "normalized TCP throughput vs link rate × flows × queue",
+		Params:      paramsFn[Fig06Params](DefaultFig06),
+		Presets:     map[string]func() Params{"paper": paramsFn[Fig06Params](PaperFig06)},
+		Run:         runAs(func(p *Fig06Params) Result { return RunFig06(*p) }),
+	})
+	Register(Descriptor{
+		Name:        "fig7",
+		Aliases:     []string{"7"},
+		Description: "per-flow normalized throughput at 15 Mb/s RED",
+		Params:      paramsFn[Fig07Params](DefaultFig07),
+		Presets:     map[string]func() Params{"paper": paramsFn[Fig07Params](PaperFig07)},
+		Run:         runAs(func(p *Fig07Params) Result { return RunFig07Params(*p) }),
+	})
+}
+
 // Fig06Cell is one grid cell.
 type Fig06Cell struct {
 	Queue       netsim.QueueKind
@@ -164,6 +214,9 @@ func RunFig06(pr Fig06Params) *Fig06Result {
 	return res
 }
 
+// Table implements Result.
+func (r *Fig06Result) Table(w io.Writer) { r.Print(w) }
+
 // Print emits the surface as rows; multi-seed runs gain CI columns.
 func (r *Fig06Result) Print(w io.Writer) {
 	multiSeed := false
@@ -215,3 +268,61 @@ func RunFig07(totalFlows []int, duration, tail float64, seed int64) []Fig06Cell 
 		return runFig06Cell(c, netsim.QueueRED, 15, totalFlows[i], duration, tail, seed)
 	})
 }
+
+// Fig07Params is the parameter-struct form of RunFig07, the shape the
+// experiment registry serializes.
+type Fig07Params struct {
+	TotalFlows  []int
+	Duration    float64
+	MeasureTail float64
+	Seed        int64
+}
+
+// DefaultFig07 is the laptop-scale column.
+func DefaultFig07() Fig07Params {
+	return Fig07Params{TotalFlows: []int{16, 32, 64}, Duration: 60, MeasureTail: 30, Seed: 1}
+}
+
+// PaperFig07 is the paper's full flow ladder.
+func PaperFig07() Fig07Params {
+	return Fig07Params{
+		TotalFlows:  []int{16, 32, 48, 64, 80, 96, 112, 128},
+		Duration:    150,
+		MeasureTail: 60,
+		Seed:        1,
+	}
+}
+
+// Validate implements Params.
+func (p *Fig07Params) Validate() error {
+	if len(p.TotalFlows) == 0 {
+		return fmt.Errorf("TotalFlows must be non-empty")
+	}
+	for _, fl := range p.TotalFlows {
+		if fl < 2 {
+			return fmt.Errorf("total flows must be at least 2 (half TCP, half TFRC), got %d", fl)
+		}
+	}
+	if p.Duration <= 0 || p.MeasureTail <= 0 || p.MeasureTail > p.Duration {
+		return fmt.Errorf("need 0 < MeasureTail <= Duration, got MeasureTail=%v Duration=%v",
+			p.MeasureTail, p.Duration)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig07Params) SetSeed(seed int64) { p.Seed = seed }
+
+// Fig07Result wraps the per-flow scatter cells.
+type Fig07Result struct{ Cells []Fig06Cell }
+
+// RunFig07Params is RunFig07 on the registry's parameter struct.
+func RunFig07Params(pr Fig07Params) *Fig07Result {
+	return &Fig07Result{Cells: RunFig07(pr.TotalFlows, pr.Duration, pr.MeasureTail, pr.Seed)}
+}
+
+// Table implements Result.
+func (r *Fig07Result) Table(w io.Writer) { PrintFig07(w, r.Cells) }
+
+// Print emits the scatter rows.
+func (r *Fig07Result) Print(w io.Writer) { r.Table(w) }

@@ -43,6 +43,105 @@ func DefaultFig08(q netsim.QueueKind) Fig08Params {
 	}
 }
 
+// Validate implements Params.
+func (p *Fig08Params) Validate() error {
+	if p.Flows < 2 {
+		return fmt.Errorf("Flows must be at least 2 (half TCP, half TFRC), got %d", p.Flows)
+	}
+	if p.LinkMbps <= 0 {
+		return fmt.Errorf("LinkMbps must be positive, got %v", p.LinkMbps)
+	}
+	if p.Duration <= 0 || p.TraceFrom < 0 || p.TraceFrom >= p.Duration {
+		return fmt.Errorf("need 0 <= TraceFrom < Duration, got TraceFrom=%v Duration=%v",
+			p.TraceFrom, p.Duration)
+	}
+	if p.BinWidth <= 0 {
+		return fmt.Errorf("BinWidth must be positive, got %v", p.BinWidth)
+	}
+	if p.NTrace < 1 {
+		return fmt.Errorf("NTrace must be at least 1, got %d", p.NTrace)
+	}
+	if p.Seeds < 0 {
+		return fmt.Errorf("Seeds must be non-negative, got %d", p.Seeds)
+	}
+	return nil
+}
+
+// Fig08GridParams runs the trace experiment once per queue discipline —
+// the registry form of the CLI's historical DropTail-then-RED loop.
+type Fig08GridParams struct {
+	Queues []netsim.QueueKind
+	Flows  int
+	Seed   int64
+	Seeds  int
+}
+
+// DefaultFig08Grid traces both queue disciplines at the paper's setup.
+func DefaultFig08Grid() Fig08GridParams {
+	return Fig08GridParams{
+		Queues: []netsim.QueueKind{netsim.QueueDropTail, netsim.QueueRED},
+		Flows:  32,
+		Seed:   1,
+	}
+}
+
+// Validate implements Params.
+func (p *Fig08GridParams) Validate() error {
+	if len(p.Queues) == 0 {
+		return fmt.Errorf("Queues must be non-empty")
+	}
+	if p.Flows < 2 {
+		return fmt.Errorf("Flows must be at least 2 (half TCP, half TFRC), got %d", p.Flows)
+	}
+	if p.Seeds < 0 {
+		return fmt.Errorf("Seeds must be non-negative, got %d", p.Seeds)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig08GridParams) SetSeed(seed int64) { p.Seed = seed }
+
+// SetSeeds implements SeedsSetter.
+func (p *Fig08GridParams) SetSeeds(n int) { p.Seeds = n }
+
+// Fig08GridResult is one Fig08Result per requested queue discipline.
+type Fig08GridResult struct{ Results []*Fig08Result }
+
+// RunFig08Grid runs the trace experiment for every queue discipline.
+func RunFig08Grid(pr Fig08GridParams) *Fig08GridResult {
+	out := &Fig08GridResult{}
+	for _, q := range pr.Queues {
+		qp := DefaultFig08(q)
+		qp.Flows = pr.Flows
+		qp.Seed = pr.Seed
+		qp.Seeds = pr.Seeds
+		out.Results = append(out.Results, RunFig08(qp))
+	}
+	return out
+}
+
+// Table implements Result, printing each queue's block in order —
+// byte-identical to the historical CLI loop.
+func (r *Fig08GridResult) Table(w io.Writer) {
+	for _, res := range r.Results {
+		res.Print(w)
+	}
+}
+
+// Print emits every queue's block.
+func (r *Fig08GridResult) Print(w io.Writer) { r.Table(w) }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig8",
+		Aliases:     []string{"8"},
+		Description: "per-flow throughput traces (DropTail and RED)",
+		Params:      paramsFn[Fig08GridParams](DefaultFig08Grid),
+		Run:         runAs(func(p *Fig08GridParams) Result { return RunFig08Grid(*p) }),
+	})
+}
+
 // Fig08Result carries the traced series plus smoothness summaries.
 type Fig08Result struct {
 	Queue      netsim.QueueKind
@@ -124,6 +223,9 @@ func RunFig08(pr Fig08Params) *Fig08Result {
 	}
 	return out
 }
+
+// Table implements Result.
+func (r *Fig08Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits the traces: "bin TF1..TFn TCP1..TCPn" in KB per bin.
 func (r *Fig08Result) Print(w io.Writer) {

@@ -45,6 +45,42 @@ func PaperFig09() Fig09Params {
 	return p
 }
 
+// Validate implements Params.
+func (p *Fig09Params) Validate() error {
+	if p.Runs < 1 {
+		return fmt.Errorf("Runs must be at least 1, got %d", p.Runs)
+	}
+	if p.FlowsEach < 2 {
+		return fmt.Errorf("FlowsEach must be at least 2 (the equivalence ratio pairs flows), got %d", p.FlowsEach)
+	}
+	if p.Duration <= 0 || p.Warmup < 0 || p.Warmup >= p.Duration {
+		return fmt.Errorf("need 0 <= Warmup < Duration, got Warmup=%v Duration=%v", p.Warmup, p.Duration)
+	}
+	if len(p.Timescales) == 0 {
+		return fmt.Errorf("Timescales must be non-empty")
+	}
+	for _, ts := range p.Timescales {
+		if ts <= 0 {
+			return fmt.Errorf("timescales must be positive, got %v", ts)
+		}
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig09Params) SetSeed(seed int64) { p.Seed = seed }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig9",
+		Aliases:     []string{"9", "fig10", "10"},
+		Description: "equivalence ratio and CoV vs timescale (incl. fig 10)",
+		Params:      paramsFn[Fig09Params](DefaultFig09),
+		Presets:     map[string]func() Params{"paper": paramsFn[Fig09Params](PaperFig09)},
+		Run:         runAs(func(p *Fig09Params) Result { return RunFig09(*p) }),
+	})
+}
+
 // MeanCI is a mean with its 90% confidence half-width.
 type MeanCI struct{ Mean, CI float64 }
 
@@ -145,6 +181,9 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 	res.CoVTFRC = collect(covF)
 	return res
 }
+
+// Table implements Result.
+func (r *Fig09Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits both figures' rows.
 func (r *Fig09Result) Print(w io.Writer) {

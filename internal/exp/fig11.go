@@ -44,6 +44,47 @@ func PaperFig11() Fig11Params {
 	return p
 }
 
+// Validate implements Params.
+func (p *Fig11Params) Validate() error {
+	if len(p.Sources) == 0 {
+		return fmt.Errorf("Sources must be non-empty")
+	}
+	for _, n := range p.Sources {
+		if n < 1 {
+			return fmt.Errorf("source counts must be at least 1, got %d", n)
+		}
+	}
+	if p.Duration <= 0 || p.Warmup < 0 || p.Warmup >= p.Duration {
+		return fmt.Errorf("need 0 <= Warmup < Duration, got Warmup=%v Duration=%v", p.Warmup, p.Duration)
+	}
+	if len(p.Timescales) == 0 {
+		return fmt.Errorf("Timescales must be non-empty")
+	}
+	for _, ts := range p.Timescales {
+		if ts <= 0 {
+			return fmt.Errorf("timescales must be positive, got %v", ts)
+		}
+	}
+	if p.Runs < 1 {
+		return fmt.Errorf("Runs must be at least 1, got %d", p.Runs)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig11Params) SetSeed(seed int64) { p.Seed = seed }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig11",
+		Aliases:     []string{"11", "fig12", "12", "fig13", "13"},
+		Description: "ON/OFF background sweep (incl. figs 12, 13)",
+		Params:      paramsFn[Fig11Params](DefaultFig11),
+		Presets:     map[string]func() Params{"paper": paramsFn[Fig11Params](PaperFig11)},
+		Run:         runAs(func(p *Fig11Params) Result { return RunFig11(*p) }),
+	})
+}
+
 // Fig11Row summarizes one source count.
 type Fig11Row struct {
 	Sources  int
@@ -140,6 +181,9 @@ func RunFig11(pr Fig11Params) *Fig11Result {
 	}
 	return res
 }
+
+// Table implements Result.
+func (r *Fig11Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits all three figures' rows.
 func (r *Fig11Result) Print(w io.Writer) {

@@ -41,6 +41,48 @@ func DefaultFig14() Fig14Params {
 	}
 }
 
+// Validate implements Params.
+func (p *Fig14Params) Validate() error {
+	if p.Flows < 1 {
+		return fmt.Errorf("Flows must be at least 1, got %d", p.Flows)
+	}
+	if p.Stagger < 0 {
+		return fmt.Errorf("Stagger must be non-negative, got %v", p.Stagger)
+	}
+	if p.Duration <= 0 {
+		return fmt.Errorf("Duration must be positive, got %v", p.Duration)
+	}
+	if p.LinkMbps <= 0 {
+		return fmt.Errorf("LinkMbps must be positive, got %v", p.LinkMbps)
+	}
+	if p.Queue < 1 {
+		return fmt.Errorf("Queue must be at least 1 packet, got %d", p.Queue)
+	}
+	if p.MiceLoad < 0 {
+		return fmt.Errorf("MiceLoad must be non-negative, got %v", p.MiceLoad)
+	}
+	if p.Seeds < 0 {
+		return fmt.Errorf("Seeds must be non-negative, got %d", p.Seeds)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig14Params) SetSeed(seed int64) { p.Seed = seed }
+
+// SetSeeds implements SeedsSetter.
+func (p *Fig14Params) SetSeeds(n int) { p.Seeds = n }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig14",
+		Aliases:     []string{"14"},
+		Description: "queue dynamics: 40 TCP vs 40 TFRC flows",
+		Params:      paramsFn[Fig14Params](DefaultFig14),
+		Run:         runAs(func(p *Fig14Params) Result { return RunFig14(*p) }),
+	})
+}
+
 // Fig14Side is one of the two runs. With Seeds > 1 the scalar fields
 // are means across seeds and the CI fields carry 90% half-widths.
 type Fig14Side struct {
@@ -123,6 +165,9 @@ func RunFig14(pr Fig14Params) *Fig14Result {
 		TFRC: aggregate(cells[seeds:]),
 	}
 }
+
+// Table implements Result.
+func (r *Fig14Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits the queue traces and the summary comparison.
 func (r *Fig14Result) Print(w io.Writer) {

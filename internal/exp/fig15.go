@@ -63,6 +63,99 @@ func pathScenario(p Path, nTCP, nTFRC int, duration, warmup float64, seed int64)
 	}
 }
 
+// Fig15Params is the registry's parameter struct for the Figure 15
+// trace experiment on the transcontinental (UCL) path profile.
+type Fig15Params struct {
+	Duration float64
+	Seed     int64
+	Seeds    int
+}
+
+// DefaultFig15 is the laptop-scale run.
+func DefaultFig15() Fig15Params { return Fig15Params{Duration: 120, Seed: 1} }
+
+// PaperFig15 matches the paper's 300 s traces.
+func PaperFig15() Fig15Params { return Fig15Params{Duration: 300, Seed: 1} }
+
+// Validate implements Params.
+func (p *Fig15Params) Validate() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("Duration must be positive, got %v", p.Duration)
+	}
+	if p.Seeds < 0 {
+		return fmt.Errorf("Seeds must be non-negative, got %d", p.Seeds)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig15Params) SetSeed(seed int64) { p.Seed = seed }
+
+// SetSeeds implements SeedsSetter.
+func (p *Fig15Params) SetSeeds(n int) { p.Seeds = n }
+
+// Fig16Params is the registry's parameter struct for the per-path
+// equivalence study (Figures 16 and 17).
+type Fig16Params struct {
+	Timescales []float64
+	Duration   float64
+	Seed       int64
+}
+
+// DefaultFig16 is the laptop-scale study.
+func DefaultFig16() Fig16Params {
+	return Fig16Params{Timescales: []float64{0.5, 1, 2, 5, 10, 20, 50}, Duration: 120, Seed: 1}
+}
+
+// PaperFig16 matches the paper's 600 s per-path runs.
+func PaperFig16() Fig16Params {
+	p := DefaultFig16()
+	p.Duration = 600
+	return p
+}
+
+// Validate implements Params.
+func (p *Fig16Params) Validate() error {
+	if len(p.Timescales) == 0 {
+		return fmt.Errorf("Timescales must be non-empty")
+	}
+	for _, ts := range p.Timescales {
+		if ts <= 0 {
+			return fmt.Errorf("timescales must be positive, got %v", ts)
+		}
+	}
+	if p.Duration <= 0 {
+		return fmt.Errorf("Duration must be positive, got %v", p.Duration)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig16Params) SetSeed(seed int64) { p.Seed = seed }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig15",
+		Aliases:     []string{"15"},
+		Description: "3 TCP + 1 TFRC on the transcontinental path profile",
+		Params:      paramsFn[Fig15Params](DefaultFig15),
+		Presets:     map[string]func() Params{"paper": paramsFn[Fig15Params](PaperFig15)},
+		Run: runAs(func(p *Fig15Params) Result {
+			return RunFig15Seeds(p.Duration, p.Seed, p.Seeds)
+		}),
+	})
+	Register(Descriptor{
+		Name:        "fig16",
+		Aliases:     []string{"16", "fig17", "17"},
+		Description: "equivalence and CoV across path profiles (incl. fig 17)",
+		Params:      paramsFn[Fig16Params](DefaultFig16),
+		Presets:     map[string]func() Params{"paper": paramsFn[Fig16Params](PaperFig16)},
+		Run: runAs(func(p *Fig16Params) Result {
+			return RunFig16(p.Timescales, p.Duration, p.Seed)
+		}),
+	})
+}
+
 // Fig15Result is the Figure 15 trace: three TCP flows and one TFRC flow
 // on the transcontinental profile, bandwidth in 1 s bins. With seeds > 1
 // the scalar summaries are means across seeds with 90% half-widths in
@@ -132,6 +225,9 @@ func RunFig15Seeds(duration float64, seed int64, seeds int) *Fig15Result {
 	return out
 }
 
+// Table implements Result.
+func (r *Fig15Result) Table(w io.Writer) { r.Print(w) }
+
 // Print emits "time tcp1 tcp2 tcp3 tfrc" rows in KB/s.
 func (r *Fig15Result) Print(w io.Writer) {
 	fmt.Fprintln(w, "# Figure 15: 3 TCP + 1 TFRC on the transcontinental path profile (KB/s)")
@@ -198,6 +294,9 @@ func RunFig16(timescales []float64, duration float64, seed int64) *Fig16Result {
 	})
 	return res
 }
+
+// Table implements Result.
+func (r *Fig16Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits Figures 16 and 17 rows.
 func (r *Fig16Result) Print(w io.Writer) {

@@ -30,6 +30,43 @@ func DefaultFig18() Fig18Params {
 	return Fig18Params{HistorySizes: []int{2, 4, 8, 16, 32}, Duration: 150, Seed: 1}
 }
 
+// PaperFig18 extends the trace sources to the paper's 600 s.
+func PaperFig18() Fig18Params {
+	p := DefaultFig18()
+	p.Duration = 600
+	return p
+}
+
+// Validate implements Params.
+func (p *Fig18Params) Validate() error {
+	if len(p.HistorySizes) == 0 {
+		return fmt.Errorf("HistorySizes must be non-empty")
+	}
+	for _, n := range p.HistorySizes {
+		if n < 1 {
+			return fmt.Errorf("history sizes must be at least 1 interval, got %d", n)
+		}
+	}
+	if p.Duration <= 0 {
+		return fmt.Errorf("Duration must be positive, got %v", p.Duration)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *Fig18Params) SetSeed(seed int64) { p.Seed = seed }
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig18",
+		Aliases:     []string{"18"},
+		Description: "loss-predictor error vs history size and weighting",
+		Params:      paramsFn[Fig18Params](DefaultFig18),
+		Presets:     map[string]func() Params{"paper": paramsFn[Fig18Params](PaperFig18)},
+		Run:         runAs(func(p *Fig18Params) Result { return RunFig18(*p) }),
+	})
+}
+
 // Fig18Point is one bar of the figure.
 type Fig18Point struct {
 	HistorySize     int
@@ -172,6 +209,9 @@ func RunFig18(pr Fig18Params) *Fig18Result {
 	}
 	return res
 }
+
+// Table implements Result.
+func (r *Fig18Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits "history weights avgError errStdDev" rows.
 func (r *Fig18Result) Print(w io.Writer) {

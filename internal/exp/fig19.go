@@ -37,6 +37,79 @@ func DefaultFig20() Fig19Params {
 	return Fig19Params{DropEveryBefore: 100, DropEveryAfter: 2, SwitchTime: 10, Duration: 12, RTT: 0.05}
 }
 
+// Validate implements Params.
+func (p *Fig19Params) Validate() error {
+	if p.DropEveryBefore < 1 {
+		return fmt.Errorf("DropEveryBefore must be at least 1, got %d", p.DropEveryBefore)
+	}
+	if p.DropEveryAfter < 0 {
+		return fmt.Errorf("DropEveryAfter must be non-negative, got %d", p.DropEveryAfter)
+	}
+	if !(0 < p.SwitchTime && p.SwitchTime < p.Duration) {
+		return fmt.Errorf("need 0 < SwitchTime < Duration, got SwitchTime=%v Duration=%v",
+			p.SwitchTime, p.Duration)
+	}
+	if p.RTT <= 0 {
+		return fmt.Errorf("RTT must be positive, got %v", p.RTT)
+	}
+	return nil
+}
+
+// Fig21Params is the registry's parameter struct for the Figure 21
+// drop-rate sweep.
+type Fig21Params struct {
+	DropRates []float64
+	RTT       float64
+}
+
+// DefaultFig21 matches the paper's sweep.
+func DefaultFig21() Fig21Params {
+	return Fig21Params{
+		DropRates: []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25},
+		RTT:       0.05,
+	}
+}
+
+// Validate implements Params.
+func (p *Fig21Params) Validate() error {
+	if len(p.DropRates) == 0 {
+		return fmt.Errorf("DropRates must be non-empty")
+	}
+	for _, d := range p.DropRates {
+		if d <= 0 || d >= 1 {
+			return fmt.Errorf("drop rates must be in (0, 1), got %v", d)
+		}
+	}
+	if p.RTT <= 0 {
+		return fmt.Errorf("RTT must be positive, got %v", p.RTT)
+	}
+	return nil
+}
+
+func init() {
+	Register(Descriptor{
+		Name:        "fig19",
+		Aliases:     []string{"19"},
+		Description: "rate increase after congestion ends",
+		Params:      paramsFn[Fig19Params](DefaultFig19),
+		Run:         runAs(func(p *Fig19Params) Result { return RunFig19(*p) }),
+	})
+	Register(Descriptor{
+		Name:        "fig20",
+		Aliases:     []string{"20"},
+		Description: "rate decrease under persistent congestion",
+		Params:      paramsFn[Fig19Params](DefaultFig20),
+		Run:         runAs(func(p *Fig19Params) Result { return RunFig19(*p) }),
+	})
+	Register(Descriptor{
+		Name:        "fig21",
+		Aliases:     []string{"21"},
+		Description: "round-trips to halve the rate vs initial drop rate",
+		Params:      paramsFn[Fig21Params](DefaultFig21),
+		Run:         runAs(func(p *Fig21Params) Result { return RunFig21(p.DropRates, p.RTT) }),
+	})
+}
+
 // Fig19Point samples the allowed sending rate.
 type Fig19Point struct {
 	Time       float64
@@ -113,6 +186,9 @@ func RunFig19(pr Fig19Params) *Fig19Result {
 	return res
 }
 
+// Table implements Result.
+func (r *Fig19Result) Table(w io.Writer) { r.Print(w) }
+
 // Print emits "time rate(pkts/RTT)" rows plus a summary.
 func (r *Fig19Result) Print(w io.Writer) {
 	fmt.Fprintln(w, "# Figures 19/20: allowed sending rate of a single TFRC flow")
@@ -161,6 +237,9 @@ func RunFig21(dropRates []float64, rtt float64) *Fig21Result {
 	})
 	return res
 }
+
+// Table implements Result.
+func (r *Fig21Result) Table(w io.Writer) { r.Print(w) }
 
 // Print emits "dropRate rttsToHalve" rows.
 func (r *Fig21Result) Print(w io.Writer) {

@@ -44,6 +44,55 @@ func DefaultParkingLot() ParkingLotParams {
 	}
 }
 
+// PaperParkingLot is the full-scale grid the CLI's -paper flag selects.
+func PaperParkingLot() ParkingLotParams {
+	p := DefaultParkingLot()
+	p.Duration, p.Warmup = 300, 60
+	p.LinkMbps = 15
+	return p
+}
+
+// Validate implements Params.
+func (p *ParkingLotParams) Validate() error {
+	if len(p.Bottlenecks) == 0 {
+		return fmt.Errorf("Bottlenecks must be non-empty")
+	}
+	for _, k := range p.Bottlenecks {
+		if k < 1 {
+			return fmt.Errorf("bottleneck counts must be at least 1, got %d", k)
+		}
+	}
+	if p.CrossPairs < 0 {
+		return fmt.Errorf("CrossPairs must be non-negative, got %d", p.CrossPairs)
+	}
+	if p.LinkMbps <= 0 {
+		return fmt.Errorf("LinkMbps must be positive, got %v", p.LinkMbps)
+	}
+	if p.Duration <= 0 || p.Warmup < 0 || p.Warmup >= p.Duration {
+		return fmt.Errorf("need 0 <= Warmup < Duration, got Warmup=%v Duration=%v", p.Warmup, p.Duration)
+	}
+	if p.Seeds < 0 {
+		return fmt.Errorf("Seeds must be non-negative, got %d", p.Seeds)
+	}
+	return nil
+}
+
+// SetSeed implements SeedSetter.
+func (p *ParkingLotParams) SetSeed(seed int64) { p.Seed = seed }
+
+// SetSeeds implements SeedsSetter.
+func (p *ParkingLotParams) SetSeeds(n int) { p.Seeds = n }
+
+func init() {
+	Register(Descriptor{
+		Name:        "parkinglot",
+		Description: "through TFRC vs TCP across 1-3 bottlenecks",
+		Params:      paramsFn[ParkingLotParams](DefaultParkingLot),
+		Presets:     map[string]func() Params{"paper": paramsFn[ParkingLotParams](PaperParkingLot)},
+		Run:         runAs(func(p *ParkingLotParams) Result { return RunParkingLot(*p) }),
+	})
+}
+
 // ParkingLotCell is one grid cell: the through flows' throughputs
 // normalized by the single-bottleneck fair share, and the aggregate
 // behavior of the most loaded bottleneck.
@@ -172,6 +221,9 @@ func RunParkingLot(pr ParkingLotParams) *ParkingLotResult {
 	}
 	return res
 }
+
+// Table implements Result.
+func (r *ParkingLotResult) Table(w io.Writer) { r.Print(w) }
 
 // Print emits one row per bottleneck count.
 func (r *ParkingLotResult) Print(w io.Writer) {

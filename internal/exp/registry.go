@@ -1,0 +1,224 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Params is one experiment's parameter set: a pointer to a plain struct
+// whose exported fields round-trip through encoding/json, with
+// self-validation so malformed parameter files fail loudly instead of
+// silently producing empty tables.
+type Params interface {
+	Validate() error
+}
+
+// Result is what an experiment run produces. Table writes the
+// gnuplot-ready text table (byte-identical to the historical Print
+// output); the concrete result structs additionally marshal to JSON via
+// encoding/json with stable keys.
+type Result interface {
+	Table(w io.Writer)
+}
+
+// SeedSetter is implemented by params whose base random seed can be
+// overridden (the CLI's -seed flag).
+type SeedSetter interface {
+	SetSeed(seed int64)
+}
+
+// SeedsSetter is implemented by params supporting multi-seed
+// replication with mean ± 90% CI aggregation (the CLI's -seeds flag).
+type SeedsSetter interface {
+	SetSeeds(n int)
+}
+
+// Descriptor registers one experiment: the paper's figures and the
+// beyond-the-paper scenarios all self-register one of these, and user
+// code can register its own.
+type Descriptor struct {
+	// Name is the canonical registry key ("fig6", "parkinglot").
+	Name string
+	// Aliases are alternate lookup keys — panels the experiment
+	// includes ("fig10" for fig9) and bare figure numbers ("6").
+	Aliases []string
+	// Description is the one-line text shown by -list.
+	Description string
+	// Params returns a fresh default parameter set. It must return a
+	// pointer so JSON decoding and seed overrides mutate it in place.
+	Params func() Params
+	// Presets are named alternate parameter sets; "paper" selects the
+	// paper's full-scale setup where one exists.
+	Presets map[string]func() Params
+	// Run executes the experiment. Callers should go through
+	// RunExperiment, which validates first.
+	Run func(Params) (Result, error)
+}
+
+// PresetParams returns a fresh parameter set for the named preset; ""
+// or "default" mean the defaults. Unknown presets report an error
+// listing what exists.
+func (d Descriptor) PresetParams(preset string) (Params, error) {
+	if preset == "" || preset == "default" {
+		return d.Params(), nil
+	}
+	if f, ok := d.Presets[preset]; ok {
+		return f(), nil
+	}
+	names := make([]string, 0, len(d.Presets)+1)
+	names = append(names, "default")
+	for n := range d.Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("experiment %q has no preset %q (have %s)",
+		d.Name, preset, strings.Join(names, ", "))
+}
+
+// registry maps canonical names and aliases to descriptors. Figures
+// register from their files' init functions; Register is also the
+// public extension point (re-exported by package experiment).
+var (
+	registry   = map[string]Descriptor{}
+	registered []string // canonical names in registration order
+)
+
+// Register adds an experiment to the registry. Registering a name or
+// alias twice panics: the registry is program-wide configuration, and a
+// collision is a programming error.
+func Register(d Descriptor) {
+	if d.Name == "" || d.Params == nil || d.Run == nil {
+		panic("exp: Register needs Name, Params, and Run")
+	}
+	keys := append([]string{d.Name}, d.Aliases...)
+	for _, k := range keys {
+		if _, dup := registry[k]; dup {
+			panic(fmt.Sprintf("exp: experiment %q already registered", k))
+		}
+	}
+	for _, k := range keys {
+		registry[k] = d
+	}
+	registered = append(registered, d.Name)
+}
+
+// Lookup finds an experiment by canonical name or alias.
+func Lookup(name string) (Descriptor, bool) {
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Experiments returns every registered descriptor, figures first in
+// numeric order, then the named experiments alphabetically.
+func Experiments() []Descriptor {
+	out := make([]Descriptor, 0, len(registered))
+	for _, name := range registered {
+		out = append(out, registry[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, oki := figNumber(out[i].Name)
+		fj, okj := figNumber(out[j].Name)
+		switch {
+		case oki && okj:
+			return fi < fj
+		case oki:
+			return true
+		case okj:
+			return false
+		default:
+			return out[i].Name < out[j].Name
+		}
+	})
+	return out
+}
+
+func figNumber(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "fig")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	return n, err == nil
+}
+
+// Suggest returns the registered name closest to the misspelled one, or
+// "" when nothing is plausibly close. Distance ties break toward the
+// shorter, lexicographically first key, so the result is deterministic.
+func Suggest(name string) string {
+	keys := make([]string, 0, len(registry))
+	for key := range registry {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	best, bestDist := "", len(name)/2+2 // beyond this it's not a typo
+	for _, key := range keys {
+		if d := editDistance(name, key); d < bestDist {
+			best, bestDist = key, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// RunExperiment validates the parameters and executes the experiment.
+// This is the one entry point the CLI and the public experiment package
+// use, so no experiment can run on unvalidated parameters.
+func RunExperiment(d Descriptor, p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: invalid parameters: %w", d.Name, err)
+	}
+	return d.Run(p)
+}
+
+// runAs adapts a typed run function to the registry's Run signature,
+// rejecting foreign parameter types with an error instead of a panic.
+func runAs[P Params](run func(P) Result) func(Params) (Result, error) {
+	return func(p Params) (Result, error) {
+		tp, ok := p.(P)
+		if !ok {
+			var want P
+			return nil, fmt.Errorf("wrong parameter type %T (want %T)", p, want)
+		}
+		return run(tp), nil
+	}
+}
+
+// paramsFn adapts a by-value default-params constructor to the
+// registry's pointer-returning Params signature.
+func paramsFn[P any, PP interface {
+	*P
+	Params
+}](def func() P) func() Params {
+	return func() Params {
+		p := def()
+		return PP(&p)
+	}
+}

@@ -1,6 +1,11 @@
 package netsim
 
-import "tfrc/internal/sim"
+import (
+	"fmt"
+	"strings"
+
+	"tfrc/internal/sim"
+)
 
 // QueueKind selects the bottleneck queue discipline for a topology.
 type QueueKind int
@@ -16,6 +21,24 @@ func (k QueueKind) String() string {
 		return "RED"
 	}
 	return "DropTail"
+}
+
+// MarshalText encodes the kind as its name, so JSON parameter and
+// result files say "RED" rather than 1.
+func (k QueueKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText accepts the names emitted by MarshalText
+// (case-insensitively) and bare integers for compatibility.
+func (k *QueueKind) UnmarshalText(text []byte) error {
+	switch strings.ToLower(string(text)) {
+	case "droptail", "0":
+		*k = QueueDropTail
+	case "red", "1":
+		*k = QueueRED
+	default:
+		return fmt.Errorf("unknown queue kind %q (want DropTail or RED)", text)
+	}
+	return nil
 }
 
 // DumbbellConfig describes the paper's standard single-bottleneck

@@ -3,6 +3,7 @@ package tcp
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Variant selects the loss-recovery behavior of a sender.
@@ -38,6 +39,27 @@ func (v Variant) String() string {
 		return "sack"
 	}
 	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// MarshalText encodes the variant as its name for JSON parameter files.
+func (v Variant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText accepts the names emitted by MarshalText,
+// case-insensitively.
+func (v *Variant) UnmarshalText(text []byte) error {
+	switch strings.ToLower(string(text)) {
+	case "tahoe", "0":
+		*v = Tahoe
+	case "reno", "1":
+		*v = Reno
+	case "newreno", "2":
+		*v = NewReno
+	case "sack", "3":
+		*v = Sack
+	default:
+		return fmt.Errorf("unknown TCP variant %q (want tahoe, reno, newreno, or sack)", text)
+	}
+	return nil
 }
 
 // Config parameterizes a TCP sender.

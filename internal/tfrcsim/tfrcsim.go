@@ -17,8 +17,9 @@ type Config struct {
 	// Sender configures the rate-control state machine.
 	Sender core.SenderConfig
 	// Estimator overrides the receiver's loss-rate estimator (nil: the
-	// paper's Average Loss Interval method).
-	Estimator core.LossRateEstimator
+	// paper's Average Loss Interval method). Only settable in code;
+	// serialized configs always mean the default.
+	Estimator core.LossRateEstimator `json:"-"`
 	// FeedbackEvery scales the receiver's feedback interval in units of
 	// the sender's RTT estimate (default 1 = once per RTT, §3).
 	FeedbackEvery float64

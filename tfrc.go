@@ -98,6 +98,11 @@ type (
 	PayloadSource = wire.Source
 	// PathConfig describes an emulated path (Dummynet-style pipe).
 	PathConfig = wire.PipeConfig
+	// EmulatedConn is one endpoint of NewEmulatedPath. Asserting a
+	// returned net.PacketConn to *EmulatedConn exposes live impairment
+	// controls (SetBandwidth, SetLoss) and drop counters for mid-run
+	// path changes.
+	EmulatedConn = wire.EmuConn
 )
 
 // NewWireSender creates a wire sender streaming to dst over conn. src may
