@@ -1,0 +1,19 @@
+// Command tfrclint runs the tfrc invariant analyzers (see
+// tfrc/internal/lint) through the standard go vet unitchecker protocol:
+//
+//	go build -o bin/tfrclint ./cmd/tfrclint
+//	go vet -vettool=bin/tfrclint ./...
+//
+// Running the binary directly prints usage; it is only useful as a
+// -vettool. CI runs it over the whole module on every PR.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"tfrc/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

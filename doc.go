@@ -53,6 +53,28 @@
 //
 // The module path is "tfrc"; packages import as tfrc/internal/...
 //
+// # Invariants and lint
+//
+// The simulator's load-bearing properties — determinism, zero-allocation
+// hot paths, and arena discipline — are mechanically enforced by
+// tfrclint, a custom go/analysis suite (internal/lint, driver
+// cmd/tfrclint) run in CI and locally via
+//
+//	go build -o bin/tfrclint ./cmd/tfrclint
+//	go vet -vettool=$PWD/bin/tfrclint ./...
+//
+// Its five analyzers: detrand (no global math/rand, time.Now, or
+// order-sensitive map iteration in simulation packages), hotpathalloc
+// (functions marked //tfrc:hotpath must not allocate; paired with
+// scripts/escape-gate.sh, which gates compiler escape analysis against
+// a committed allowlist), releasecheck (Release methods nil their
+// reference fields unless annotated //tfrc:keep, sync.Pool.Put shows
+// reset evidence, Results never alias arena memory), importboundary
+// (examples and cmd stay off the internals; public packages leak no
+// internal types), and paramjson (experiment Params structs JSON
+// round-trip and Validate). Deliberate exceptions are annotated in
+// place: //tfrclint:allow <analyzer> <why>.
+//
 // Quick start (wire endpoints over an emulated 2 Mb/s path):
 //
 //	a, b := tfrc.NewEmulatedPath(tfrc.PathConfig{

@@ -22,9 +22,9 @@ type ScenarioBuilder struct {
 	nw   *netsim.Network
 
 	nextFlow  int
-	tcpFlows  []int
-	tfrcFlows []int
-	ports     []int // next free port, indexed by NodeID
+	tcpFlows  []int //tfrc:keep recycled int backing, truncated by NewScenarioBuilder
+	tfrcFlows []int //tfrc:keep recycled int backing, truncated by NewScenarioBuilder
+	ports     []int //tfrc:keep next free port per NodeID; recycled int backing
 	micePort  int
 
 	primary      *netsim.FlowMonitor
@@ -224,6 +224,16 @@ func (b *ScenarioBuilder) Release() {
 	b.topo.Release()
 	b.nw.Release()
 	sched.Release()
+	// Drop the monitor pointers: they reference agents of the scenario
+	// that just ended, and the next NewScenarioBuilder rebuilds them.
+	// The int bookkeeping slices stay (//tfrc:keep) as recycled backing.
+	b.topo = nil
+	b.nw = nil
+	b.primary = nil
+	b.util = nil
+	b.qmon = nil
+	clear(b.monitors)
+	b.monitors = b.monitors[:0]
 }
 
 // TCPFlows returns the flow IDs added by AddTCP, in order.
@@ -268,7 +278,10 @@ func (b *ScenarioBuilder) Run(duration float64) *ScenarioResult {
 	if b.qmon != nil {
 		res.QueueMean = b.qmon.Mean()
 		res.QueueMax = b.qmon.Max()
-		res.Queue = b.qmon.Samples
+		// QueueMonitor.Samples is freshly allocated per monitor and never
+		// rewritten after harvest (see NewQueueMonitor), so handing it to
+		// the result is an ownership transfer, not an arena alias.
+		res.Queue = b.qmon.Samples //tfrclint:allow releasecheck fresh per-monitor slice, documented handoff
 	}
 	if longLived := len(b.tcpFlows) + len(b.tfrcFlows); longLived > 0 && b.primaryBW > 0 {
 		res.FairShare = b.primaryBW / 8 / float64(longLived)

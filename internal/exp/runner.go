@@ -60,8 +60,14 @@ func newCell() *Cell {
 // warm arena.
 var cellPool = sync.Pool{New: func() any { return newCell() }}
 
-func getCell() *Cell  { return cellPool.Get().(*Cell) }
-func putCell(c *Cell) { cellPool.Put(c) }
+func getCell() *Cell { return cellPool.Get().(*Cell) }
+
+// putCell deliberately pools the cell warm — keeping its scheduler,
+// arenas, and slabs live is the whole point (a cold cell costs the PR-4
+// setup allocations again); begin() rewinds everything on next Get.
+func putCell(c *Cell) {
+	cellPool.Put(c) //tfrclint:allow releasecheck warm reuse by design; begin() rewinds on next Get
+}
 
 // begin rewinds the cell's arena for a fresh scenario and returns its
 // scheduler. Everything drawn from the previous scenario on this cell is

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tfrc/internal/lint"
+	"tfrc/internal/lint/linttest"
+)
+
+func TestImportBoundary(t *testing.T) {
+	linttest.Run(t, lint.ImportBoundary,
+		"tfrc/examples/demo",
+		"tfrc/cmd/badcmd",
+		"tfrc/cmd/goodcmd",
+		"tfrc/scenario",
+		"tfrc/experiment",
+		"tfrc/internal/sim", // internals themselves are unconstrained
+	)
+}

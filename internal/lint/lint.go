@@ -1,0 +1,156 @@
+// Package lint is tfrclint: a go/analysis suite that mechanically
+// enforces the simulator's determinism, zero-alloc, and arena-discipline
+// invariants. The paper's figures only reproduce because simulation is
+// bit-deterministic, and the hot path is only fast because it is
+// closure-free and slab-pooled; each analyzer turns one of those
+// reviewer-folklore rules into a build gate.
+//
+// The suite runs through the standard unitchecker protocol:
+//
+//	go build -o bin/tfrclint ./cmd/tfrclint
+//	go vet -vettool=bin/tfrclint ./...
+//
+// Analyzers:
+//
+//   - detrand: forbids wall-clock time, global math/rand, fmt of map
+//     values, and order-sensitive iteration over maps in the
+//     deterministic simulator packages.
+//   - hotpathalloc: forbids closures, fmt, append, interface boxing and
+//     other known allocation patterns inside functions marked with a
+//     //tfrc:hotpath directive.
+//   - releasecheck: verifies arena discipline — Release methods clear
+//     (or explicitly //tfrc:keep) every reference field, sync.Pool.Put
+//     arguments are reset, and arena-owned slices are copied out before
+//     landing in Result-owned structs.
+//   - importboundary: enforces the three-layer architecture (examples/
+//     and cmd/ stay off the simulator internals; public packages leak no
+//     unaliased internal types).
+//   - paramjson: keeps the experiment-registry contract honest — every
+//     *Params struct JSON-round-trips and has a Validate() error method.
+//
+// False positives are silenced, with justification, by a trailing or
+// preceding line comment:
+//
+//	//tfrclint:allow <analyzer> <why>
+//
+// releasecheck additionally honours //tfrc:keep on struct fields whose
+// retention across Release is deliberate (co-owned backing storage that
+// the arena recycles wholesale).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full tfrclint suite, in documented order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DetRand,
+		HotPathAlloc,
+		ReleaseCheck,
+		ImportBoundary,
+		ParamJSON,
+	}
+}
+
+// inTestFile reports whether pos is inside a _test.go file. The
+// invariants gate production simulator code; tests measure wall time,
+// build throwaway maps, and poke internals freely.
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// allower answers "is this diagnostic suppressed by a
+// //tfrclint:allow <name> comment on the same or preceding line?".
+type allower struct {
+	pass  *analysis.Pass
+	name  string
+	built bool
+	lines map[string]map[int]bool // filename -> set of allowed lines
+}
+
+func newAllower(pass *analysis.Pass, name string) *allower {
+	return &allower{pass: pass, name: name}
+}
+
+func (a *allower) build() {
+	a.built = true
+	a.lines = make(map[string]map[int]bool)
+	for _, f := range a.pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "tfrclint:allow") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "tfrclint:allow")
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || fields[0] != a.name {
+					continue
+				}
+				p := a.pass.Fset.Position(c.Pos())
+				m := a.lines[p.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					a.lines[p.Filename] = m
+				}
+				// The comment silences its own line and the next one, so
+				// both trailing comments and a comment line above work.
+				m[p.Line] = true
+				m[p.Line+1] = true
+			}
+		}
+	}
+}
+
+func (a *allower) allowed(pos token.Pos) bool {
+	if !a.built {
+		a.build()
+	}
+	p := a.pass.Fset.Position(pos)
+	return a.lines[p.Filename][p.Line]
+}
+
+// report files a diagnostic unless suppressed by an allow comment.
+func (a *allower) report(pos token.Pos, format string, args ...any) {
+	if a.allowed(pos) {
+		return
+	}
+	a.pass.Reportf(pos, format, args...)
+}
+
+// pathMatchesAny reports whether pkgPath matches any comma-separated
+// prefix in list (exact match or prefix followed by '/').
+func pathMatchesAny(pkgPath, list string) bool {
+	for _, pre := range strings.Split(list, ",") {
+		pre = strings.TrimSpace(pre)
+		if pre == "" {
+			continue
+		}
+		if pkgPath == pre || strings.HasPrefix(pkgPath, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the comment group contains the given
+// //-style directive (e.g. "tfrc:hotpath"), which ast.CommentGroup.Text
+// strips.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tfrc/internal/lint"
+)
+
+// TestAnalyzerSet pins the suite cmd/tfrclint registers: exactly the
+// documented analyzers, in documented order, each structurally valid
+// per the go/analysis contract (so the unitchecker driver accepts them).
+func TestAnalyzerSet(t *testing.T) {
+	want := []string{"detrand", "hotpathalloc", "releasecheck", "importboundary", "paramjson"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+	if err := analysis.Validate(got); err != nil {
+		t.Errorf("suite fails go/analysis validation: %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package linttest is a self-contained analysistest substitute: it loads
+// testdata packages with go/parser + go/types (resolving stdlib imports
+// through the source importer, and intra-testdata imports like
+// "tfrc/internal/x" against sibling testdata directories), runs one
+// analyzer over them, and checks reported diagnostics against
+// analysistest-style `// want "regexp"` comments.
+//
+// golang.org/x/tools/go/analysis/analysistest itself depends on
+// go/packages, which the toolchain does not vendor; this harness covers
+// the subset these analyzers need with no dependencies beyond the
+// vendored go/analysis core.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var (
+	stdOnce sync.Once
+	stdImp  types.Importer
+	stdFset = token.NewFileSet()
+)
+
+// stdImporter compiles stdlib dependencies from GOROOT source; it is
+// shared (and its internal cache reused) across all tests in the binary.
+func stdImporter() types.Importer {
+	stdOnce.Do(func() {
+		stdImp = importer.ForCompiler(stdFset, "source", nil)
+	})
+	return stdImp
+}
+
+// loader resolves imports for testdata packages.
+type loader struct {
+	dir  string // testdata/src root
+	pkgs map[string]*loadedPkg
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, p.err
+	}
+	dir := filepath.Join(l.dir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		// Not a testdata package: fall through to the stdlib importer.
+		pkg, err := stdImporter().Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: %w", path, err)
+		}
+		p := &loadedPkg{pkg: pkg}
+		l.pkgs[path] = p
+		return p, nil
+	}
+
+	p := &loadedPkg{}
+	l.pkgs[path] = p // pre-register to catch cycles as errors from Check
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(stdFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		p.err = fmt.Errorf("no Go files in %s", dir)
+		return p, p.err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, stdFset, files, info)
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	p.pkg, p.files, p.info = pkg, files, info
+	return p, nil
+}
+
+// Run loads each named testdata package (a path under
+// internal/lint/testdata/src), applies the analyzer, and compares
+// diagnostics against `// want "regexp"` comments. Each want comment
+// expects a diagnostic on its own line; multiple quoted regexps expect
+// multiple diagnostics.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &loader{dir: testdata, pkgs: make(map[string]*loadedPkg)}
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags := runAnalyzer(t, a, p)
+		checkWants(t, path, p, diags)
+	}
+}
+
+// runAnalyzer runs a (and its Requires closure, in dependency order)
+// over the loaded package and returns the diagnostics a reported.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, p *loadedPkg) []analysis.Diagnostic {
+	t.Helper()
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+	var run func(a *analysis.Analyzer, collect bool)
+	run = func(a *analysis.Analyzer, collect bool) {
+		if _, done := results[a]; done && !collect {
+			return
+		}
+		for _, dep := range a.Requires {
+			run(dep, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       stdFset,
+			Files:      p.files,
+			Pkg:        p.pkg,
+			TypesInfo:  p.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+			ReadFile:          os.ReadFile,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s failed: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	run(a, true)
+	return diags
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`(?:\x60([^\x60]*)\x60|"((?:[^"\\]|\\.)*)")`)
+
+type key struct {
+	file string
+	line int
+}
+
+func checkWants(t *testing.T, path string, p *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := stdFset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, qm := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					var lit string
+					if strings.HasPrefix(qm[0], "`") {
+						lit = qm[1]
+					} else {
+						unq, err := strconv.Unquote(qm[0])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, qm[0], err)
+						}
+						lit = unq
+					}
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	unexpected := 0
+	for _, d := range diags {
+		pos := stdFset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", path, relName(pos.Filename), pos.Line, d.Message)
+			unexpected++
+		}
+	}
+	var missed []string
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", relName(k.file), k.line, rx.String()))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Errorf("%s: %s", path, m)
+	}
+}
+
+func relName(file string) string {
+	if i := strings.Index(file, "testdata"); i >= 0 {
+		return file[i:]
+	}
+	return filepath.Base(file)
+}

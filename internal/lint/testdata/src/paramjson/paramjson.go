@@ -1,0 +1,99 @@
+// Package paramjson exercises the paramjson analyzer: params structs
+// must JSON-round-trip and self-validate.
+package paramjson
+
+import "errors"
+
+// GoodParams round-trips and validates.
+type GoodParams struct {
+	Flows    int
+	RTTs     []float64
+	Label    string
+	ByName   map[string]float64
+	Nested   SubParams
+	Queue    Kind
+	Internal func() `json:"-"` // explicitly excluded from serialization
+	hidden   func() // unexported: json ignores it
+}
+
+func (p *GoodParams) Validate() error {
+	if p.Flows <= 0 {
+		return errors.New("flows must be positive")
+	}
+	return nil
+}
+
+// SubParams is reached through GoodParams and is clean.
+type SubParams struct {
+	Depth int
+}
+
+func (p *SubParams) Validate() error { return nil }
+
+// Kind has a full TextMarshaler pair, so it round-trips.
+type Kind int
+
+func (k Kind) MarshalText() ([]byte, error) { return []byte("kind"), nil }
+
+func (k *Kind) UnmarshalText(b []byte) error { return nil }
+
+// NoValidateParams is missing the Validate method.
+type NoValidateParams struct { // want `params struct NoValidateParams has no Validate\(\) error method`
+	Flows int
+}
+
+// FuncFieldParams carries an untagged func field.
+type FuncFieldParams struct {
+	Flows int
+	Done  func() // want `field Done of params struct FuncFieldParams does not JSON-round-trip \(func field\)`
+}
+
+func (p *FuncFieldParams) Validate() error { return nil }
+
+// ChanFieldParams carries an untagged chan field.
+type ChanFieldParams struct {
+	C chan int // want `field C of params struct ChanFieldParams does not JSON-round-trip \(chan field\)`
+}
+
+func (p *ChanFieldParams) Validate() error { return nil }
+
+// IfaceFieldParams loses the dynamic type on unmarshal.
+type IfaceFieldParams struct {
+	V any // want `field V of params struct IfaceFieldParams does not JSON-round-trip \(interface field`
+}
+
+func (p *IfaceFieldParams) Validate() error { return nil }
+
+// OneWay marshals but cannot unmarshal.
+type OneWay int
+
+func (o OneWay) MarshalText() ([]byte, error) { return nil, nil }
+
+// OneWayParams embeds the half-implemented marshaler.
+type OneWayParams struct {
+	K OneWay // want `field K of params struct OneWayParams does not JSON-round-trip \(OneWay marshals but has no matching unmarshal method\)`
+}
+
+func (p *OneWayParams) Validate() error { return nil }
+
+// BadKeyParams uses a map key json cannot represent.
+type BadKeyParams struct {
+	M map[[2]int]string // want `field M of params struct BadKeyParams does not JSON-round-trip \(map key`
+}
+
+func (p *BadKeyParams) Validate() error { return nil }
+
+// DeepParams nests the problem one struct down; the diagnostic lands on
+// the outer field.
+type DeepParams struct {
+	Sub struct { // want `field Sub of params struct DeepParams does not JSON-round-trip \(field Cb: func field\)`
+		Cb func()
+	}
+}
+
+func (p *DeepParams) Validate() error { return nil }
+
+// Unregistered has a func field but the name does not end in Params.
+type Unregistered struct {
+	Done func()
+}

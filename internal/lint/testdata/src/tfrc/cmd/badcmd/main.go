@@ -1,0 +1,10 @@
+// Package main violates the cmd boundary by reaching into a simulator layer.
+package main
+
+import (
+	"tfrc/internal/exp" // want `cmd binaries are registry shells and must not import the simulator layer tfrc/internal/exp`
+)
+
+func main() {
+	_ = exp.Lookup("fig6")
+}

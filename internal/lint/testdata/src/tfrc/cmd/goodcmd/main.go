@@ -1,0 +1,8 @@
+// Package main stays on the public surface.
+package main
+
+import "tfrc/experiment"
+
+func main() {
+	_ = experiment.Get("fig6")
+}

@@ -1,0 +1,13 @@
+// Package main violates the examples boundary.
+package main
+
+import (
+	"tfrc/internal/sim" // want `examples demonstrate the public API and must not import tfrc/internal/sim`
+
+	"tfrc/scenario"
+)
+
+func main() {
+	_ = sim.NewScheduler()
+	_ = scenario.New()
+}

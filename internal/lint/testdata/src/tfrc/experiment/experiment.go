@@ -1,0 +1,13 @@
+// Package experiment is a stub public registry package.
+package experiment
+
+import "tfrc/internal/exp"
+
+// Descriptor re-exports the internal descriptor.
+type Descriptor = exp.Descriptor
+
+// Get goes through the alias: allowed.
+func Get(name string) Descriptor { return exp.Lookup(name) }
+
+// List leaks the internal Registry type. // want is on the decl line below.
+func List() *exp.Registry { return nil } // want `exported func List exposes internal type exp\.Registry without a public alias`

@@ -1,0 +1,10 @@
+// Package exp is a stub internal experiment layer for importboundary tests.
+package exp
+
+// Descriptor is re-exported by the public experiment package via alias.
+type Descriptor struct{ Name string }
+
+// Registry is internal-only: exposing it unaliased is a leak.
+type Registry struct{ m map[string]Descriptor }
+
+func Lookup(name string) Descriptor { return Descriptor{Name: name} }

@@ -1,0 +1,13 @@
+// Package sim is a stub internal simulator layer for importboundary tests.
+package sim
+
+// Scheduler is an internal type that public packages must alias before
+// exposing.
+type Scheduler struct{ now float64 }
+
+// Handle is an internal type left un-aliased by the public packages.
+type Handle struct{ idx int32 }
+
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+func (s *Scheduler) Now() float64 { return s.now }

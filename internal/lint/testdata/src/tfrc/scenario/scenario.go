@@ -1,0 +1,21 @@
+// Package scenario is a stub public composition package: it re-exports
+// internal types via aliases, and deliberately leaks one type without an
+// alias to exercise the analyzer.
+package scenario
+
+import "tfrc/internal/sim"
+
+// Scheduler is the public alias: exposing it anywhere is fine.
+type Scheduler = sim.Scheduler
+
+// New returns the aliased internal type: allowed.
+func New() *Scheduler { return sim.NewScheduler() }
+
+// Cancel leaks sim.Handle, which has no public alias. // want goes on the decl line below.
+func Cancel(h sim.Handle) {} // want `exported func Cancel exposes internal type sim\.Handle without a public alias`
+
+// Runner's exported field leaks the un-aliased type too.
+type Runner struct { // want `exported type Runner exposes internal type sim\.Handle without a public alias`
+	Pending []sim.Handle // exported field inside the exported type
+	private sim.Handle   // unexported: invisible to users, not a leak
+}

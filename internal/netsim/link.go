@@ -39,9 +39,15 @@ type Link struct {
 // Per-hop scheduler callbacks are shared package-level functions — the
 // packet carries its current link — so the per-packet path builds no
 // closures at all, not even per link at setup.
-func pktTxDoneFn(x any)  { p := x.(*Packet); p.link.txDone(p) }
+//
+//tfrc:hotpath
+func pktTxDoneFn(x any) { p := x.(*Packet); p.link.txDone(p) }
+
+//tfrc:hotpath
 func pktDeliverFn(x any) { p := x.(*Packet); p.link.to.receive(p) }
-func linkDrainFn(x any)  { x.(*Link).drain() }
+
+//tfrc:hotpath
+func linkDrainFn(x any) { x.(*Link).drain() }
 
 // Bandwidth returns the link rate in bits per second.
 func (l *Link) Bandwidth() float64 { return l.bw }
@@ -94,6 +100,8 @@ func (l *Link) emit(ev TapEvent, p *Packet) {
 // Send offers a packet to the link. If the transmitter is idle the packet
 // starts serializing immediately; otherwise it is queued, and may be
 // dropped by the discipline. Dropped packets are returned to the pool.
+//
+//tfrc:hotpath
 func (l *Link) Send(p *Packet) {
 	p.link = l
 	l.emit(TapArrive, p)
@@ -128,6 +136,8 @@ func (l *Link) Send(p *Packet) {
 }
 
 // txDone fires when a packet on a tapped link finishes serializing.
+//
+//tfrc:hotpath
 func (l *Link) txDone(p *Packet) {
 	l.emit(TapDepart, p)
 	l.net.sched.AtArg(p.deliverAt, pktDeliverFn, p)
@@ -137,6 +147,8 @@ func (l *Link) txDone(p *Packet) {
 
 // drain starts serializing the queue head once the transmitter is idle,
 // keeping exactly one pending drain/txDone event while a backlog exists.
+//
+//tfrc:hotpath
 func (l *Link) drain() {
 	l.drainOn = false
 	next := l.queue.Dequeue()

@@ -74,6 +74,8 @@ func (n *Node) LinkTo(neighbor *Node) *Link {
 }
 
 // Send injects a packet originated by a local agent into the network.
+//
+//tfrc:hotpath
 func (n *Node) Send(p *Packet) {
 	if p.Dst == n.ID {
 		// Local delivery without touching any link.
@@ -83,6 +85,7 @@ func (n *Node) Send(p *Packet) {
 	n.forward(p)
 }
 
+//tfrc:hotpath
 func (n *Node) receive(p *Packet) {
 	if p.Dst == n.ID {
 		n.deliver(p)
@@ -91,6 +94,7 @@ func (n *Node) receive(p *Packet) {
 	n.forward(p)
 }
 
+//tfrc:hotpath
 func (n *Node) deliver(p *Packet) {
 	for _, b := range n.ports {
 		if b.port == p.DstPort {
@@ -104,6 +108,7 @@ func (n *Node) deliver(p *Packet) {
 
 const maxHops = 64
 
+//tfrc:hotpath
 func (n *Node) forward(p *Packet) {
 	p.hops++
 	if p.hops > maxHops {
@@ -138,32 +143,32 @@ type bfsHop struct {
 // the first few.
 type Network struct {
 	sched      *sim.Scheduler
-	pool       Pool
-	nodes      []*Node
-	nominalPkt int // mean packet size (bytes) for capacity-aware queues
+	pool       Pool    //tfrc:keep packet chunk free lists are the slab being pooled
+	nodes      []*Node //tfrc:keep node headers live in nodeChunks; this index is recycled backing
+	nominalPkt int     // mean packet size (bytes) for capacity-aware queues
 
 	nodeChunks [][]Node
 	nodesUsed  int
 	linkChunks [][]Link
 	linksUsed  int
-	dtChunks   [][]DropTail
+	dtChunks   [][]DropTail //tfrc:keep slab: queue structs are recycled in place across scenarios
 	dtUsed     int
-	redChunks  [][]RED
+	redChunks  [][]RED //tfrc:keep slab: queue structs are recycled in place across scenarios
 	redUsed    int
 
 	// nowFn is the clock closure handed to capacity-aware queues. It
 	// captures the (stable) Network rather than the current scheduler, so
 	// it is built once per Network lifetime instead of once per queue.
-	nowFn func() float64
+	nowFn func() float64 //tfrc:keep built once per Network lifetime; captures only the Network itself
 
 	routeSlab []*Link // n*n next-hop table, partitioned per node
 
-	ringBlocks [][]*Packet // arena for queue ring buffers
+	ringBlocks [][]*Packet //tfrc:keep arena for queue ring buffers; Release clears the pointees' slots
 	ringBlock  int
 	ringOff    int
 
-	visited []bool   // BuildRoutes scratch
-	bfsQ    []bfsHop // BuildRoutes scratch
+	visited []bool   //tfrc:keep BuildRoutes scratch, value-only backing
+	bfsQ    []bfsHop //tfrc:keep BuildRoutes scratch; truncated after every build
 }
 
 // New returns an empty network driven by the given scheduler. Its

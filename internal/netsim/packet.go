@@ -130,19 +130,21 @@ func (pl *Pool) reset() {
 	for _, c := range pl.chunks {
 		clear(c)
 		for i := range c {
-			pl.free = append(pl.free, &c[i])
+			pl.free = append(pl.free, &c[i]) //tfrclint:allow hotpathalloc amortized free-list growth
 		}
 	}
 }
 
 // Get returns a zeroed packet.
+//
+//tfrc:hotpath
 func (pl *Pool) Get() *Packet {
 	pl.live++
 	if len(pl.free) == 0 {
-		c := make([]Packet, pktChunkSize)
-		pl.chunks = append(pl.chunks, c)
+		c := make([]Packet, pktChunkSize) //tfrclint:allow hotpathalloc amortized chunk growth
+		pl.chunks = append(pl.chunks, c)  //tfrclint:allow hotpathalloc amortized chunk growth
 		for i := range c {
-			pl.free = append(pl.free, &c[i])
+			pl.free = append(pl.free, &c[i]) //tfrclint:allow hotpathalloc amortized free-list growth
 		}
 	}
 	n := len(pl.free) - 1
@@ -152,13 +154,15 @@ func (pl *Pool) Get() *Packet {
 }
 
 // Put returns a packet to the pool.
+//
+//tfrc:hotpath
 func (pl *Pool) Put(p *Packet) {
 	if p == nil {
 		return
 	}
 	pl.live--
 	p.reset()
-	pl.free = append(pl.free, p)
+	pl.free = append(pl.free, p) //tfrclint:allow hotpathalloc append into reserved free-list capacity
 }
 
 // Live returns the number of packets currently checked out, useful for

@@ -30,9 +30,10 @@ func newFIFO(capHint int) fifo {
 	return fifo{buf: make([]*Packet, capHint)}
 }
 
+//tfrc:hotpath
 func (f *fifo) push(p *Packet) {
 	if f.n == len(f.buf) {
-		grown := make([]*Packet, 2*len(f.buf))
+		grown := make([]*Packet, 2*len(f.buf)) //tfrclint:allow hotpathalloc amortized ring growth
 		for i := 0; i < f.n; i++ {
 			grown[i] = f.buf[(f.head+i)%len(f.buf)]
 		}
@@ -44,6 +45,7 @@ func (f *fifo) push(p *Packet) {
 	f.bytes += p.Size
 }
 
+//tfrc:hotpath
 func (f *fifo) pop() *Packet {
 	if f.n == 0 {
 		return nil
@@ -93,6 +95,8 @@ func (nw *Network) newDropTail(limit int) *DropTail {
 }
 
 // Enqueue implements Queue.
+//
+//tfrc:hotpath
 func (q *DropTail) Enqueue(p *Packet) bool {
 	if q.n >= q.limit {
 		return false
@@ -102,6 +106,8 @@ func (q *DropTail) Enqueue(p *Packet) bool {
 }
 
 // Dequeue implements Queue.
+//
+//tfrc:hotpath
 func (q *DropTail) Dequeue() *Packet { return q.pop() }
 
 // Len implements Queue.

@@ -121,6 +121,8 @@ func (q *RED) PTC() float64 { return q.ptc }
 func (q *RED) AvgQueue() float64 { return q.avg }
 
 // Enqueue implements Queue.
+//
+//tfrc:hotpath
 func (q *RED) Enqueue(p *Packet) bool {
 	q.updateAvg()
 	if q.n >= q.cfg.Limit {
@@ -140,6 +142,7 @@ func (q *RED) Enqueue(p *Packet) bool {
 	return true
 }
 
+//tfrc:hotpath
 func (q *RED) updateAvg() {
 	if q.idle {
 		// The queue has been empty: decay the average as if m small
@@ -154,6 +157,7 @@ func (q *RED) updateAvg() {
 	q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*float64(q.n)
 }
 
+//tfrc:hotpath
 func (q *RED) dropEarly() bool {
 	cfg := &q.cfg
 	switch {
@@ -177,6 +181,8 @@ func (q *RED) dropEarly() bool {
 // flip applies the ns-2 inter-drop spreading: with Wait enabled a drop is
 // suppressed until count·pb ≥ 1, making inter-drop gaps closer to uniform
 // than geometric.
+//
+//tfrc:hotpath
 func (q *RED) flip(pb float64) bool {
 	if pb <= 0 {
 		return false
@@ -206,6 +212,8 @@ func (q *RED) flip(pb float64) bool {
 }
 
 // Dequeue implements Queue.
+//
+//tfrc:hotpath
 func (q *RED) Dequeue() *Packet {
 	p := q.pop()
 	if q.n == 0 && !q.idle {

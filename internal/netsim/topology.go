@@ -73,6 +73,10 @@ func (t *Topology) Release() {
 	t.rng = nil
 	clear(t.nodes)
 	clear(t.links)
+	// Build nils the schedule list after installing it, but a topology
+	// released without ever being built would otherwise keep its
+	// LinkChange closures (and whatever they capture) alive in the pool.
+	t.schedules = nil
 }
 
 // Network returns the underlying network.

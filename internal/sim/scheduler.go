@@ -86,17 +86,17 @@ func (h Handle) Scheduled() bool {
 type Scheduler struct {
 	now     float64
 	seq     uint64
-	epoch   uint64 // bumped by Reset; stale-epoch Handles are inert
-	heap    []entry
+	epoch   uint64  // bumped by Reset; stale-epoch Handles are inert
+	heap    []entry //tfrc:keep value-only heap backing, truncated on Reset/reuse
 	slots   []event
-	free    []int32 // recycled slot indices
+	free    []int32 //tfrc:keep recycled slot indices, value-only backing
 	stopped bool
 	pinned  bool // owned by a worker context: Release is a no-op
 
-	rands    []*Rand // generators handed out by NewRand, recycled on reuse
+	rands    []*Rand //tfrc:keep generators handed out by NewRand, re-seeded and reissued on reuse
 	randUsed int
 
-	arenas []Arena // per-package agent arenas, indexed by ArenaID
+	arenas []Arena //tfrc:keep per-package agent arenas, indexed by ArenaID; they ARE the recycled stock
 }
 
 // Arena is a scheduler-attached memory arena: a package-private pool of
@@ -202,6 +202,8 @@ func (s *Scheduler) Now() float64 { return s.now }
 func (s *Scheduler) Len() int { return len(s.heap) }
 
 // alloc validates t, claims a slot, and pushes its heap entry.
+//
+//tfrc:hotpath
 func (s *Scheduler) alloc(t float64) int32 {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %.9f before now %.9f", t, s.now))
@@ -215,17 +217,19 @@ func (s *Scheduler) alloc(t float64) int32 {
 		s.free = s.free[:n-1]
 	} else {
 		slot = int32(len(s.slots))
-		s.slots = append(s.slots, event{})
+		s.slots = append(s.slots, event{}) //tfrclint:allow hotpathalloc amortized slab growth
 	}
 	e := entry{at: t, seq: s.seq, slot: slot}
 	s.seq++
-	s.heap = append(s.heap, e)
+	s.heap = append(s.heap, e) //tfrclint:allow hotpathalloc amortized heap growth
 	s.siftUp(len(s.heap) - 1)
 	return slot
 }
 
 // recycle clears a fired or cancelled slot and returns it to the free
 // list. The generation bump invalidates every Handle issued for it.
+//
+//tfrc:hotpath
 func (s *Scheduler) recycle(slot int32) {
 	e := &s.slots[slot]
 	e.fn = nil
@@ -233,10 +237,12 @@ func (s *Scheduler) recycle(slot int32) {
 	e.arg = nil
 	e.gen++
 	e.pos = -1
-	s.free = append(s.free, slot)
+	s.free = append(s.free, slot) //tfrclint:allow hotpathalloc amortized free-list growth
 }
 
 // siftUp moves heap[i] toward the root until its parent is not larger.
+//
+//tfrc:hotpath
 func (s *Scheduler) siftUp(i int) {
 	e := s.heap[i]
 	for i > 0 {
@@ -253,6 +259,8 @@ func (s *Scheduler) siftUp(i int) {
 }
 
 // siftDown moves heap[i] toward the leaves until no child is smaller.
+//
+//tfrc:hotpath
 func (s *Scheduler) siftDown(i int) {
 	n := len(s.heap)
 	e := s.heap[i]
@@ -283,6 +291,8 @@ func (s *Scheduler) siftDown(i int) {
 }
 
 // remove deletes the heap entry at index i, restoring heap order.
+//
+//tfrc:hotpath
 func (s *Scheduler) remove(i int) {
 	last := len(s.heap) - 1
 	if i == last {
@@ -314,6 +324,8 @@ func (s *Scheduler) After(d float64, fn func()) Handle {
 // AtArg schedules fn(arg) at absolute time t. Unlike At it needs no
 // closure: callers on hot paths build fn once and pass per-event state
 // through arg, so steady-state scheduling is allocation-free.
+//
+//tfrc:hotpath
 func (s *Scheduler) AtArg(t float64, fn func(any), arg any) Handle {
 	slot := s.alloc(t)
 	e := &s.slots[slot]
@@ -323,6 +335,8 @@ func (s *Scheduler) AtArg(t float64, fn func(any), arg any) Handle {
 }
 
 // AfterArg schedules fn(arg) to run d seconds from now.
+//
+//tfrc:hotpath
 func (s *Scheduler) AfterArg(d float64, fn func(any), arg any) Handle {
 	return s.AtArg(s.now+d, fn, arg)
 }
@@ -330,6 +344,8 @@ func (s *Scheduler) AfterArg(d float64, fn func(any), arg any) Handle {
 // Cancel removes a pending event. Cancelling a fired, already-cancelled,
 // or stale handle is a no-op, which lets protocol code keep a single
 // timer handle without tracking liveness.
+//
+//tfrc:hotpath
 func (s *Scheduler) Cancel(h Handle) {
 	if !h.Scheduled() {
 		return
@@ -340,6 +356,8 @@ func (s *Scheduler) Cancel(h Handle) {
 
 // Step runs the earliest pending event and advances the clock to it.
 // It returns false when the queue is empty.
+//
+//tfrc:hotpath
 func (s *Scheduler) Step() bool {
 	if len(s.heap) == 0 {
 		return false

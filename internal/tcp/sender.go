@@ -15,7 +15,7 @@ import (
 type Sender struct {
 	cfg  Config
 	net  *netsim.Network
-	node *netsim.Node
+	node *netsim.Node //tfrc:keep arena co-tenant: node outlives the sender on the same scheduler
 	dst  netsim.NodeID
 	dprt int // destination (sink) port
 	sprt int // our port, where ACKs arrive
@@ -33,8 +33,8 @@ type Sender struct {
 	lastCut    int64 // highest seq at the most recent window cut: at
 	// most one cut per window of data (ns-2 bug_fix_)
 	pipe   int64    // Sack recovery: estimate of packets in flight
-	sacked rangeSet // receiver-held blocks above cumack
-	rtxed  rangeSet // holes retransmitted during this recovery
+	sacked rangeSet //tfrc:keep scoreboard backing recycled by NewSender; receiver-held blocks above cumack
+	rtxed  rangeSet //tfrc:keep scoreboard backing recycled by NewSender; holes retransmitted this recovery
 
 	rtx     sim.Timer
 	startEv sim.Handle // pending Start event, cancelled by Release
@@ -54,7 +54,7 @@ type Sender struct {
 	limit    int64 // 0 = infinite backlog; else stop after this many packets
 	released bool  // guards against double Release
 
-	jitter   *sim.Rand // non-nil when SendJitter > 0
+	jitter   *sim.Rand //tfrc:keep scheduler-owned rand, reissued on Reset; non-nil when SendJitter > 0
 	lastSend float64   // latest scheduled departure, preserves ordering
 
 	// OnComplete, if set, runs once when a limited transfer is fully
@@ -173,6 +173,8 @@ func (s *Sender) window() float64 {
 func (s *Sender) flight() int64 { return s.next - s.cumack }
 
 // Recv handles an arriving ACK.
+//
+//tfrc:hotpath
 func (s *Sender) Recv(p *netsim.Packet) {
 	if p.Kind != netsim.KindAck {
 		s.net.Free(p)
@@ -196,6 +198,7 @@ func (s *Sender) Recv(p *netsim.Packet) {
 	s.trySend()
 }
 
+//tfrc:hotpath
 func (s *Sender) onNewAck(ack int64) {
 	newly := ack - s.cumack
 	s.cumack = ack
@@ -235,6 +238,8 @@ func (s *Sender) onNewAck(ack int64) {
 
 // grow opens the window: slow start below ssthresh, congestion avoidance
 // above.
+//
+//tfrc:hotpath
 func (s *Sender) grow() {
 	if s.cwnd < s.ssthresh {
 		s.cwnd += 1
@@ -277,6 +282,7 @@ func (s *Sender) onPartialAck(newly int64) {
 	}
 }
 
+//tfrc:hotpath
 func (s *Sender) onDupAck() {
 	s.dupacks++
 	if s.inRecovery {
@@ -394,6 +400,8 @@ func (s *Sender) retransmit(seq int64) {
 }
 
 // trySend transmits whatever the window (or the recovery pipe) allows.
+//
+//tfrc:hotpath
 func (s *Sender) trySend() {
 	if !s.started || s.stopped {
 		return

@@ -8,13 +8,13 @@ import "tfrc/internal/netsim"
 // receive window.
 type Sink struct {
 	net      *netsim.Network
-	node     *netsim.Node
+	node     *netsim.Node //tfrc:keep arena co-tenant: node outlives the sink on the same scheduler
 	ackSize  int
 	flow     int
 	released bool
 
-	received rangeSet
-	next     int64 // cumulative ACK: lowest sequence not yet received
+	received rangeSet //tfrc:keep range backing recycled by NewSink across arena reuse
+	next     int64    // cumulative ACK: lowest sequence not yet received
 
 	// Delivered counts in-order goodput in packets; Received counts all
 	// arriving data packets including duplicates.
@@ -58,6 +58,8 @@ func (s *Sink) Release() {
 func (s *Sink) CumAck() int64 { return s.next }
 
 // Recv handles one data packet and emits the corresponding ACK.
+//
+//tfrc:hotpath
 func (s *Sink) Recv(p *netsim.Packet) {
 	if p.Kind != netsim.KindData {
 		s.net.Free(p)

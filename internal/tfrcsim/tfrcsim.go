@@ -132,6 +132,7 @@ func (s *Sender) Rate() float64 { return s.core.Rate() }
 // Core exposes the rate-control state machine for traces and tests.
 func (s *Sender) Core() *core.Sender { return &s.core }
 
+//tfrc:hotpath
 func (s *Sender) onSend() {
 	if s.stopped {
 		return
@@ -150,6 +151,7 @@ func (s *Sender) onSend() {
 	s.sendTmr.Reset(gap)
 }
 
+//tfrc:hotpath
 func (s *Sender) emit() {
 	p := s.net.NewPacket()
 	p.Kind = netsim.KindData
@@ -170,6 +172,8 @@ func (s *Sender) emit() {
 }
 
 // Recv handles a feedback packet from the receiver.
+//
+//tfrc:hotpath
 func (s *Sender) Recv(p *netsim.Packet) {
 	if p.Kind != netsim.KindFeedback || s.stopped {
 		s.net.Free(p)
@@ -273,6 +277,8 @@ func (r *Receiver) Core() *core.Receiver { return &r.core }
 func (r *Receiver) P() float64 { return r.core.P() }
 
 // Recv handles one data packet.
+//
+//tfrc:hotpath
 func (r *Receiver) Recv(p *netsim.Packet) {
 	if p.Kind != netsim.KindData {
 		r.net.Free(p)
@@ -309,6 +315,7 @@ func (r *Receiver) interval() float64 {
 	return math.Max(rtt*r.cfg.FeedbackEvery, 1e-4)
 }
 
+//tfrc:hotpath
 func (r *Receiver) sendFeedback() {
 	now := r.net.Now()
 	rep, ok := r.core.MakeReport(now)
