@@ -470,6 +470,28 @@ func BenchmarkSweepCellsPerSecond(b *testing.B) {
 	b.ReportMetric(float64(b.N*cells)/b.Elapsed().Seconds(), "cells/sec")
 }
 
+// BenchmarkManyFlowsPacketsPerSecond measures the flow-scaling machinery
+// — chunked agent slabs, struct-of-arrays monitors, the coarse timer
+// wheel, dense port tables, and the calendar event queue — at the 10k
+// rung of the manyflows ladder. The metric is bottleneck-delivered
+// packets per wall-clock second; `tfrcsim -bench` snapshots the full
+// 1k/10k/100k curve into BENCH_<n>.json for the CI regression gate, and
+// CI captures cpu/mem profiles of this benchmark as artifacts.
+func BenchmarkManyFlowsPacketsPerSecond(b *testing.B) {
+	pr := exp.DefaultManyFlows()
+	// Short window, as in the bench harness: throughput needs no settling.
+	pr.Duration, pr.Warmup = 5, 2
+	var pkts float64
+	for i := 0; i < b.N; i++ {
+		cell := exp.RunManyFlowsDecade(10_000, pr)
+		if cell.DeliveredPkts == 0 {
+			b.Fatal("dead simulation")
+		}
+		pkts += float64(cell.DeliveredPkts)
+	}
+	b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/sec")
+}
+
 // --- Extension benches: the paper's §7 future-work items ---
 
 // BenchmarkExtensionECN compares loss experienced by an ECN-capable TFRC

@@ -41,7 +41,7 @@
 //
 //   - Package experiment: the registry of the paper's evaluation.
 //     Every figure (2-21) and beyond-paper experiment (parkinglot,
-//     bwstep) self-registers a Descriptor with JSON-serializable,
+//     bwstep, manyflows) self-registers a Descriptor with JSON-serializable,
 //     self-validating parameters (the paper's full scale is the
 //     "paper" preset) and a Result that renders both the gnuplot-ready
 //     table and stable-keyed JSON. experiment.Get("fig6") → tweak
@@ -52,6 +52,34 @@
 //     (-parallel N), with -seeds K for per-cell mean ± 90% CI.
 //
 // The module path is "tfrc"; packages import as tfrc/internal/...
+//
+// # Scale: a million concurrent flows
+//
+// The engine holds three structural choices that keep per-flow cost flat
+// from 8 flows to 10^6 (the "manyflows" experiment climbs that ladder and
+// reports utilization, Jain fairness, and per-flow throughput/loss
+// distributions per decade; "tfrcsim run manyflows", preset "million"):
+//
+//   - Event queue: the scheduler's default pending-event queue is an
+//     adaptive calendar queue — O(1) expected insert/pop at the uniform
+//     event spacing packet simulations produce — selected over the flat
+//     4-ary heap by benchmark (see sim.DefaultSchedulerQueue for the
+//     recorded verdict). Both backends fire events in identical
+//     (time, insertion-sequence) order, so results are bit-identical;
+//     sim.NewSchedulerWith(sim.QueueHeap4) keeps the heap for workloads
+//     that genuinely hold ~10^6 concurrent events.
+//
+//   - Batched timers: TFRC feedback and no-feedback timers — precision
+//     requirement "about one RTT" — can opt onto a shared timer wheel
+//     (Config.CoarseTimerTick) that rounds deadlines up to a coarse tick
+//     and fires each tick's batch from one scheduler event, so a million
+//     armed timers do not mean a million resident queue entries. Figure
+//     experiments keep exact timers; deadlines are never early.
+//
+//   - Flow state: agents live in chunked arena slabs addressed by index,
+//     per-flow measurement series live in struct-of-arrays monitor
+//     columns, and packet delivery at a node with many bound ports goes
+//     through a dense port-indexed table rather than a scan.
 //
 // # Invariants and lint
 //

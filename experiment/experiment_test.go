@@ -273,7 +273,7 @@ func TestListCoversAllFiguresInOrder(t *testing.T) {
 	want := []string{
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig11", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20",
-		"fig21", "bwstep", "parkinglot",
+		"fig21", "bwstep", "manyflows", "parkinglot",
 	}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("List() order = %v, want %v", names, want)

@@ -76,6 +76,11 @@ type (
 	BWStepParams = exp.BWStepParams
 	BWStepResult = exp.BWStepResult
 	BWStepPhase  = exp.BWStepPhase
+	// ManyFlowsParams/ManyFlowsResult: million-flow scaling ladder;
+	// ManyFlowsDecade is one flow-count rung.
+	ManyFlowsParams = exp.ManyFlowsParams
+	ManyFlowsResult = exp.ManyFlowsResult
+	ManyFlowsDecade = exp.ManyFlowsDecade
 	// Path is one emulated Internet path profile (figs 15-17).
 	Path = exp.Path
 )

@@ -20,8 +20,9 @@ import (
 
 // Schema identifies the report layout for forward compatibility.
 // Schema 2 added the sweep-engine metrics (cell_setup_allocs,
-// cells_per_sec); schema-1 baselines simply leave them ungated.
-const Schema = 2
+// cells_per_sec); schema 3 added the per-decade flow-scaling metrics
+// (flows axis). Older baselines simply leave the newer gates inactive.
+const Schema = 3
 
 // ScenarioMetrics measures the end-to-end simulator on the standard
 // 8-flow RED dumbbell (the BenchmarkSimulatorPacketsPerSecond workload).
@@ -58,6 +59,25 @@ type SweepMetrics struct {
 	CellsPerSec float64 `json:"cells_per_sec"`
 }
 
+// FlowDecadeMetrics measures one rung of the manyflows scaling ladder:
+// a single decade run end to end, wall-clocked (the
+// BenchmarkManyFlowsPacketsPerSecond workload).
+type FlowDecadeMetrics struct {
+	Flows int `json:"flows"`
+	// PktsPerSec is bottleneck-delivered packets (a deterministic count)
+	// per wall-clock second for this decade.
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	// AllocsPerOp is heap allocations for the whole decade run —
+	// construction of n flows plus harvest; the steady-state loop
+	// allocates only amortized growth.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HeapPeakBytes proxies peak RSS: runtime.ReadMemStats HeapInuse
+	// immediately after the run, while the decade's working set is still
+	// reachable. Informational (GC timing jitters it); not gated.
+	HeapPeakBytes float64 `json:"heap_peak_bytes"`
+	WallSeconds   float64 `json:"wall_seconds"`
+}
+
 // Report is one BENCH_<n>.json snapshot.
 type Report struct {
 	Schema    int              `json:"schema"`
@@ -68,6 +88,8 @@ type Report struct {
 	Scenario  ScenarioMetrics  `json:"scenario"`
 	Scheduler SchedulerMetrics `json:"scheduler"`
 	Sweep     SweepMetrics     `json:"sweep"`
+	// Flows is the per-decade scaling curve (schema ≥ 3).
+	Flows []FlowDecadeMetrics `json:"flows,omitempty"`
 }
 
 func benchScenario(iters int) ScenarioMetrics {
@@ -183,6 +205,38 @@ func benchScheduler(ops int) SchedulerMetrics {
 	return SchedulerMetrics{Ops: ops, EventsPerSec: float64(ops) / elapsed.Seconds()}
 }
 
+// benchManyFlows walks the manyflows decade ladder once, wall-clocking
+// each rung. Decades run coldest-first and sequentially, so each rung's
+// heap reading reflects only its own working set.
+func benchManyFlows(decades []int) []FlowDecadeMetrics {
+	pr := exp.DefaultManyFlows()
+	// The experiment's long settling window exists for fairness numbers;
+	// the bench only measures simulator throughput, so a shorter window
+	// keeps the whole ladder to about a minute of wall clock. The window
+	// still extends past the start transient — the drop-storm seconds
+	// while the population slow-starts are the most expensive per packet,
+	// and a window that is mostly transient understates the simulator.
+	pr.Duration, pr.Warmup = 5, 2
+	out := make([]FlowDecadeMetrics, 0, len(decades))
+	for _, n := range decades {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		cell := exp.RunManyFlowsDecade(n, pr)
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		out = append(out, FlowDecadeMetrics{
+			Flows:         n,
+			PktsPerSec:    float64(cell.DeliveredPkts) / wall,
+			AllocsPerOp:   float64(after.Mallocs - before.Mallocs),
+			HeapPeakBytes: float64(after.HeapInuse),
+			WallSeconds:   wall,
+		})
+	}
+	return out
+}
+
 // Run executes the measurement suite and returns the report. name labels
 // the snapshot (e.g. "PR3" or "ci").
 func Run(name string) *Report {
@@ -195,6 +249,7 @@ func Run(name string) *Report {
 		Scenario:  benchScenario(20),
 		Scheduler: benchScheduler(2_000_000),
 		Sweep:     benchSweep(),
+		Flows:     benchManyFlows([]int{1_000, 10_000, 100_000}),
 	}
 }
 
@@ -275,6 +330,40 @@ func Compare(cur, base *Report, tolerance float64) error {
 			fails = append(fails, fmt.Sprintf(
 				"cells/sec %.1f below machine-calibrated baseline %.1f (raw baseline %.1f × cpu scale %.2f, %d workers) by more than %.0f%%",
 				cur.Sweep.CellsPerSec, expected, base.Sweep.CellsPerSec, scale, cur.Sweep.Workers, tolerance*100))
+		}
+	}
+	// Flow-scaling curve: gate each decade present in both reports.
+	// Throughput is machine-calibrated like pkts/sec; allocations are
+	// deterministic but scale with the flow count, so the slack is
+	// relative plus a small absolute term for pool warm-up jitter.
+	if len(base.Flows) > 0 && len(cur.Flows) > 0 &&
+		base.Scheduler.EventsPerSec > 0 && cur.Scheduler.EventsPerSec > 0 {
+		scale := cur.Scheduler.EventsPerSec / base.Scheduler.EventsPerSec
+		baseByFlows := make(map[int]FlowDecadeMetrics, len(base.Flows))
+		for _, d := range base.Flows {
+			baseByFlows[d.Flows] = d
+		}
+		for _, d := range cur.Flows {
+			bd, ok := baseByFlows[d.Flows]
+			if !ok {
+				continue
+			}
+			if bd.PktsPerSec > 0 {
+				expected := bd.PktsPerSec * scale
+				if d.PktsPerSec < expected*(1-tolerance) {
+					fails = append(fails, fmt.Sprintf(
+						"flows=%d pkts/sec %.0f below machine-calibrated baseline %.0f (raw baseline %.0f × cpu scale %.2f) by more than %.0f%%",
+						d.Flows, d.PktsPerSec, expected, bd.PktsPerSec, scale, tolerance*100))
+				}
+			}
+			if bd.AllocsPerOp > 0 {
+				limit := bd.AllocsPerOp*(1+tolerance) + 100
+				if d.AllocsPerOp > limit {
+					fails = append(fails, fmt.Sprintf(
+						"flows=%d allocs/op %.0f exceeds baseline %.0f by more than %.0f%%+100",
+						d.Flows, d.AllocsPerOp, bd.AllocsPerOp, tolerance*100))
+				}
+			}
 		}
 	}
 	if len(fails) == 0 {

@@ -1,25 +1,22 @@
 package netsim
 
-// flowSeries is one flow's per-link accounting: binned departed bytes
-// plus arrival/departure/drop counters, held in a flat slice indexed by
-// flow ID so the per-packet path touches no maps.
-type flowSeries struct {
-	bins     []float64
-	arrivals int
-	departs  int
-	drops    int
-}
-
 // FlowMonitor accumulates per-flow byte counts departing a link into
 // fixed-width time bins — the substrate for the paper's R_τ(t) send-rate
 // time series (Eq. 2) and the Figure 8 throughput traces. Flows are
-// dense small integers, so per-flow state lives in a flat slice;
-// Register preallocates it (and each flow's bin series) up front so the
-// per-packet path neither allocates nor touches a map.
+// dense small integers, so per-flow state is struct-of-arrays: parallel
+// counter columns indexed by flow ID plus one row-major bin slab with a
+// shared per-flow stride. At a million flows the packet path reads
+// exactly the column cells of one flow — no per-flow header structs, no
+// pointer chasing, no allocation (growth lives in amortized helpers).
 type FlowMonitor struct {
 	binWidth float64
 	start    float64
-	flows    []flowSeries
+	stride   int       // per-flow bin capacity in the slab
+	nflows   int       // rows in use; columns are sized to this
+	bins     []float64 // nflows×stride row-major slab, zeroed per scenario
+	arrivals []int32
+	departs  []int32
+	drops    []int32
 	tap      Tap // prebuilt once; Tap() hands out the same closure
 }
 
@@ -42,8 +39,9 @@ func (nw *Network) NewFlowMonitor(binWidth, start float64) *FlowMonitor {
 	return m
 }
 
-// init (re)configures a monitor, zeroing per-flow state while keeping
-// the state table and each flow's bin capacity for reuse.
+// init (re)configures a monitor for a fresh scenario. Column and slab
+// capacity is retained for reuse; rows are zeroed when (re)claimed by
+// Register or first sight of a flow.
 func (m *FlowMonitor) init(binWidth, start float64) {
 	if binWidth <= 0 {
 		panic("netsim: FlowMonitor bin width must be positive")
@@ -53,85 +51,110 @@ func (m *FlowMonitor) init(binWidth, start float64) {
 	if m.tap == nil {
 		m.tap = m.observe
 	}
-	flows := m.flows[:cap(m.flows)]
-	for i := range flows {
-		f := &flows[i]
-		f.arrivals, f.departs, f.drops = 0, 0, 0
-		f.bins = f.bins[:0]
-	}
-	m.flows = m.flows[:0]
+	m.nflows = 0
 }
 
 // Register preallocates flow state for flow IDs 0..flows-1 with capacity
-// for nbins bins each, carving any series that still lacks capacity out
-// of one backing slab. A recycled monitor usually needs no slab at all —
-// the previous scenario's bin capacities are reused. Unregistered flows
-// still work — their state grows on first sight — but registration keeps
+// for nbins bins each in the shared slab. A recycled monitor usually
+// reuses the previous scenario's slab in place. Unregistered flows
+// still work — their row appears on first sight — but registration keeps
 // the packet path allocation-free.
 func (m *FlowMonitor) Register(flows, nbins int) {
-	if flows <= len(m.flows) {
-		flows = len(m.flows)
-	}
-	if flows > cap(m.flows) {
-		grown := make([]flowSeries, flows)
-		copy(grown, m.flows)
-		m.flows = grown
-	} else {
-		m.flows = m.flows[:flows]
-	}
 	if nbins < 1 {
 		nbins = 1
 	}
-	need := 0
-	for i := range m.flows {
-		if cap(m.flows[i].bins) < nbins {
-			need++
+	if nbins > m.stride {
+		m.restride(nbins)
+	}
+	if flows > m.nflows {
+		m.growFlows(flows)
+	}
+}
+
+// growFlows extends the columns and slab to cover rows up to n-1,
+// zeroing the newly claimed region (which may hold a previous
+// scenario's data).
+func (m *FlowMonitor) growFlows(n int) {
+	if m.stride == 0 {
+		m.stride = 1
+	}
+	if n > cap(m.arrivals) {
+		arr := make([]int32, n)
+		copy(arr, m.arrivals[:m.nflows])
+		m.arrivals = arr
+		dep := make([]int32, n)
+		copy(dep, m.departs[:m.nflows])
+		m.departs = dep
+		dr := make([]int32, n)
+		copy(dr, m.drops[:m.nflows])
+		m.drops = dr
+	} else {
+		m.arrivals = m.arrivals[:n]
+		m.departs = m.departs[:n]
+		m.drops = m.drops[:n]
+		for i := m.nflows; i < n; i++ {
+			m.arrivals[i], m.departs[i], m.drops[i] = 0, 0, 0
 		}
 	}
-	if need == 0 {
+	need := n * m.stride
+	if need > cap(m.bins) {
+		slab := make([]float64, need)
+		copy(slab, m.bins[:m.nflows*m.stride])
+		m.bins = slab
+	} else {
+		m.bins = m.bins[:need]
+		tail := m.bins[m.nflows*m.stride:]
+		for i := range tail {
+			tail[i] = 0
+		}
+	}
+	m.nflows = n
+}
+
+// restride rebuilds the slab with a larger per-flow bin capacity,
+// relocating existing rows. Amortized: stride at least doubles.
+func (m *FlowMonitor) restride(nbins int) {
+	stride := m.stride * 2
+	if stride < nbins {
+		stride = nbins
+	}
+	if m.nflows == 0 {
+		// No rows to relocate: keep the slab backing for reuse.
+		m.stride = stride
+		m.bins = m.bins[:0]
 		return
 	}
-	slab := make([]float64, need*nbins)
-	off := 0
-	for i := range m.flows {
-		f := &m.flows[i]
-		if cap(f.bins) < nbins {
-			bins := slab[off : off+len(f.bins) : off+nbins]
-			copy(bins, f.bins)
-			f.bins = bins
-			off += nbins
-		}
+	slab := make([]float64, m.nflows*stride)
+	for f := 0; f < m.nflows; f++ {
+		copy(slab[f*stride:], m.bins[f*m.stride:(f+1)*m.stride])
 	}
+	m.bins = slab
+	m.stride = stride
 }
 
-// flow returns the state slot for a flow, growing the table for
-// unregistered IDs.
-func (m *FlowMonitor) flow(id int) *flowSeries {
-	if id >= len(m.flows) {
-		grown := make([]flowSeries, id+1)
-		copy(grown, m.flows)
-		m.flows = grown
-	}
-	return &m.flows[id]
-}
-
+// observe is the per-packet tap: pure column arithmetic, no allocation.
+//
+//tfrc:hotpath
 func (m *FlowMonitor) observe(ev TapEvent, now float64, p *Packet) {
-	f := m.flow(p.Flow)
+	idx := p.Flow
+	if idx >= m.nflows {
+		m.growFlows(idx + 1)
+	}
 	switch ev {
 	case TapArrive:
-		f.arrivals++
+		m.arrivals[idx]++
 	case TapDrop:
-		f.drops++
+		m.drops[idx]++
 	case TapDepart:
-		f.departs++
+		m.departs[idx]++
 		if now < m.start {
 			return
 		}
 		bin := int((now - m.start) / m.binWidth)
-		for len(f.bins) <= bin {
-			f.bins = append(f.bins, 0)
+		if bin >= m.stride {
+			m.restride(bin + 1)
 		}
-		f.bins[bin] += float64(p.Size)
+		m.bins[idx*m.stride+bin] += float64(p.Size)
 	}
 }
 
@@ -154,8 +177,8 @@ func (m *FlowMonitor) Series(flow, nbins int) []float64 {
 // slab their result series.
 func (m *FlowMonitor) SeriesInto(dst []float64, flow int) []float64 {
 	n := 0
-	if flow < len(m.flows) {
-		n = copy(dst, m.flows[flow].bins)
+	if flow < m.nflows {
+		n = copy(dst, m.bins[flow*m.stride:(flow+1)*m.stride])
 	}
 	for i := n; i < len(dst); i++ {
 		dst[i] = 0
@@ -175,11 +198,11 @@ func (m *FlowMonitor) Rate(flow, nbins int) []float64 {
 // TotalBytes returns all bytes the flow moved through the link since
 // start.
 func (m *FlowMonitor) TotalBytes(flow int) float64 {
-	if flow >= len(m.flows) {
+	if flow >= m.nflows {
 		return 0
 	}
 	var sum float64
-	for _, b := range m.flows[flow].bins {
+	for _, b := range m.bins[flow*m.stride : (flow+1)*m.stride] {
 		sum += b
 	}
 	return sum
@@ -187,18 +210,18 @@ func (m *FlowMonitor) TotalBytes(flow int) float64 {
 
 // Drops returns the number of packets of a flow dropped at the link.
 func (m *FlowMonitor) Drops(flow int) int {
-	if flow >= len(m.flows) {
+	if flow >= m.nflows {
 		return 0
 	}
-	return m.flows[flow].drops
+	return int(m.drops[flow])
 }
 
 // Stats aggregates arrivals, departures, and drops across all flows.
 func (m *FlowMonitor) Stats() (arrivals, departs, drops int) {
-	for i := range m.flows {
-		arrivals += m.flows[i].arrivals
-		departs += m.flows[i].departs
-		drops += m.flows[i].drops
+	for i := 0; i < m.nflows; i++ {
+		arrivals += int(m.arrivals[i])
+		departs += int(m.departs[i])
+		drops += int(m.drops[i])
 	}
 	return
 }

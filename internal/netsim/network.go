@@ -21,9 +21,10 @@ type adjacency struct {
 	l  *Link
 }
 
-// portBinding is one (port, agent) binding. Nodes bind a handful of
-// ports, so a linear scan over a slice beats a map on both the delivery
-// hot path and setup allocations.
+// portBinding is one (port, agent) binding. The authoritative binding
+// list; nodes with dense port numbering additionally maintain portTab, a
+// flat port-indexed table, so delivery at a million bound ports is one
+// slice index instead of a million-entry scan.
 type portBinding struct {
 	port int
 	a    Agent
@@ -39,16 +40,56 @@ type Node struct {
 	links []adjacency // sorted by neighbor ID
 	route []*Link     // destination NodeID → next-hop link
 	ports []portBinding
+
+	// portTab is the dense delivery table: portTab[port] is the bound
+	// agent or nil. Maintained while the node's port numbering stays
+	// dense (see portInsert); abandoned — falling back to the linear
+	// scan — when a binding would make the table wastefully sparse.
+	// Invariant: when non-empty it covers every bound port.
+	portTab    []Agent
+	portSparse bool // numbering judged sparse; stop maintaining portTab
 }
+
+// densePortLimit is the port number below which the dense table always
+// grows; higher ports must stay within portSlack× the binding count.
+const (
+	densePortLimit = 64
+	portSlack      = 4
+)
 
 // Attach binds an agent to a local port.
 func (n *Node) Attach(port int, a Agent) {
-	for _, b := range n.ports {
-		if b.port == port {
+	if len(n.portTab) > 0 && port >= 0 && port < len(n.portTab) {
+		if n.portTab[port] != nil {
 			panic(fmt.Sprintf("netsim: node %d port %d already bound", n.ID, port))
+		}
+	} else {
+		for _, b := range n.ports {
+			if b.port == port {
+				panic(fmt.Sprintf("netsim: node %d port %d already bound", n.ID, port))
+			}
 		}
 	}
 	n.ports = append(n.ports, portBinding{port: port, a: a})
+	n.portInsert(port, a)
+}
+
+// portInsert maintains the dense delivery table for one new binding, or
+// abandons it when the numbering is too sparse to table.
+func (n *Node) portInsert(port int, a Agent) {
+	if n.portSparse {
+		return
+	}
+	if port < 0 || (port >= densePortLimit && port > portSlack*(len(n.ports)+8)) {
+		clear(n.portTab)
+		n.portTab = n.portTab[:0]
+		n.portSparse = true
+		return
+	}
+	for len(n.portTab) <= port {
+		n.portTab = append(n.portTab, nil)
+	}
+	n.portTab[port] = a
 }
 
 // Detach unbinds a port. Detaching an unbound port is a no-op, so callers
@@ -57,6 +98,9 @@ func (n *Node) Detach(port int) {
 	for i, b := range n.ports {
 		if b.port == port {
 			n.ports = append(n.ports[:i], n.ports[i+1:]...)
+			if port >= 0 && port < len(n.portTab) {
+				n.portTab[port] = nil
+			}
 			return
 		}
 	}
@@ -96,6 +140,18 @@ func (n *Node) receive(p *Packet) {
 
 //tfrc:hotpath
 func (n *Node) deliver(p *Packet) {
+	if tab := n.portTab; len(tab) != 0 {
+		// Dense table: covers every bound port by invariant, so a miss
+		// here is a definitive miss.
+		if idx := p.DstPort; idx >= 0 && idx < len(tab) {
+			if a := tab[idx]; a != nil {
+				a.Recv(p)
+				return
+			}
+		}
+		n.net.pool.Put(p)
+		return
+	}
 	for _, b := range n.ports {
 		if b.port == p.DstPort {
 			b.a.Recv(p)
@@ -207,6 +263,8 @@ func (nw *Network) Release() {
 		n := &nw.nodeChunks[i/nodeChunkSize][i%nodeChunkSize]
 		clear(n.ports[:cap(n.ports)])
 		n.ports = n.ports[:0]
+		clear(n.portTab[:cap(n.portTab)])
+		n.portTab = n.portTab[:0]
 		n.route = nil
 	}
 	for i := 0; i < nw.linksUsed; i++ {
@@ -250,6 +308,8 @@ func (nw *Network) allocNode() *Node {
 	n := &nw.nodeChunks[ci][off]
 	n.links = n.links[:0]
 	n.ports = n.ports[:0]
+	n.portTab = n.portTab[:0]
+	n.portSparse = false
 	n.route = nil
 	return n
 }

@@ -316,3 +316,91 @@ func TestDumbbellREDQueue(t *testing.T) {
 		t.Fatalf("forward queue is %T, want *RED", d.ForwardQ)
 	}
 }
+
+// portSink is a minimal agent counting deliveries per binding.
+type portSink struct {
+	nw *Network
+	n  int
+}
+
+func (s *portSink) Recv(p *Packet) { s.n++; s.nw.Free(p) }
+
+func TestDensePortTable(t *testing.T) {
+	sched, nw, a, b, _ := twoNodeNet(t, 1e9, 0.001, 1000)
+	// Bind a dense run of ports: the table must cover them all.
+	const n = 200
+	sinks := make([]*portSink, n)
+	for i := 2; i < n; i++ { // port 1 already bound by twoNodeNet
+		sinks[i] = &portSink{nw: nw}
+		b.Attach(i, sinks[i])
+	}
+	if len(b.portTab) == 0 || b.portSparse {
+		t.Fatalf("dense numbering did not build the port table (len=%d sparse=%v)",
+			len(b.portTab), b.portSparse)
+	}
+	send := func(port int) {
+		p := nw.NewPacket()
+		p.Size = 100
+		p.Src, p.Dst, p.DstPort = a.ID, b.ID, port
+		a.Send(p)
+	}
+	for i := 2; i < n; i++ {
+		send(i)
+	}
+	send(n + 50) // unbound: discarded
+	send(-3)     // nonsense port: discarded
+	sched.Run()
+	for i := 2; i < n; i++ {
+		if sinks[i].n != 1 {
+			t.Fatalf("port %d got %d deliveries, want 1", i, sinks[i].n)
+		}
+	}
+	// Detach clears the table slot; redelivery is a discard, and rebinding
+	// works again.
+	b.Detach(7)
+	send(7)
+	sched.Run()
+	if sinks[7].n != 1 {
+		t.Fatalf("detached port got %d deliveries, want 1", sinks[7].n)
+	}
+	re := &portSink{nw: nw}
+	b.Attach(7, re)
+	send(7)
+	sched.Run()
+	if re.n != 1 {
+		t.Fatalf("rebound port got %d deliveries, want 1", re.n)
+	}
+	if nw.Pool().Live() != 0 {
+		t.Fatalf("leaked %d packets", nw.Pool().Live())
+	}
+}
+
+func TestSparsePortsFallBackToScan(t *testing.T) {
+	sched, nw, a, b, sink := twoNodeNet(t, 1e9, 0.001, 1000)
+	// A mice-style high base port abandons the dense table.
+	far := &portSink{nw: nw}
+	b.Attach(5000, far)
+	if !b.portSparse || len(b.portTab) != 0 {
+		t.Fatalf("sparse binding kept the table (len=%d sparse=%v)",
+			len(b.portTab), b.portSparse)
+	}
+	// Duplicate detection still works in sparse mode.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate sparse bind did not panic")
+			}
+		}()
+		b.Attach(5000, far)
+	}()
+	for _, port := range []int{1, 5000} {
+		p := nw.NewPacket()
+		p.Size = 100
+		p.Src, p.Dst, p.DstPort = a.ID, b.ID, port
+		a.Send(p)
+	}
+	sched.Run()
+	if sink.bytes != 100 || far.n != 1 {
+		t.Fatalf("scan fallback delivered sink=%dB far=%d, want 100B and 1", sink.bytes, far.n)
+	}
+}

@@ -1,11 +1,13 @@
 // Package sim provides a deterministic discrete-event simulation engine:
-// an event scheduler with a flat 4-ary heap event queue, a simulation
-// clock, cancellable timers, and seeded random-variate helpers.
+// an event scheduler with selectable queue backends (an adaptive
+// calendar queue by default, a flat 4-ary heap via NewSchedulerWith), a
+// simulation clock, cancellable timers with optional coarse batching on
+// a timer wheel, and seeded random-variate helpers.
 //
 // The engine is single-threaded by design. Determinism comes from three
-// properties: events fire in (time, insertion-sequence) order, all
-// randomness is drawn from explicitly seeded sources, and no wall-clock
-// time is consulted anywhere.
+// properties: events fire in (time, insertion-sequence) order regardless
+// of queue backend, all randomness is drawn from explicitly seeded
+// sources, and no wall-clock time is consulted anywhere.
 package sim
 
 import (
@@ -19,8 +21,9 @@ import (
 // slot table — callers never hold them; At and After hand out
 // generation-checked Handles carrying the slot index instead.
 type event struct {
-	gen uint64 // bumped on every recycle; stale Handles don't match
-	pos int32  // index into the heap order array; -1 when not queued
+	gen uint64  // bumped on every recycle; stale Handles don't match
+	pos int32   // heap: index into the order array; calendar: 0 when queued; -1 when not queued
+	at  float64 // firing time, kept here so Handle.Time works on any queue backend
 	fn  func()
 	afn func(any) // arg-carrying variant, used by the packet hot path
 	arg any
@@ -62,7 +65,7 @@ func (h Handle) Time() float64 {
 	if !h.Scheduled() {
 		return 0
 	}
-	return h.s.heap[h.s.slots[h.slot].pos].at
+	return h.s.slots[h.slot].at
 }
 
 // Scheduled reports whether the event this Handle was issued for is still
@@ -77,17 +80,49 @@ func (h Handle) Scheduled() bool {
 	return e.gen == h.gen && e.pos >= 0
 }
 
-// Scheduler owns the simulation clock and the pending event queue: a flat
-// 4-ary min-heap of inline entries ordered by (time, sequence), backed by
+// SchedulerQueue selects the pending-event queue backend of a
+// Scheduler. Both backends implement identical (time, insertion-
+// sequence) firing order, so simulation results are bit-identical under
+// either; they differ only in cost profile across event populations.
+type SchedulerQueue int32
+
+const (
+	// QueueHeap4 is the flat 4-ary min-heap: O(log n) insert/pop with
+	// very small constants and no tuning state.
+	QueueHeap4 SchedulerQueue = iota
+	// QueueCalendar is the adaptive calendar queue: O(1) expected
+	// insert/pop under the uniform event-spacing typical of packet
+	// simulations, at the price of adaptive resizing state.
+	QueueCalendar
+)
+
+// DefaultSchedulerQueue is the backend NewScheduler uses.
+//
+// Verdict (2026-08, BenchmarkSchedulerEventsPerSecond / -Queues, 1-core
+// x86-64): the calendar queue wins the standing populations the
+// simulator actually runs at — 13.9M vs 7.7M events/sec at 1k pending,
+// 5.2M vs 3.4M at 100k — and lifts the end-to-end 8-flow scenario bench
+// from ~1.03M to ~1.29M pkts/sec. The 4-ary heap only overtakes at ~1M
+// pending events (2.2M vs 1.6M events/sec), a population the timer
+// wheel keeps million-flow scenarios well below. The calendar queue is
+// therefore the default; the heap stays selectable via NewSchedulerWith
+// for workloads that genuinely hold a million concurrent events.
+var DefaultSchedulerQueue = QueueCalendar
+
+// Scheduler owns the simulation clock and the pending event queue —
+// either a flat 4-ary min-heap of inline entries or a calendar queue
+// (see SchedulerQueue), both ordered by (time, sequence) and backed by
 // a slot table that gives every pending event a stable index for
 // generation-checked Handles. No interface boxing, no per-event
-// allocation: steady-state scheduling touches only the two slices.
+// allocation: steady-state scheduling touches only flat slices.
 // The zero value is not ready for use; call NewScheduler.
 type Scheduler struct {
 	now     float64
 	seq     uint64
-	epoch   uint64  // bumped by Reset; stale-epoch Handles are inert
-	heap    []entry //tfrc:keep value-only heap backing, truncated on Reset/reuse
+	epoch   uint64         // bumped by Reset; stale-epoch Handles are inert
+	queue   SchedulerQueue // backend in use; fixed between Resets
+	heap    []entry        //tfrc:keep value-only heap backing, truncated on Reset/reuse
+	cal     calQueue       //tfrc:keep value-only calendar buckets, truncated on Reset/reuse
 	slots   []event
 	free    []int32 //tfrc:keep recycled slot indices, value-only backing
 	stopped bool
@@ -95,6 +130,8 @@ type Scheduler struct {
 
 	rands    []*Rand //tfrc:keep generators handed out by NewRand, re-seeded and reissued on reuse
 	randUsed int
+
+	wheels []*Wheel //tfrc:keep coarse timer wheels keyed by tick, scrubbed on Reset/Release
 
 	arenas []Arena //tfrc:keep per-package agent arenas, indexed by ArenaID; they ARE the recycled stock
 }
@@ -136,13 +173,24 @@ func (s *Scheduler) Arena(id ArenaID, mk func() Arena) Arena {
 // slices keeps per-cell setup out of the allocator.
 var schedMem = sync.Pool{New: func() any { return new(Scheduler) }}
 
-// NewScheduler returns a scheduler with the clock at zero. Its backing
-// arrays may be recycled from a previously Released scheduler.
+// NewScheduler returns a scheduler with the clock at zero, using the
+// DefaultSchedulerQueue backend. Its backing arrays may be recycled
+// from a previously Released scheduler.
 func NewScheduler() *Scheduler {
+	return NewSchedulerWith(DefaultSchedulerQueue)
+}
+
+// NewSchedulerWith returns a scheduler using the given queue backend.
+// Both backends produce bit-identical simulations; see SchedulerQueue.
+func NewSchedulerWith(q SchedulerQueue) *Scheduler {
 	s := schedMem.Get().(*Scheduler)
+	s.queue = q
 	s.Reset()
 	return s
 }
+
+// Queue reports which queue backend the scheduler uses.
+func (s *Scheduler) Queue() SchedulerQueue { return s.queue }
 
 // Reset rewinds the scheduler for a fresh scenario: the clock returns to
 // zero, every pending event is dropped (and its callback reference
@@ -161,6 +209,12 @@ func (s *Scheduler) Reset() {
 	s.seq = 0
 	s.epoch++
 	s.heap = s.heap[:0]
+	if s.cal.buckets != nil || s.queue == QueueCalendar {
+		s.calReset()
+	}
+	for _, w := range s.wheels {
+		w.reset()
+	}
 	s.slots = s.slots[:0]
 	s.free = s.free[:0]
 	s.stopped = false
@@ -192,6 +246,9 @@ func (s *Scheduler) Release() {
 		s.slots[i].afn = nil
 		s.slots[i].arg = nil
 	}
+	for _, w := range s.wheels {
+		w.reset() // wheel buckets hold *Timer references into agent graphs
+	}
 	schedMem.Put(s)
 }
 
@@ -199,9 +256,28 @@ func (s *Scheduler) Release() {
 func (s *Scheduler) Now() float64 { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.heap) }
+func (s *Scheduler) Len() int {
+	if s.queue == QueueCalendar {
+		return s.cal.live
+	}
+	return len(s.heap)
+}
 
-// alloc validates t, claims a slot, and pushes its heap entry.
+// peek returns the firing time of the earliest pending event.
+//
+//tfrc:hotpath
+func (s *Scheduler) peek() (float64, bool) {
+	if s.queue == QueueCalendar {
+		return s.calPeek()
+	}
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
+// alloc validates t, claims a slot, and queues its entry on the active
+// backend.
 //
 //tfrc:hotpath
 func (s *Scheduler) alloc(t float64) int32 {
@@ -219,8 +295,15 @@ func (s *Scheduler) alloc(t float64) int32 {
 		slot = int32(len(s.slots))
 		s.slots = append(s.slots, event{}) //tfrclint:allow hotpathalloc amortized slab growth
 	}
-	e := entry{at: t, seq: s.seq, slot: slot}
+	s.slots[slot].at = t
+	seq := s.seq
 	s.seq++
+	if s.queue == QueueCalendar {
+		s.slots[slot].pos = 0 // queued marker; the calendar has no order array
+		s.calInsert(t, seq, slot)
+		return slot
+	}
+	e := entry{at: t, seq: seq, slot: slot}
 	s.heap = append(s.heap, e) //tfrclint:allow hotpathalloc amortized heap growth
 	s.siftUp(len(s.heap) - 1)
 	return slot
@@ -350,6 +433,13 @@ func (s *Scheduler) Cancel(h Handle) {
 	if !h.Scheduled() {
 		return
 	}
+	if s.queue == QueueCalendar {
+		// Lazy: the generation bump in recycle marks the calendar entry
+		// dead; the scan discards it when reached.
+		s.cal.live--
+		s.recycle(h.slot)
+		return
+	}
 	s.remove(int(s.slots[h.slot].pos))
 	s.recycle(h.slot)
 }
@@ -359,6 +449,9 @@ func (s *Scheduler) Cancel(h Handle) {
 //
 //tfrc:hotpath
 func (s *Scheduler) Step() bool {
+	if s.queue == QueueCalendar {
+		return s.stepCal()
+	}
 	if len(s.heap) == 0 {
 		return false
 	}
@@ -397,7 +490,11 @@ func (s *Scheduler) Run() {
 // and advances the clock to end.
 func (s *Scheduler) RunUntil(end float64) {
 	s.stopped = false
-	for !s.stopped && len(s.heap) > 0 && s.heap[0].at <= end {
+	for !s.stopped {
+		t, ok := s.peek()
+		if !ok || t > end {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && s.now < end {

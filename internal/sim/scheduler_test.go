@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -380,15 +381,31 @@ func (q *refQueue) pop() (refEvent, bool) {
 	return e, true
 }
 
-// TestSchedulerDifferential drives the flat-heap scheduler and the naive
-// reference through a long randomized interleaving of At, After, Cancel,
-// stale-handle Cancel, and Step, checking that every firing matches the
-// reference in both identity and time, that Scheduled agrees with the
-// reference's liveness, and that stale handles never disturb live events.
+// queueKinds enumerates both queue backends for parameterized tests.
+var queueKinds = []struct {
+	name string
+	kind SchedulerQueue
+}{
+	{"heap4", QueueHeap4},
+	{"calendar", QueueCalendar},
+}
+
+// TestSchedulerDifferential drives each queue backend (4-ary heap and
+// calendar queue) and the naive sorted-slice reference through a long
+// randomized interleaving of At, After, Cancel, stale-handle Cancel,
+// and Step, checking that every firing matches the reference in both
+// identity and time, that Scheduled agrees with the reference's
+// liveness, and that stale handles never disturb live events.
 func TestSchedulerDifferential(t *testing.T) {
+	for _, qk := range queueKinds {
+		t.Run(qk.name, func(t *testing.T) { testSchedulerDifferential(t, qk.kind) })
+	}
+}
+
+func testSchedulerDifferential(t *testing.T, kind SchedulerQueue) {
 	for seed := int64(1); seed <= 5; seed++ {
 		r := rand.New(rand.NewSource(seed))
-		s := NewScheduler()
+		s := NewSchedulerWith(kind)
 		ref := &refQueue{}
 
 		type live struct {
@@ -493,10 +510,39 @@ func TestSchedulerDifferential(t *testing.T) {
 }
 
 // TestSchedulerReleaseReuse checks that a scheduler built from recycled
-// backing arrays behaves identically to a fresh one.
+// backing arrays behaves identically to a fresh one, for both queue
+// backends — including a backend switch across the pool round-trip.
 func TestSchedulerReleaseReuse(t *testing.T) {
+	for _, qk := range queueKinds {
+		t.Run(qk.name, func(t *testing.T) { testSchedulerReleaseReuse(t, qk.kind) })
+	}
+	// Alternating backends through the shared pool must reconfigure
+	// cleanly: a released calendar scheduler may come back as a heap
+	// scheduler and vice versa.
+	t.Run("alternating", func(t *testing.T) {
+		for i := 0; i < 6; i++ {
+			kind := queueKinds[i%2].kind
+			s := NewSchedulerWith(kind)
+			if s.Queue() != kind {
+				t.Fatalf("round %d: queue = %v, want %v", i, s.Queue(), kind)
+			}
+			var got []float64
+			for _, at := range []float64{3, 1, 2} {
+				at := at
+				s.At(at, func() { got = append(got, at) })
+			}
+			s.Run()
+			if len(got) != 3 || !sort.Float64sAreSorted(got) {
+				t.Fatalf("round %d (%v): fired %v", i, kind, got)
+			}
+			s.Release()
+		}
+	})
+}
+
+func testSchedulerReleaseReuse(t *testing.T, kind SchedulerQueue) {
 	run := func() []float64 {
-		s := NewScheduler()
+		s := NewSchedulerWith(kind)
 		var got []float64
 		for _, at := range []float64{3, 1, 2, 1, 5} {
 			at := at
@@ -524,7 +570,13 @@ func TestSchedulerReleaseReuse(t *testing.T) {
 // pair for an unrelated event (which a stale Cancel would otherwise
 // kill).
 func TestHandlesFromBeforeResetAreInert(t *testing.T) {
-	s := NewScheduler()
+	for _, qk := range queueKinds {
+		t.Run(qk.name, func(t *testing.T) { testHandlesFromBeforeResetAreInert(t, qk.kind) })
+	}
+}
+
+func testHandlesFromBeforeResetAreInert(t *testing.T, kind SchedulerQueue) {
+	s := NewSchedulerWith(kind)
 	// Grow the slot table, keeping a pending handle at a high slot and
 	// one at slot 0 with generation 0 — the aliasing candidates.
 	var stale []Handle
@@ -549,6 +601,90 @@ func TestHandlesFromBeforeResetAreInert(t *testing.T) {
 	s.Run()
 	if !fired {
 		t.Fatal("stale pre-Reset Cancel killed an unrelated post-Reset event")
+	}
+}
+
+// TestSchedulerQueueEquivalence runs one random churn workload through
+// both backends and requires bit-identical firing sequences — the
+// property that lets the default backend change without perturbing any
+// golden output.
+func TestSchedulerQueueEquivalence(t *testing.T) {
+	workload := func(kind SchedulerQueue) []float64 {
+		s := NewSchedulerWith(kind)
+		r := rand.New(rand.NewSource(99))
+		var fired []float64
+		rec := func(any) { fired = append(fired, s.Now()) }
+		var handles []Handle
+		for op := 0; op < 20000; op++ {
+			switch k := r.Intn(10); {
+			case k < 5:
+				handles = append(handles, s.AfterArg(r.Float64()*3, rec, nil))
+			case k < 7 && len(handles) > 0:
+				s.Cancel(handles[r.Intn(len(handles))])
+			default:
+				s.Step()
+			}
+		}
+		s.Run()
+		return fired
+	}
+	a, b := workload(QueueHeap4), workload(QueueCalendar)
+	if len(a) != len(b) {
+		t.Fatalf("fired %d events on heap, %d on calendar", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing %d: heap at %v, calendar at %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCalendarResizeStress pushes the calendar through several grow and
+// shrink cycles while checking global firing order.
+func TestCalendarResizeStress(t *testing.T) {
+	s := NewSchedulerWith(QueueCalendar)
+	r := rand.New(rand.NewSource(5))
+	last := -1.0
+	n := 0
+	rec := func(any) {
+		if s.Now() < last {
+			t.Fatalf("time went backwards: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+		n++
+	}
+	// Grow: far past the 2×256 resize trigger, with a wide time span.
+	for i := 0; i < 5000; i++ {
+		s.AtArg(r.Float64()*1000, rec, nil)
+	}
+	// Drain most of it (shrink path), then refill around the new clock.
+	for i := 0; i < 4500; i++ {
+		s.Step()
+	}
+	for i := 0; i < 3000; i++ {
+		s.AtArg(s.Now()+r.Float64(), rec, nil)
+	}
+	s.Run()
+	if n != 8000 {
+		t.Fatalf("fired %d events, want 8000", n)
+	}
+}
+
+// TestCalendarRunUntil pins RunUntil's peek path on the calendar.
+func TestCalendarRunUntil(t *testing.T) {
+	s := NewSchedulerWith(QueueCalendar)
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 || s.Now() != 2.5 {
+		t.Fatalf("RunUntil(2.5): fired %v, clock %v", fired, s.Now())
+	}
+	s.RunUntil(10)
+	if len(fired) != 4 || s.Now() != 10 {
+		t.Fatalf("RunUntil(10): fired %v, clock %v", fired, s.Now())
 	}
 }
 
@@ -588,4 +724,35 @@ func BenchmarkSchedulerEventsPerSecond(b *testing.B) {
 		s.Step()
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSchedulerQueues compares the two queue backends across
+// standing event populations (the decision benchmark behind
+// DefaultSchedulerQueue): hold N events pending, then measure
+// pop-one/push-one churn, the simulator's steady-state access pattern.
+func BenchmarkSchedulerQueues(b *testing.B) {
+	for _, qk := range queueKinds {
+		for _, pop := range []int{1_000, 100_000, 1_000_000} {
+			b.Run(fmt.Sprintf("%s/pop=%d", qk.name, pop), func(b *testing.B) {
+				s := NewSchedulerWith(qk.kind)
+				s.Pin() // keep the 1M-population backing out of the shared pool
+				r := rand.New(rand.NewSource(1))
+				delays := make([]float64, 8192)
+				for i := range delays {
+					delays[i] = r.Float64()
+				}
+				fn := func(any) {}
+				for i := 0; i < pop; i++ {
+					s.AfterArg(delays[i%len(delays)], fn, nil)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.AfterArg(delays[i%len(delays)], fn, nil)
+					s.Step()
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
+	}
 }

@@ -8,12 +8,23 @@ package sim
 // (or the allocation-free InitArg) before first use. The zero value is
 // unusable until initialized; NewTimer remains for callers that want a
 // standalone timer.
+//
+// A timer normally owns one exact scheduler event. Calling Coarse after
+// Init switches it to batched mode: deadlines round up to the tick of a
+// shared timer Wheel and many timers fire from one scheduler event (see
+// wheel.go). Protocol timers whose precision requirement is "about one
+// RTT" — TFRC feedback and no-feedback timers — use this to keep a
+// million flows from meaning a million resident queue entries.
 type Timer struct {
 	sched *Scheduler
 	fn    func()
 	afn   func(any) // arg-carrying variant; used when fn is nil
 	arg   any
 	ev    Handle
+
+	wheel *Wheel // non-nil: batched coarse mode
+	wgen  uint32 // bumped on stop/re-arm; stale wheel entries mismatch
+	wtick int64  // pending tick in coarse mode; -1 when idle
 }
 
 // timerFireFn is the shared scheduler callback: the timer itself rides in
@@ -21,6 +32,14 @@ type Timer struct {
 func timerFireFn(x any) {
 	t := x.(*Timer)
 	t.ev = Handle{}
+	t.fire()
+}
+
+// fire invokes the timer's callback; the pending state was already
+// cleared by the caller (exact event pop or wheel tick processing).
+//
+//tfrc:hotpath
+func (t *Timer) fire() {
 	if t.afn != nil {
 		t.afn(t.arg)
 	} else {
@@ -42,6 +61,8 @@ func (t *Timer) Init(s *Scheduler, fn func()) {
 	t.afn = nil
 	t.arg = nil
 	t.ev = Handle{}
+	t.wheel = nil
+	t.wtick = -1
 }
 
 // InitArg prepares an embedded timer that runs fn(arg) when it expires.
@@ -53,34 +74,78 @@ func (t *Timer) InitArg(s *Scheduler, fn func(any), arg any) {
 	t.afn = fn
 	t.arg = arg
 	t.ev = Handle{}
+	t.wheel = nil
+	t.wtick = -1
+}
+
+// Coarse switches an idle timer to batched mode on the given wheel
+// (which must belong to the timer's scheduler): every subsequent
+// Reset/ResetAt rounds the deadline up to the wheel's tick and fires
+// from the wheel's shared per-tick event — up to one tick late, never
+// early. Call once after Init/InitArg, before the timer is first armed.
+func (t *Timer) Coarse(w *Wheel) {
+	t.wheel = w
+	t.wtick = -1
 }
 
 // Reset (re)arms the timer to fire d seconds from now, cancelling any
 // pending expiry.
+//
+//tfrc:hotpath
 func (t *Timer) Reset(d float64) {
+	if t.wheel != nil {
+		t.wheel.cancel(t)
+		t.wheel.arm(t, t.sched.now+d)
+		return
+	}
 	t.Stop()
 	t.ev = t.sched.AfterArg(d, timerFireFn, t)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
+//
+//tfrc:hotpath
 func (t *Timer) ResetAt(at float64) {
+	if t.wheel != nil {
+		t.wheel.cancel(t)
+		t.wheel.arm(t, at)
+		return
+	}
 	t.Stop()
 	t.ev = t.sched.AtArg(at, timerFireFn, t)
 }
 
 // Stop cancels a pending expiry. Stopping an idle timer is a no-op.
+//
+//tfrc:hotpath
 func (t *Timer) Stop() {
+	if t.wheel != nil {
+		t.wheel.cancel(t)
+		return
+	}
 	t.sched.Cancel(t.ev)
 	t.ev = Handle{}
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.ev.Scheduled() }
+func (t *Timer) Pending() bool {
+	if t.wheel != nil {
+		return t.wtick >= 0
+	}
+	return t.ev.Scheduled()
+}
 
 // Deadline returns the expiry time of an armed timer and true, or 0 and
-// false for an idle timer.
+// false for an idle timer. In coarse mode the deadline is the rounded
+// tick the wheel will fire, not the requested time.
 func (t *Timer) Deadline() (float64, bool) {
-	if !t.Pending() {
+	if t.wheel != nil {
+		if t.wtick < 0 {
+			return 0, false
+		}
+		return float64(t.wtick) * t.wheel.tick, true
+	}
+	if !t.ev.Scheduled() {
 		return 0, false
 	}
 	return t.ev.Time(), true

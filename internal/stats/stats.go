@@ -61,6 +61,37 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Percentiles returns the q-quantiles (each in [0, 1]) of xs by linear
+// interpolation between order statistics. xs is sorted in place — at a
+// million samples the caller keeps ownership rather than paying for a
+// defensive copy. An empty xs yields zeros.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sort.Float64s(xs)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = xs[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = xs[len(xs)-1]
+			continue
+		}
+		pos := q * float64(len(xs)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 < len(xs) {
+			out[i] = xs[lo]*(1-frac) + xs[lo+1]*frac
+		} else {
+			out[i] = xs[lo]
+		}
+	}
+	return out
+}
+
 // Rebin aggregates a base series of bin width baseτ into bins of width
 // k·baseτ by summing groups of k, letting one simulation pass feed every
 // measurement timescale.

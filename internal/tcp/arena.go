@@ -4,23 +4,35 @@ import "tfrc/internal/sim"
 
 var tcpArenaID = sim.NewArenaID()
 
-// agentArena is the scheduler-attached pool of TCP agents. Long-lived
-// senders and sinks are reclaimed wholesale at the next Scheduler.Reset;
-// short-lived ones (mice sessions) can be handed back mid-scenario via
-// Release, so a 5000-second cell with thousands of web-mouse transfers
-// churns a bounded set of structs instead of growing without limit.
+// agentChunk is how many agents one value slab holds. Chunks are never
+// relocated, so &chunk[i] addresses stay stable for a scheduler's whole
+// lifetime — the property that lets agents be values in slabs instead of
+// individually heap-allocated structs. At a million agents this is ~4k
+// chunk headers instead of a million pointer-chased allocations.
+const agentChunk = 256
+
+// agentArena is the scheduler-attached pool of TCP agents, stored as
+// chunked value slabs. Long-lived senders and sinks are reclaimed
+// wholesale at the next Scheduler.Reset via the bump pointer; short-lived
+// ones (mice sessions) can be handed back mid-scenario via Release, so a
+// 5000-second cell with thousands of web-mouse transfers churns a bounded
+// set of slots instead of growing without limit.
 type agentArena struct {
-	senders  []*Sender // every sender ever built on this scheduler
-	freeSnd  []*Sender // subset currently available
-	sinks    []*Sink
-	freeSink []*Sink
+	sndChunks  [][]Sender // value slabs; addresses into them are stable
+	sndUsed    int        // bump pointer across sndChunks
+	freeSnd    []*Sender  // mid-scenario returns, popped before bumping
+	sinkChunks [][]Sink
+	sinkUsed   int
+	freeSink   []*Sink
 }
 
 // ResetArena implements sim.Arena: everything ever handed out becomes
-// available again.
+// available again by rewinding the bump pointers.
 func (a *agentArena) ResetArena() {
-	a.freeSnd = append(a.freeSnd[:0], a.senders...)
-	a.freeSink = append(a.freeSink[:0], a.sinks...)
+	a.sndUsed = 0
+	a.freeSnd = a.freeSnd[:0]
+	a.sinkUsed = 0
+	a.freeSink = a.freeSink[:0]
 }
 
 func arenaOf(s *sim.Scheduler) *agentArena {
@@ -33,9 +45,12 @@ func (a *agentArena) sender() *Sender {
 		a.freeSnd = a.freeSnd[:n-1]
 		return s
 	}
-	s := new(Sender)
-	a.senders = append(a.senders, s)
-	return s
+	ci, off := a.sndUsed/agentChunk, a.sndUsed%agentChunk
+	if ci == len(a.sndChunks) {
+		a.sndChunks = append(a.sndChunks, make([]Sender, agentChunk))
+	}
+	a.sndUsed++
+	return &a.sndChunks[ci][off]
 }
 
 func (a *agentArena) sink() *Sink {
@@ -44,7 +59,10 @@ func (a *agentArena) sink() *Sink {
 		a.freeSink = a.freeSink[:n-1]
 		return s
 	}
-	s := new(Sink)
-	a.sinks = append(a.sinks, s)
-	return s
+	ci, off := a.sinkUsed/agentChunk, a.sinkUsed%agentChunk
+	if ci == len(a.sinkChunks) {
+		a.sinkChunks = append(a.sinkChunks, make([]Sink, agentChunk))
+	}
+	a.sinkUsed++
+	return &a.sinkChunks[ci][off]
 }

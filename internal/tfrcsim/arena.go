@@ -4,14 +4,21 @@ import "tfrc/internal/sim"
 
 var tfrcArenaID = sim.NewArenaID()
 
-// agentArena pools TFRC agents per scheduler. Agents live for a whole
-// scenario, so there is no mid-cell free list: ResetArena reclaims
-// everything when the scheduler is recycled for the next sweep cell.
+// agentChunk is how many agents one value slab holds. Chunks are never
+// relocated, so &chunk[i] addresses stay stable for a scheduler's whole
+// lifetime — agents live as values in slabs rather than as a million
+// individually heap-allocated structs the collector must trace.
+const agentChunk = 256
+
+// agentArena pools TFRC agents per scheduler as chunked value slabs.
+// Agents live for a whole scenario, so there is no mid-cell free list:
+// ResetArena rewinds the bump pointers when the scheduler is recycled for
+// the next sweep cell, and the slabs are reused in place.
 type agentArena struct {
-	senders []*Sender
-	sndUsed int
-	recvs   []*Receiver
-	rcvUsed int
+	sndChunks [][]Sender // value slabs; addresses into them are stable
+	sndUsed   int        // bump pointer across sndChunks
+	rcvChunks [][]Receiver
+	rcvUsed   int
 }
 
 // ResetArena implements sim.Arena.
@@ -25,25 +32,19 @@ func arenaOf(s *sim.Scheduler) *agentArena {
 }
 
 func (a *agentArena) sender() *Sender {
-	if a.sndUsed < len(a.senders) {
-		s := a.senders[a.sndUsed]
-		a.sndUsed++
-		return s
+	ci, off := a.sndUsed/agentChunk, a.sndUsed%agentChunk
+	if ci == len(a.sndChunks) {
+		a.sndChunks = append(a.sndChunks, make([]Sender, agentChunk))
 	}
-	s := new(Sender)
-	a.senders = append(a.senders, s)
-	a.sndUsed = len(a.senders)
-	return s
+	a.sndUsed++
+	return &a.sndChunks[ci][off]
 }
 
 func (a *agentArena) receiver() *Receiver {
-	if a.rcvUsed < len(a.recvs) {
-		r := a.recvs[a.rcvUsed]
-		a.rcvUsed++
-		return r
+	ci, off := a.rcvUsed/agentChunk, a.rcvUsed%agentChunk
+	if ci == len(a.rcvChunks) {
+		a.rcvChunks = append(a.rcvChunks, make([]Receiver, agentChunk))
 	}
-	r := new(Receiver)
-	a.recvs = append(a.recvs, r)
-	a.rcvUsed = len(a.recvs)
-	return r
+	a.rcvUsed++
+	return &a.rcvChunks[ci][off]
 }

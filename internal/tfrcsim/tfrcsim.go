@@ -38,6 +38,15 @@ type Config struct {
 	// signals congestion by marking instead of dropping, and the
 	// receiver counts marks as loss events (paper §7).
 	ECN bool
+	// CoarseTimerTick, when positive, runs the connection's feedback and
+	// no-feedback timers on a shared timer wheel with this tick
+	// (seconds): deadlines round up to the next tick and every timer in
+	// a tick costs one scheduler event, so a million flows' feedback
+	// machinery stays a bounded event population instead of a
+	// million-entry queue. Data pacing is unaffected — send timers stay
+	// exact. 0 keeps all timers exact (the default; figure scenarios
+	// depend on exact feedback timing).
+	CoarseTimerTick float64
 }
 
 // DefaultConfig returns the paper's standard configuration.
@@ -94,6 +103,9 @@ func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort
 	s.core.Init(cfg.Sender)
 	s.sendTmr.InitArg(nw.Scheduler(), senderSendFn, s)
 	s.noFbTmr.InitArg(nw.Scheduler(), senderNoFeedbackFn, s)
+	if cfg.CoarseTimerTick > 0 {
+		s.noFbTmr.Coarse(nw.Scheduler().Wheel(cfg.CoarseTimerTick))
+	}
 	if cfg.PacingJitter > 0 {
 		s.jitter = nw.Scheduler().NewRand(cfg.JitterSeed ^ (int64(flow)+1)*0x7f4a7c15)
 	}
@@ -266,6 +278,9 @@ func NewReceiver(nw *netsim.Network, node *netsim.Node, port, flow int, cfg Conf
 		Estimator:  cfg.Estimator,
 	})
 	r.fbTmr.InitArg(nw.Scheduler(), receiverFeedbackFn, r)
+	if cfg.CoarseTimerTick > 0 {
+		r.fbTmr.Coarse(nw.Scheduler().Wheel(cfg.CoarseTimerTick))
+	}
 	node.Attach(port, r)
 	return r
 }

@@ -228,3 +228,27 @@ func TestBurstPairsMode(t *testing.T) {
 		t.Fatalf("burst-pairs sender sent only %d packets", snd.Sent)
 	}
 }
+
+func TestCoarseTimersStillConverge(t *testing.T) {
+	// With feedback/no-feedback timers on a 10 ms wheel the protocol must
+	// still fill a clean pipe: coarse ticks delay feedback by at most one
+	// tick, which the RTT-scaled feedback interval tolerates.
+	cfg := DefaultConfig()
+	cfg.CoarseTimerTick = 0.010
+	sched, _, snd, rcv, lnk := pipeRig(t, 2e6, 0.020, 200, cfg)
+	um := netsim.NewUtilizationMonitor(lnk, 20)
+	snd.Start(0)
+	sched.RunUntil(60)
+	if u := um.Utilization(60); u < 0.80 {
+		t.Fatalf("utilization with coarse timers = %v, want ≥ 0.80", u)
+	}
+	if snd.Feedbacks == 0 || rcv.Reports == 0 {
+		t.Fatalf("feedback loop dead: %d feedbacks, %d reports", snd.Feedbacks, rcv.Reports)
+	}
+	// Both wheel-backed timers share one wheel event; the rest of the
+	// standing population is the pacing timer plus in-flight link
+	// events, all bounded regardless of how many coarse timers exist.
+	if n := sched.Len(); n > 16 {
+		t.Fatalf("scheduler holds %d events at end, want ≤ 16", n)
+	}
+}
