@@ -38,14 +38,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 
 	"tfrc/experiment"
 	"tfrc/internal/bench"
@@ -270,7 +274,44 @@ func run() int {
 		}
 	}
 
+	// Run under a cancellable context: the first SIGINT/SIGTERM skips
+	// the remaining sweep cells and the run winds down with whatever
+	// partial result the finished cells assembled; a second signal kills
+	// the process the default way.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	caught := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		s := <-sigc
+		signal.Stop(sigc)
+		caught <- s
+		cancel()
+	}()
+	experiment.SetContext(ctx)
+	defer experiment.SetContext(nil)
+
 	res, err := experiment.Run(d, p)
+	if errors.Is(err, experiment.ErrInterrupted) {
+		// Emit the partial record as JSON regardless of -format: a
+		// truncated table is useless, but the envelope says exactly
+		// which cells ran. Exit 128+signal, the shell convention.
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		if werr := experiment.WritePartialJSON(os.Stdout, d.Name, p, res); werr != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: encoding partial result: %v\n", werr)
+		}
+		code := 130
+		select {
+		case s := <-caught:
+			if sn, ok := s.(syscall.Signal); ok {
+				code = 128 + int(sn)
+			}
+		default: // cancelled some other way; keep the SIGINT convention
+		}
+		return code
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
 		return 1

@@ -17,9 +17,32 @@
 // tweak fields, or overlay a JSON document on the defaults with
 // json.Unmarshal. Register adds user-defined experiments to the same
 // registry the CLI enumerates.
+//
+// The serialized record has a stable shape:
+//
+//	{"experiment": "fig6", "params": {...}, "result": {...}}
+//
+// with an optional "interrupted": true inserted by WritePartialJSON
+// when a run was cancelled mid-sweep (see SetContext) — the result is
+// then partial, with unreached sweep cells zero-valued, never
+// fabricated.
+//
+// Fault-injection experiments (blackout, flap, chaos) embed
+// FaultSchedule values in their params/results; the schedule itself is
+// JSON all the way down:
+//
+//	{"seed": 7, "reroute": true, "faults": [
+//	  {"at": 25, "link": "rr->rl", "kind": "blackhole"},
+//	  {"at": 40, "link": "rr->rl", "kind": "blackhole-off"}]}
+//
+// Kinds are "down", "up" (field "drain" selects queue-park vs flush),
+// "blackhole", "blackhole-off", "delay" (field "delay", seconds),
+// "bandwidth" (field "bandwidth", bits/sec), and "impair" (fields
+// "reorder", "reorderDelay", "duplicate", "corrupt").
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -81,12 +104,30 @@ func SetParallelism(n int) int { return exp.SetParallelism(n) }
 // Parallelism returns the current sweep worker count.
 func Parallelism() int { return exp.Parallelism() }
 
+// ErrInterrupted reports that the run context installed via SetContext
+// was cancelled mid-experiment. Run's error wraps it; the accompanying
+// Result, when non-nil, is partial (skipped sweep cells hold zero
+// values).
+var ErrInterrupted = exp.ErrInterrupted
+
+// SetContext installs a cancellation context for experiment runs: once
+// ctx is done, remaining sweep cells are skipped, in-flight cells
+// finish, and Run reports ErrInterrupted alongside the partial result.
+// Process-wide, like SetParallelism; nil restores the default
+// never-cancelled behavior.
+func SetContext(ctx context.Context) { exp.SetContext(ctx) }
+
+// Interrupted reports whether the installed run context is cancelled.
+func Interrupted() bool { return exp.Interrupted() }
+
 // Record is the JSON envelope WriteJSON emits: the experiment's name,
-// the exact parameters that ran, and the full result.
+// the exact parameters that ran, and the full result. Interrupted
+// marks a partial record from a cancelled run.
 type Record struct {
-	Experiment string `json:"experiment"`
-	Params     Params `json:"params"`
-	Result     Result `json:"result"`
+	Experiment  string `json:"experiment"`
+	Params      Params `json:"params"`
+	Interrupted bool   `json:"interrupted,omitempty"`
+	Result      Result `json:"result"`
 }
 
 // WriteJSON writes the {experiment, params, result} envelope as
@@ -96,4 +137,13 @@ func WriteJSON(w io.Writer, name string, p Params, r Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Record{Experiment: name, Params: p, Result: r})
+}
+
+// WritePartialJSON writes the envelope of an interrupted run: the same
+// shape as WriteJSON plus "interrupted": true. A nil result (the run
+// died before assembling anything) encodes as result: null.
+func WritePartialJSON(w io.Writer, name string, p Params, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Record{Experiment: name, Params: p, Interrupted: true, Result: r})
 }

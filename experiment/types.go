@@ -1,6 +1,9 @@
 package experiment
 
-import "tfrc/internal/exp"
+import (
+	"tfrc/internal/exp"
+	"tfrc/internal/faults"
+)
 
 // Parameter and result structs of the built-in experiments, aliased so
 // registry users can type-assert Get(...).Params() and Run(...) values
@@ -83,6 +86,29 @@ type (
 	ManyFlowsDecade = exp.ManyFlowsDecade
 	// Path is one emulated Internet path profile (figs 15-17).
 	Path = exp.Path
+	// BlackoutParams/BlackoutResult: graceful degradation through a
+	// total feedback outage.
+	BlackoutParams = exp.BlackoutParams
+	BlackoutResult = exp.BlackoutResult
+	// FlapParams/FlapResult: repeated hard outages of the bottleneck.
+	FlapParams = exp.FlapParams
+	FlapResult = exp.FlapResult
+	FlapPhase  = exp.FlapPhase
+	// ChaosParams/ChaosResult: seeded randomized fault soak; ChaosCell
+	// is one cell's verdict.
+	ChaosParams = exp.ChaosParams
+	ChaosResult = exp.ChaosResult
+	ChaosCell   = exp.ChaosCell
+	// Fault-injection vocabulary (internal/faults): a FaultSchedule is a
+	// JSON-serializable fault program; GracefulSpec/GracefulReport are
+	// the degradation checker's contract; RatePoint is one allowed-rate
+	// sample.
+	Fault          = faults.Fault
+	FaultKind      = faults.Kind
+	FaultSchedule  = faults.Schedule
+	GracefulSpec   = faults.GracefulSpec
+	GracefulReport = faults.GracefulReport
+	RatePoint      = faults.RatePoint
 )
 
 // Paths returns the catalogue of emulated Internet path profiles the

@@ -90,6 +90,53 @@ func TestSenderArbitraryFeedbackInvariant(t *testing.T) {
 	}
 }
 
+// TestSenderInterleavedLifecycleInvariant interleaves feedback carrying
+// extreme values (loss rates of 0 and 1, receive rates from zero to
+// 1e15, microsecond to multi-second RTTs) with no-feedback expiries and
+// idle-period decays in arbitrary order. Whatever the history, the
+// sender must keep its rate in [protocol floor, finite], and both the
+// packet interval and the no-feedback timeout positive and finite —
+// the state machine has no sequence of inputs that wedges it.
+func TestSenderInterleavedLifecycleInvariant(t *testing.T) {
+	ps := []float64{0, 1e-12, 1e-6, 0.5, 1 - 1e-12, 1}
+	xs := []float64{0, 1e-12, 1, 1000, 1e9, 1e15}
+	rtts := []float64{1e-6, 1e-3, 0.1, 1, 10}
+	f := func(ops []uint16) bool {
+		s := NewSender(DefaultSenderConfig())
+		floor := 1000.0 / 64
+		now := 0.0
+		for _, op := range ops {
+			now += float64(op%97) / 10
+			switch op % 6 {
+			case 0, 1, 2: // feedback dominates real traces; weight it 3-in-6
+				s.OnFeedback(Feedback{
+					P:         ps[int(op/6)%len(ps)],
+					XRecv:     xs[int(op/36)%len(xs)],
+					RTTSample: rtts[int(op/216)%len(rtts)],
+				})
+			case 3, 4:
+				s.OnNoFeedback()
+			case 5:
+				s.OnIdle(now)
+			}
+			r := s.Rate()
+			if r < floor-1e-9 || r > 1e18 || math.IsNaN(r) {
+				return false
+			}
+			if iv := s.PacketInterval(); iv <= 0 || math.IsNaN(iv) || math.IsInf(iv, 0) {
+				return false
+			}
+			if to := s.NoFeedbackTimeout(); to <= 0 || math.IsNaN(to) || math.IsInf(to, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestLossHistoryArbitrarySequenceInvariant mixes loss events, seeds, and
 // open-interval updates arbitrarily: the estimate must remain finite,
 // positive once any interval exists, and within the plausible hull.

@@ -122,10 +122,15 @@ func (s *Sender) OnFeedback(fb Feedback) float64 {
 			s.rate = math.Max(s.rate, float64(s.cfg.PacketSize)/s.rtt.SRTT())
 		}
 	}
-	if fb.P <= 0 && s.slowStart {
-		// Rate-based slow start, §3.4.1: double per feedback, but never
-		// beyond twice the rate that actually reached the receiver —
-		// the rate-based analogue of TCP's ACK clock limit.
+	if fb.P <= 0 {
+		// No reported loss: the throughput equation is undefined at
+		// p = 0, so double per feedback instead, never beyond twice the
+		// rate that actually reached the receiver — the rate-based
+		// analogue of TCP's ACK clock limit. During slow start this is
+		// §3.4.1; after it (a loss history that drained back to zero,
+		// or an anomalous report) the same doubling keeps the rate
+		// finite and receiver-clocked instead of evaluating the
+		// equation at its p→0 singularity.
 		next := 2 * s.rate
 		if cap := 2 * fb.XRecv; fb.XRecv > 0 && cap < next {
 			next = cap
@@ -134,9 +139,7 @@ func (s *Sender) OnFeedback(fb Feedback) float64 {
 		s.started = true
 		return s.rate
 	}
-	if fb.P > 0 {
-		s.slowStart = false
-	}
+	s.slowStart = false
 	target := s.cfg.Eq(float64(s.cfg.PacketSize), s.rtt.SRTT(), s.rtt.RTO(), fb.P)
 	if s.cfg.RecvRateCap && fb.XRecv > 0 {
 		target = math.Min(target, 2*fb.XRecv)

@@ -27,6 +27,8 @@ type ScenarioBuilder struct {
 	ports     []int //tfrc:keep next free port per NodeID; recycled int backing
 	micePort  int
 
+	tfrcSenders []*tfrcsim.Sender
+
 	primary      *netsim.FlowMonitor
 	primaryBin   float64
 	primaryStart float64
@@ -76,13 +78,14 @@ func NewScenarioBuilder(t *netsim.Topology) *ScenarioBuilder {
 		clear(ports)
 	}
 	*b = ScenarioBuilder{
-		topo:      t,
-		nw:        nw,
-		ports:     ports,
-		micePort:  5000,
-		tcpFlows:  b.tcpFlows[:0],
-		tfrcFlows: b.tfrcFlows[:0],
-		monitors:  b.monitors[:0],
+		topo:        t,
+		nw:          nw,
+		ports:       ports,
+		micePort:    5000,
+		tcpFlows:    b.tcpFlows[:0],
+		tfrcFlows:   b.tfrcFlows[:0],
+		tfrcSenders: b.tfrcSenders[:0],
+		monitors:    b.monitors[:0],
 	}
 	return b
 }
@@ -127,8 +130,13 @@ func (b *ScenarioBuilder) AddTFRC(src, dst string, cfg tfrcsim.Config, start flo
 	snd, _ := tfrcsim.Pair(b.nw, s, d, dstPort, srcPort, flow, cfg)
 	snd.Start(start)
 	b.tfrcFlows = append(b.tfrcFlows, flow)
+	b.tfrcSenders = append(b.tfrcSenders, snd)
 	return flow
 }
+
+// TFRCSender returns the sender agent of the i-th AddTFRC call, for rate
+// traces (OnRateChange) and robustness counters. Valid until Release.
+func (b *ScenarioBuilder) TFRCSender(i int) *tfrcsim.Sender { return b.tfrcSenders[i] }
 
 // AddOnOff places a Pareto ON/OFF background source from src to dst with
 // its own rng, plus a discarding sink, and returns its flow ID. ON/OFF
@@ -234,6 +242,8 @@ func (b *ScenarioBuilder) Release() {
 	b.qmon = nil
 	clear(b.monitors)
 	b.monitors = b.monitors[:0]
+	clear(b.tfrcSenders)
+	b.tfrcSenders = b.tfrcSenders[:0]
 }
 
 // TCPFlows returns the flow IDs added by AddTCP, in order.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -188,14 +189,37 @@ func editDistance(a, b string) int {
 	return prev[len(b)]
 }
 
+// ErrInterrupted reports that the run context installed via SetContext
+// was cancelled mid-experiment. The accompanying Result, when non-nil,
+// is a partial one: skipped cells hold zero values.
+var ErrInterrupted = errors.New("interrupted")
+
 // RunExperiment validates the parameters and executes the experiment.
 // This is the one entry point the CLI and the public experiment package
-// use, so no experiment can run on unvalidated parameters.
-func RunExperiment(d Descriptor, p Params) (Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("%s: invalid parameters: %w", d.Name, err)
+// use, so no experiment can run on unvalidated parameters. When the
+// installed run context is cancelled mid-run, the error wraps
+// ErrInterrupted and the result carries whatever the experiment could
+// assemble from the cells that finished; a panic while interrupted
+// (aggregation tripping over zero-valued skipped cells) is converted to
+// the same error with a nil result.
+func RunExperiment(d Descriptor, p Params) (res Result, err error) {
+	if verr := p.Validate(); verr != nil {
+		return nil, fmt.Errorf("%s: invalid parameters: %w", d.Name, verr)
 	}
-	return d.Run(p)
+	defer func() {
+		if r := recover(); r != nil {
+			if Interrupted() {
+				res, err = nil, fmt.Errorf("%s: %w", d.Name, ErrInterrupted)
+				return
+			}
+			panic(r)
+		}
+	}()
+	res, err = d.Run(p)
+	if err == nil && Interrupted() {
+		err = fmt.Errorf("%s: %w", d.Name, ErrInterrupted)
+	}
+	return res, err
 }
 
 // runAs adapts a typed run function to the registry's Run signature,

@@ -1,12 +1,37 @@
 package exp
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"tfrc/internal/sim"
 	"tfrc/internal/sweep"
 )
+
+// runCtx is the process-wide cancellation context consulted between
+// sweep cells. nil (the default) means never cancelled.
+var runCtx atomic.Pointer[context.Context]
+
+// SetContext installs a cancellation context for experiment runs: once
+// ctx is done, remaining sweep cells are skipped (their results stay
+// zero values), in-flight cells finish, and RunExperiment reports
+// ErrInterrupted alongside whatever partial result the experiment
+// assembled. Process-wide, like SetParallelism; passing nil restores the
+// default never-cancelled behavior.
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		runCtx.Store(nil)
+		return
+	}
+	runCtx.Store(&ctx)
+}
+
+// Interrupted reports whether the installed run context is cancelled.
+func Interrupted() bool {
+	p := runCtx.Load()
+	return p != nil && (*p).Err() != nil
+}
 
 // parallelism is the worker count used by every grid-shaped figure
 // experiment (atomic so figure runs may be launched from any goroutine).
@@ -33,9 +58,17 @@ func SetParallelism(n int) int {
 func Parallelism() int { return int(parallelism.Load()) }
 
 // runCells executes n independent experiment cells on the configured
-// worker pool, returning results in cell order.
+// worker pool, returning results in cell order. Cells reached after the
+// installed run context is cancelled are skipped and yield zero values,
+// so an interrupted sweep still returns a well-formed partial slice.
 func runCells[T any](n int, fn func(i int) T) []T {
-	return sweep.Map(Parallelism(), n, fn)
+	return sweep.Map(Parallelism(), n, func(i int) T {
+		if Interrupted() {
+			var zero T
+			return zero
+		}
+		return fn(i)
+	})
 }
 
 // Cell is a worker-pinned simulation arena: a pinned scheduler plus the
@@ -93,5 +126,11 @@ func (c *Cell) floats(n int) []float64 {
 // runCells' exactly-once, deterministic-order contract while letting
 // consecutive cells on one worker share an arena.
 func runCellsCtx[T any](n int, fn func(c *Cell, i int) T) []T {
-	return sweep.MapCtx(Parallelism(), n, getCell, putCell, fn)
+	return sweep.MapCtx(Parallelism(), n, getCell, putCell, func(c *Cell, i int) T {
+		if Interrupted() {
+			var zero T
+			return zero
+		}
+		return fn(c, i)
+	})
 }

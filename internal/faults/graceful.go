@@ -1,0 +1,184 @@
+package faults
+
+import "fmt"
+
+// RatePoint is one sample of a sender's allowed rate (bytes/sec), as
+// observed through tfrcsim.Sender.OnRateChange.
+type RatePoint struct {
+	T    float64 `json:"t"`
+	Rate float64 `json:"rate"`
+}
+
+// GracefulSpec describes what graceful TFRC degradation must look like
+// around one total feedback outage: the sender stays live (keeps
+// emitting at its decayed rate), halves down to at most one packet per
+// RTO, never undercuts the protocol floor, and recovers a fraction of
+// its pre-fault throughput within a bounded time of the heal.
+type GracefulSpec struct {
+	// OutageStart/OutageEnd bound the feedback blackout (seconds).
+	OutageStart float64 `json:"outageStart"`
+	// OutageEnd is when feedback heals.
+	OutageEnd float64 `json:"outageEnd"`
+	// PreFrom starts the pre-fault reference window [PreFrom, OutageStart).
+	PreFrom float64 `json:"preFrom"`
+	// PacketSize in bytes converts rates to packet cadences.
+	PacketSize float64 `json:"packetSize"`
+	// DegradeBelow is the rate (bytes/sec) the no-feedback halving must
+	// reach during the outage — canonically PacketSize / RTO, i.e. one
+	// packet per RTO.
+	DegradeBelow float64 `json:"degradeBelow"`
+	// FloorRate (bytes/sec) is the protocol floor — one packet per
+	// t_mbi — the rate must never undercut. 0 skips the check.
+	FloorRate float64 `json:"floorRate,omitempty"`
+	// RecoverFrac of the pre-fault goodput must return after heal
+	// (0 means the canonical 0.9).
+	RecoverFrac float64 `json:"recoverFrac,omitempty"`
+	// RecoverWithin is the post-heal budget in seconds (K RTTs, converted
+	// by the caller).
+	RecoverWithin float64 `json:"recoverWithin"`
+	// RampSlack, when positive, extends the budget by RampSlack ×
+	// PacketSize / DegradedRate seconds. Recovery from a rate decayed to
+	// X is inherently Θ(PacketSize/X): the receiver only reports (and
+	// the sender only doubles) after packets arrive, so the geometric
+	// climb costs ~2·PacketSize/X of wall clock before the RTT-paced
+	// doublings take over. 4 gives that ramp 2× headroom; 0 charges the
+	// whole recovery against RecoverWithin alone.
+	RampSlack float64 `json:"rampSlack,omitempty"`
+}
+
+// GracefulReport is CheckGraceful's verdict, one field per invariant so
+// a failed soak says exactly which property broke.
+type GracefulReport struct {
+	// PreRate is the mean pre-fault goodput (bytes/sec).
+	PreRate float64 `json:"preRate"`
+	// DegradedRate is the minimum allowed rate seen during the outage.
+	DegradedRate float64 `json:"degradedRate"`
+	// MaxSendGap is the longest gap between consecutive sends during the
+	// outage (seconds), with the outage edges counted as virtual sends.
+	MaxSendGap float64 `json:"maxSendGap"`
+	// RecoveredAt is the first post-heal time goodput reached
+	// RecoverFrac × PreRate, or -1 if it never did.
+	RecoveredAt float64 `json:"recoveredAt"`
+	// RecoverBy is the absolute deadline recovery was judged against:
+	// OutageEnd + RecoverWithin + the RampSlack term.
+	RecoverBy float64 `json:"recoverBy"`
+
+	// Live: the sender kept emitting throughout the outage — no send gap
+	// beyond 3× the spacing the rate in effect at that moment allowed.
+	Live bool `json:"live"`
+	// Degraded: the rate halved down to DegradeBelow during the outage.
+	Degraded bool `json:"degraded"`
+	// FloorKept: the rate never undercut FloorRate.
+	FloorKept bool `json:"floorKept"`
+	// Recovered: goodput returned within the budget.
+	Recovered bool `json:"recovered"`
+	// OK is the conjunction of the four invariants.
+	OK bool `json:"ok"`
+}
+
+func (r GracefulReport) String() string {
+	return fmt.Sprintf("live=%v degraded=%v floor=%v recovered=%v (pre %.0f B/s, degraded to %.1f B/s, max gap %.2fs, recovered at %.1fs, deadline %.1fs)",
+		r.Live, r.Degraded, r.FloorKept, r.Recovered, r.PreRate, r.DegradedRate, r.MaxSendGap, r.RecoveredAt, r.RecoverBy)
+}
+
+// CheckGraceful evaluates the graceful-degradation invariants against
+// one run's observations: sends are the probe flow's data-packet send
+// times, rates its allowed-rate trace, and bins its delivered bytes per
+// binWidth seconds (bin i covering [i*binWidth, (i+1)*binWidth)).
+func CheckGraceful(spec GracefulSpec, sends []float64, rates []RatePoint, bins []float64, binWidth float64) GracefulReport {
+	rep := GracefulReport{RecoveredAt: -1}
+
+	// Pre-fault goodput over [PreFrom, OutageStart).
+	lo, hi := int(spec.PreFrom/binWidth), int(spec.OutageStart/binWidth)
+	if hi > len(bins) {
+		hi = len(bins)
+	}
+	var preBytes float64
+	for i := lo; i < hi; i++ {
+		preBytes += bins[i]
+	}
+	if hi > lo {
+		rep.PreRate = preBytes / (float64(hi-lo) * binWidth)
+	}
+
+	// Minimum allowed rate during the outage. The rate entering the
+	// outage is the last change before it.
+	min := 0.0
+	for _, rp := range rates {
+		if rp.T >= spec.OutageEnd {
+			break
+		}
+		if rp.T < spec.OutageStart {
+			min = rp.Rate
+			continue
+		}
+		if min == 0 || rp.Rate < min {
+			min = rp.Rate
+		}
+	}
+	rep.DegradedRate = min
+	rep.Degraded = min > 0 && min <= spec.DegradeBelow
+	rep.FloorKept = spec.FloorRate <= 0 || min >= spec.FloorRate*(1-1e-9)
+
+	// Liveness: every send gap inside the outage stays within 3× the
+	// spacing the rate in effect allows (one pacing interval, doubled by
+	// a halving that lands mid-gap, plus timer-quantization slack) — the
+	// sender keeps emitting at its decayed cadence instead of going
+	// silent. A single bound from the minimum rate would go vacuous on
+	// long outages; judging each gap against the rate at its end keeps
+	// the check tight early in the outage, when the rate is still high.
+	// Outage edges count as virtual sends.
+	rep.Live = min > 0 && spec.PacketSize > 0
+	ri, rate := 0, 0.0
+	rateAt := func(t float64) float64 {
+		for ri < len(rates) && rates[ri].T <= t {
+			rate = rates[ri].Rate
+			ri++
+		}
+		return rate
+	}
+	prev := spec.OutageStart
+	gap := func(end float64) {
+		g := end - prev
+		if g > rep.MaxSendGap {
+			rep.MaxSendGap = g
+		}
+		if r := rateAt(end); r > 0 && spec.PacketSize > 0 && g > 3*spec.PacketSize/r {
+			rep.Live = false
+		}
+	}
+	for _, t := range sends {
+		if t < spec.OutageStart {
+			continue
+		}
+		if t >= spec.OutageEnd {
+			break
+		}
+		gap(t)
+		prev = t
+	}
+	gap(spec.OutageEnd)
+
+	// Bounded recovery: first bin fully after heal whose goodput reaches
+	// RecoverFrac × PreRate, within RecoverWithin seconds.
+	frac := spec.RecoverFrac
+	if frac == 0 {
+		frac = 0.9
+	}
+	target := frac * rep.PreRate
+	first := int(spec.OutageEnd/binWidth) + 1
+	for i := first; i < len(bins); i++ {
+		t := float64(i) * binWidth
+		if bins[i]/binWidth >= target {
+			rep.RecoveredAt = t
+			break
+		}
+	}
+	rep.RecoverBy = spec.OutageEnd + spec.RecoverWithin
+	if spec.RampSlack > 0 && min > 0 && spec.PacketSize > 0 {
+		rep.RecoverBy += spec.RampSlack * spec.PacketSize / min
+	}
+	rep.Recovered = rep.RecoveredAt >= 0 && rep.RecoveredAt <= rep.RecoverBy
+	rep.OK = rep.Live && rep.Degraded && rep.FloorKept && rep.Recovered
+	return rep
+}

@@ -1,5 +1,7 @@
 package netsim
 
+import "tfrc/internal/sim"
+
 // TapEvent tells a link tap what happened to a packet at that link.
 type TapEvent uint8
 
@@ -34,6 +36,55 @@ type Link struct {
 	freeAt  float64 // when the transmitter is next idle
 	drainOn bool    // a drain/txDone event is pending
 	taps    []Tap
+
+	// imp is the link's fault state (outage, blackhole, probabilistic
+	// impairments), allocated only when a fault first touches the link:
+	// an unfaulted link pays one nil check per packet and nothing else.
+	// Once allocated it stays for the link's lifetime — a healed link
+	// keeps an inert block — and is cleared by allocLink/Release.
+	imp *linkImpair
+}
+
+// linkImpair holds a link's fault-injection state. All fields zero means
+// the block is inert and packets flow as if it did not exist.
+type linkImpair struct {
+	down      bool
+	hold      bool // down with DownHold: the queue absorbs instead of dropping
+	blackhole bool
+
+	reorder      float64 // P(hold a packet for reorderDelay)
+	reorderDelay float64 // seconds
+	duplicate    float64 // P(offer a packet twice)
+	corrupt      float64 // P(drop a packet as damaged)
+	rng          *sim.Rand
+}
+
+// DownMode selects what happens to a link's queue while it is down.
+type DownMode uint8
+
+const (
+	// DownDrop flushes the queue on failure and drops packets arriving
+	// while the link is down — an outage that loses traffic.
+	DownDrop DownMode = iota
+	// DownHold keeps the queued backlog and keeps absorbing arrivals (up
+	// to the queue limit) while down; everything serializes when the link
+	// comes back up — an outage that pauses traffic.
+	DownHold
+)
+
+// Impairments are probabilistic per-packet fault processes on one link.
+type Impairments struct {
+	// Reorder is the probability a packet is held for ReorderDelay
+	// before being offered to the transmitter, letting later packets
+	// overtake it.
+	Reorder float64
+	// ReorderDelay is the hold time in seconds for reordered packets.
+	ReorderDelay float64
+	// Duplicate is the probability a packet is offered twice.
+	Duplicate float64
+	// Corrupt is the probability a packet is dropped as damaged
+	// (surfaced to taps as TapArrive followed by TapDrop).
+	Corrupt float64
 }
 
 // Per-hop scheduler callbacks are shared package-level functions — the
@@ -104,6 +155,9 @@ func (l *Link) emit(ev TapEvent, p *Packet) {
 //tfrc:hotpath
 func (l *Link) Send(p *Packet) {
 	p.link = l
+	if l.imp != nil && !l.impOffer(p) {
+		return
+	}
 	l.emit(TapArrive, p)
 	now := l.net.sched.Now()
 	if now >= l.freeAt && !l.drainOn {
@@ -151,6 +205,11 @@ func (l *Link) txDone(p *Packet) {
 //tfrc:hotpath
 func (l *Link) drain() {
 	l.drainOn = false
+	if l.imp != nil && l.imp.down {
+		// The transmitter fell idle on a dead link: the backlog (if held)
+		// waits for SetUp, which re-arms the drain.
+		return
+	}
 	next := l.queue.Dequeue()
 	if next == nil {
 		return
@@ -171,4 +230,131 @@ func (l *Link) drain() {
 	}
 	l.drainOn = true
 	l.net.sched.AtArg(l.freeAt, pktTxDoneFn, next)
+}
+
+// pktReofferFn re-offers a reorder-held packet to its link. It runs only
+// while impairments are configured, so it stays off the common path.
+func pktReofferFn(x any) { p := x.(*Packet); p.link.Send(p) }
+
+// impOffer runs the link's fault pipeline on an offered packet. It
+// reports whether the packet should continue to the transmitter; when it
+// returns false the packet has been consumed (dropped, held for a later
+// re-offer, or enqueued on a down link). Send calls it only when a fault
+// has touched the link, so none of this weight lands on clean links.
+func (l *Link) impOffer(p *Packet) bool {
+	im := l.imp
+	held := p.impHeld
+	p.impHeld = false
+	if im.blackhole || (im.down && !im.hold) {
+		l.emit(TapArrive, p)
+		l.emit(TapDrop, p)
+		l.net.pool.Put(p)
+		return false
+	}
+	if im.down {
+		// DownHold: bypass the dead transmitter, let the queue absorb the
+		// packet; SetUp re-arms the drain.
+		l.emit(TapArrive, p)
+		if !l.queue.Enqueue(p) {
+			l.emit(TapDrop, p)
+			l.net.pool.Put(p)
+		}
+		return false
+	}
+	if held {
+		// A reordered packet (or a duplicate copy) re-offered: it already
+		// took its dice rolls, so it goes straight to the transmitter.
+		return true
+	}
+	if im.corrupt > 0 && im.rng.Float64() < im.corrupt {
+		l.emit(TapArrive, p)
+		l.emit(TapDrop, p)
+		l.net.pool.Put(p)
+		return false
+	}
+	if im.duplicate > 0 && im.rng.Float64() < im.duplicate {
+		c := l.net.pool.Get()
+		*c = *p
+		c.impHeld = true // one extra copy, not a geometric cascade
+		l.Send(c)
+	}
+	if im.reorder > 0 && im.rng.Float64() < im.reorder {
+		p.impHeld = true
+		l.net.sched.AtArg(l.net.sched.Now()+im.reorderDelay, pktReofferFn, p)
+		return false
+	}
+	return true
+}
+
+func (l *Link) ensureImp() *linkImpair {
+	if l.imp == nil {
+		l.imp = &linkImpair{}
+	}
+	return l.imp
+}
+
+// SetDown takes the link down at the current simulated time. A packet
+// already serializing finishes — it is conceptually past the failure
+// point — but nothing new starts. With DownDrop the queued backlog is
+// dropped immediately and later arrivals drop on arrival; with DownHold
+// both are held for the next SetUp. Routing keeps pointing at the link
+// either way until Network.RecomputeRoutes reconverges around it.
+func (l *Link) SetDown(mode DownMode) {
+	im := l.ensureImp()
+	im.down = true
+	im.hold = mode == DownHold
+	if mode == DownDrop {
+		for p := l.queue.Dequeue(); p != nil; p = l.queue.Dequeue() {
+			l.emit(TapDrop, p)
+			l.net.pool.Put(p)
+		}
+	}
+}
+
+// SetUp brings a downed link back up; a held backlog resumes serializing
+// immediately. SetUp on a link that is not down is a no-op.
+func (l *Link) SetUp() {
+	im := l.imp
+	if im == nil || !im.down {
+		return
+	}
+	im.down, im.hold = false, false
+	if l.queue.Len() > 0 && !l.drainOn {
+		at := l.net.sched.Now()
+		if l.freeAt > at {
+			at = l.freeAt
+		}
+		l.drainOn = true
+		l.net.sched.AtArg(at, linkDrainFn, l)
+	}
+}
+
+// IsDown reports whether the link is currently down.
+func (l *Link) IsDown() bool { return l.imp != nil && l.imp.down }
+
+// SetBlackhole makes the link silently eat every offered packet while
+// on — the failure mode where a path dies without any routing signal,
+// e.g. a one-direction feedback blackout. Unlike SetDown it never holds
+// a backlog and is invisible to RecomputeRoutes.
+func (l *Link) SetBlackhole(on bool) { l.ensureImp().blackhole = on }
+
+// SetImpairments configures probabilistic reordering, duplication, and
+// corruption on the link. rng must be a deterministic scheduler-owned
+// source (Scheduler.NewRand) when any probability is positive; the
+// all-zero Impairments value clears them.
+func (l *Link) SetImpairments(cfg Impairments, rng *sim.Rand) {
+	if cfg.Reorder < 0 || cfg.Reorder > 1 || cfg.Duplicate < 0 || cfg.Duplicate > 1 ||
+		cfg.Corrupt < 0 || cfg.Corrupt > 1 {
+		panic("netsim: impairment probabilities must be in [0, 1]")
+	}
+	if cfg.ReorderDelay < 0 {
+		panic("netsim: reorder delay must be non-negative")
+	}
+	if (cfg.Reorder > 0 || cfg.Duplicate > 0 || cfg.Corrupt > 0) && rng == nil {
+		panic("netsim: impairments need a deterministic rng")
+	}
+	im := l.ensureImp()
+	im.reorder, im.reorderDelay = cfg.Reorder, cfg.ReorderDelay
+	im.duplicate, im.corrupt = cfg.Duplicate, cfg.Corrupt
+	im.rng = rng
 }

@@ -171,6 +171,13 @@ func (n *Node) forward(p *Packet) {
 		panic(fmt.Sprintf("netsim: packet flow=%d exceeded %d hops (routing loop?)", p.Flow, maxHops))
 	}
 	if int(p.Dst) >= len(n.route) || n.route[p.Dst] == nil {
+		if n.net.partitioned {
+			// RecomputeRoutes left this destination unreachable: drop at
+			// the forwarding node, as a router with no FIB entry would.
+			n.net.routeDrops++
+			n.net.pool.Put(p)
+			return
+		}
 		panic(fmt.Sprintf("netsim: node %d has no route to %d", n.ID, p.Dst))
 	}
 	n.route[p.Dst].Send(p)
@@ -225,6 +232,12 @@ type Network struct {
 
 	visited []bool   //tfrc:keep BuildRoutes scratch, value-only backing
 	bfsQ    []bfsHop //tfrc:keep BuildRoutes scratch; truncated after every build
+
+	// partitioned records that the last RecomputeRoutes left some
+	// destination without a next hop; forward then drops instead of
+	// panicking. routeDrops counts packets lost that way.
+	partitioned bool
+	routeDrops  int64
 }
 
 // New returns an empty network driven by the given scheduler. Its
@@ -243,6 +256,8 @@ func New(sched *sim.Scheduler) *Network {
 	nw.redUsed = 0
 	nw.ringBlock = 0
 	nw.ringOff = 0
+	nw.partitioned = false
+	nw.routeDrops = 0
 	nw.pool.reset()
 	if nw.nowFn == nil {
 		nw.nowFn = func() float64 { return nw.sched.Now() }
@@ -272,6 +287,7 @@ func (nw *Network) Release() {
 		clear(l.taps[:cap(l.taps)])
 		l.taps = l.taps[:0]
 		l.queue = nil
+		l.imp = nil
 	}
 	clear(nw.routeSlab)
 }
@@ -421,6 +437,25 @@ func (nw *Network) connectAsymQueues(a, b *Node, abBW, abDelay float64, abQueue 
 // Release/New cycles), so recomputing routes costs no per-source
 // allocations.
 func (nw *Network) BuildRoutes() {
+	nw.buildRoutes(false)
+}
+
+// RecomputeRoutes rebuilds every next-hop table against the current link
+// states, routing around links taken down with Link.SetDown — the
+// simulator's stand-in for routing reconvergence after a failure.
+// Destinations left unreachable get no next hop; packets addressed to
+// them are dropped at the forwarding node (counted by RouteDrops)
+// instead of panicking. The BFS scratch of BuildRoutes is reused, so
+// periodic recomputation allocates nothing.
+func (nw *Network) RecomputeRoutes() {
+	nw.buildRoutes(true)
+}
+
+// RouteDrops returns how many packets were dropped for lack of a route
+// while the network was partitioned by failed links.
+func (nw *Network) RouteDrops() int64 { return nw.routeDrops }
+
+func (nw *Network) buildRoutes(tolerateDown bool) {
 	n := len(nw.nodes)
 	if cap(nw.routeSlab) < n*n {
 		nw.routeSlab = make([]*Link, n*n)
@@ -430,6 +465,7 @@ func (nw *Network) BuildRoutes() {
 	if cap(nw.visited) < n {
 		nw.visited = make([]bool, n)
 	}
+	nw.partitioned = false
 	for _, src := range nw.nodes {
 		src.route = slab[int(src.ID)*n : (int(src.ID)+1)*n]
 		// BFS from src recording the first hop toward each destination.
@@ -442,6 +478,9 @@ func (nw *Network) BuildRoutes() {
 		visited[src.ID] = true
 		queue := nw.bfsQ[:0]
 		for _, ad := range src.links {
+			if ad.l.IsDown() {
+				continue
+			}
 			visited[ad.to] = true
 			src.route[ad.to] = ad.l
 			queue = append(queue, bfsHop{nw.nodes[ad.to], ad.l})
@@ -449,7 +488,7 @@ func (nw *Network) BuildRoutes() {
 		for qi := 0; qi < len(queue); qi++ {
 			h := queue[qi]
 			for _, ad := range h.node.links {
-				if !visited[ad.to] {
+				if !visited[ad.to] && !ad.l.IsDown() {
 					visited[ad.to] = true
 					src.route[ad.to] = h.first
 					queue = append(queue, bfsHop{nw.nodes[ad.to], h.first})
@@ -459,6 +498,10 @@ func (nw *Network) BuildRoutes() {
 		nw.bfsQ = queue[:0]
 		for id, ok := range visited {
 			if !ok {
+				if tolerateDown {
+					nw.partitioned = true
+					continue
+				}
 				panic(fmt.Sprintf("netsim: node %d unreachable from node %d", id, src.ID))
 			}
 		}

@@ -91,6 +91,7 @@ type Packet struct {
 	link      *Link    // link currently carrying the packet (set by Link.Send)
 	net       *Network // owning network (set by Network.NewPacket)
 	deliverAt float64  // delivery time, fixed when serialization starts
+	impHeld   bool     // already rolled its impairment dice at this link
 }
 
 // SendFn is a shared scheduler callback that injects the packet at its

@@ -19,7 +19,18 @@ type PipeConfig struct {
 	Queue int
 	// Loss is an independent per-packet drop probability.
 	Loss float64
-	// Seed drives the loss coin flips.
+	// Duplicate is an independent per-packet duplication probability:
+	// the datagram serializes twice back to back.
+	Duplicate float64
+	// Reorder is the probability a packet is held an extra ReorderDelay
+	// after serialization, letting later packets overtake it.
+	Reorder float64
+	// ReorderDelay is the hold applied to reordered packets.
+	ReorderDelay time.Duration
+	// Down simulates a total outage: every packet is dropped (counted in
+	// Drops) until the direction comes back up.
+	Down bool
+	// Seed drives the loss/duplicate/reorder coin flips.
 	Seed int64
 }
 
@@ -48,16 +59,26 @@ const (
 )
 
 // PathEvent is one step of a path's impairment schedule: at wall-clock
-// offset At from NewPath, the selected direction's bandwidth and/or loss
-// change. A zero Bandwidth leaves the rate unchanged; Loss applies only
-// when SetLoss is true, so a loss of exactly 0 (healing a lossy episode)
-// is schedulable while bandwidth-only events leave loss alone.
+// offset At from NewPath, the selected direction's knobs change. A zero
+// Bandwidth leaves the rate unchanged; every other knob applies only
+// when its Set flag is true, so an exact zero (healing an episode) is
+// schedulable while unrelated events leave the knob alone. The faults
+// package compiles simulator fault schedules into these events, so the
+// emulator and the simulator share one fault vocabulary.
 type PathEvent struct {
-	At        time.Duration
-	Dir       Direction
-	Bandwidth float64 // bits/sec; 0 → unchanged
-	SetLoss   bool    // apply Loss below
-	Loss      float64 // probability; ignored unless SetLoss
+	At           time.Duration
+	Dir          Direction
+	Bandwidth    float64 // bits/sec; 0 → unchanged
+	SetLoss      bool    // apply Loss below
+	Loss         float64 // probability; ignored unless SetLoss
+	SetDelay     bool    // apply Delay below
+	Delay        time.Duration
+	SetDown      bool // apply Down below
+	Down         bool // total outage on / off
+	SetImpair    bool // apply Duplicate/Reorder/ReorderDelay below
+	Duplicate    float64
+	Reorder      float64
+	ReorderDelay time.Duration
 }
 
 // PathSpec declares a full emulated path: per-direction pipe configs
@@ -92,6 +113,16 @@ func NewPath(spec PathSpec) (a, b *EmuConn, stop func()) {
 			}
 			if ev.SetLoss {
 				conn.SetLoss(ev.Loss)
+			}
+			if ev.SetDelay {
+				conn.SetDelay(ev.Delay)
+			}
+			if ev.SetDown {
+				conn.SetDown(ev.Down)
+			}
+			if ev.SetImpair {
+				conn.SetDuplicate(ev.Duplicate)
+				conn.SetReorder(ev.Reorder, ev.ReorderDelay)
 			}
 		}))
 	}
@@ -166,36 +197,67 @@ func newPipeDir(cfg PipeConfig, dst *EmuConn) *pipeDir {
 func (d *pipeDir) send(p []byte) {
 	d.mu.Lock()
 	now := time.Now()
+	if d.cfg.Down {
+		d.Drops++
+		d.mu.Unlock()
+		return
+	}
 	if d.cfg.Loss > 0 && d.rng.Float64() < d.cfg.Loss {
 		d.Drops++
 		d.mu.Unlock()
 		return
 	}
+	copies := 1
+	if d.cfg.Duplicate > 0 && d.rng.Float64() < d.cfg.Duplicate {
+		copies = 2
+	}
+	var hold time.Duration
+	if d.cfg.Reorder > 0 && d.rng.Float64() < d.cfg.Reorder {
+		hold = d.cfg.ReorderDelay
+	}
+	var departs [2]time.Time
+	sent := 0
+	for i := 0; i < copies; i++ {
+		depart, ok := d.transmitLocked(len(p), now)
+		if !ok {
+			d.Drops++
+			continue
+		}
+		departs[sent] = depart
+		sent++
+	}
+	delay := d.cfg.Delay
+	d.mu.Unlock()
+
+	for i := 0; i < sent; i++ {
+		fr := newFrame(p)
+		deliverAt := departs[i].Add(delay + hold)
+		time.AfterFunc(time.Until(deliverAt), func() { d.dst.deliver(fr) })
+	}
+}
+
+// transmitLocked serializes one copy of an n-byte datagram through the
+// virtual transmitter and returns its departure time, or false when the
+// bounded queue overflows. Caller holds d.mu.
+func (d *pipeDir) transmitLocked(n int, now time.Time) (time.Time, bool) {
 	start := now
 	if d.free.After(now) {
 		start = d.free
 	}
 	var txTime time.Duration
 	if d.cfg.Bandwidth > 0 {
-		txTime = time.Duration(float64(len(p)) * 8 / d.cfg.Bandwidth * float64(time.Second))
-	}
-	depart := start.Add(txTime)
-	// Queue-depth check expressed in time: if the backlog ahead exceeds
-	// Queue packets' worth of serialization, the buffer is full.
-	if d.cfg.Bandwidth > 0 {
+		txTime = time.Duration(float64(n) * 8 / d.cfg.Bandwidth * float64(time.Second))
+		// Queue-depth check expressed in time: if the backlog ahead
+		// exceeds Queue packets' worth of serialization, the buffer is
+		// full.
 		maxBacklog := time.Duration(float64(d.cfg.Queue) * 12000 / d.cfg.Bandwidth * float64(time.Second))
 		if start.Sub(now) > maxBacklog {
-			d.Drops++
-			d.mu.Unlock()
-			return
+			return time.Time{}, false
 		}
 	}
+	depart := start.Add(txTime)
 	d.free = depart
-	d.mu.Unlock()
-
-	fr := newFrame(p)
-	deliverAt := depart.Add(d.cfg.Delay)
-	time.AfterFunc(time.Until(deliverAt), func() { d.dst.deliver(fr) })
+	return depart, true
 }
 
 // EmuAddr is the synthetic address of an emulated endpoint.
@@ -254,6 +316,39 @@ func (c *EmuConn) SetLoss(p float64) {
 func (c *EmuConn) SetBandwidth(bps float64) {
 	c.out.mu.Lock()
 	c.out.cfg.Bandwidth = bps
+	c.out.mu.Unlock()
+}
+
+// SetDelay changes the outbound propagation delay at runtime. Packets
+// already in flight keep their old arrival times.
+func (c *EmuConn) SetDelay(d time.Duration) {
+	c.out.mu.Lock()
+	c.out.cfg.Delay = d
+	c.out.mu.Unlock()
+}
+
+// SetDown turns a total outbound outage on or off: while down every
+// datagram is dropped (counted in Drops) — the wire analogue of the
+// simulator's link blackhole/outage faults.
+func (c *EmuConn) SetDown(down bool) {
+	c.out.mu.Lock()
+	c.out.cfg.Down = down
+	c.out.mu.Unlock()
+}
+
+// SetDuplicate changes the outbound per-packet duplication probability.
+func (c *EmuConn) SetDuplicate(p float64) {
+	c.out.mu.Lock()
+	c.out.cfg.Duplicate = p
+	c.out.mu.Unlock()
+}
+
+// SetReorder changes the outbound reordering process: packets are held
+// an extra delay with probability p.
+func (c *EmuConn) SetReorder(p float64, delay time.Duration) {
+	c.out.mu.Lock()
+	c.out.cfg.Reorder = p
+	c.out.cfg.ReorderDelay = delay
 	c.out.mu.Unlock()
 }
 

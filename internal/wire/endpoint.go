@@ -65,6 +65,7 @@ type Sender struct {
 
 	done chan struct{}
 	kick chan struct{} // recvLoop → sendLoop: the allowed rate rose
+	fb   chan struct{} // recvLoop → sendLoop: feedback arrived, re-arm the no-feedback timer
 	wg   sync.WaitGroup
 	once sync.Once
 }
@@ -85,6 +86,7 @@ func NewSender(conn net.PacketConn, dst net.Addr, src Source, cfg Config) *Sende
 		start: time.Now(),
 		done:  make(chan struct{}),
 		kick:  make(chan struct{}, 1),
+		fb:    make(chan struct{}, 1),
 	}
 }
 
@@ -155,6 +157,14 @@ func (s *Sender) sendLoop() {
 			} else {
 				timer.Reset(0)
 			}
+		case <-s.fb:
+			// Feedback arrived: re-arm the no-feedback timer. Without
+			// this the timer keeps its boot value and fires — cutting a
+			// perfectly healthy flow — the moment the stream outlives it.
+			s.mu.Lock()
+			d := time.Duration(s.core.NoFeedbackTimeout() * float64(time.Second))
+			s.mu.Unlock()
+			noFb.Reset(d)
 		case <-noFb.C:
 			s.mu.Lock()
 			s.core.OnNoFeedback()
@@ -221,6 +231,10 @@ func (s *Sender) recvLoop() {
 		})
 		rose := s.core.Rate() > before
 		s.mu.Unlock()
+		select {
+		case s.fb <- struct{}{}:
+		default:
+		}
 		if rose {
 			select {
 			case s.kick <- struct{}{}:
