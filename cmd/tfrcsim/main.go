@@ -13,6 +13,21 @@
 //	tfrcsim run parkinglot -seeds 3   # 3 seeds per cell, mean ± 90% CI
 //	tfrcsim list                      # enumerate the registry
 //
+// Grid-shaped experiments also run distributed: "shard run" computes a
+// slice of the cell grid into a shard envelope (with crash-safe
+// checkpoint/resume), "shard exec" supervises a local fan-out with
+// automatic restart of crashed or hung shards, and "merge" reassembles
+// envelopes into the exact single-machine result:
+//
+//	tfrcsim shard run fig6 -shard 0/3 -checkpoint s0.ckpt -resume -o s0.json
+//	tfrcsim shard exec fig6 -n 3 -format json
+//	tfrcsim merge s0.json s1.json s2.json -format json
+//
+// Merged output is byte-identical to "run -format json" at any shard
+// count and any crash/retry history. A sweep that permanently lost
+// shards still produces a well-formed partial envelope (complete:
+// false, missing ranges enumerated) and exits with code 3.
+//
 // The historical flag spellings keep working: -fig 6 is run fig6,
 // -exp parkinglot is run parkinglot, -paper is -preset paper, and
 // -list is list. Experiment names resolve through registry aliases, so
@@ -98,6 +113,10 @@ func run() int {
 			runName, args = args[1], args[2:]
 		case "list":
 			listCmd, args = true, args[1:]
+		case "shard":
+			return shardCmd(args[1:])
+		case "merge":
+			return mergeCmd(args[1:])
 		default:
 			runName, args = args[0], args[1:]
 		}

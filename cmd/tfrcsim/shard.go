@@ -1,0 +1,368 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"tfrc/experiment"
+	"tfrc/internal/shard"
+)
+
+// Exit codes shared by the distributed-sweep commands: 0 success,
+// 1 runtime failure, 2 usage error, 3 degraded success (a well-formed
+// partial envelope was produced but cells are permanently missing).
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitPartial = 3
+)
+
+// shardCmd dispatches "tfrcsim shard run" and "tfrcsim shard exec".
+func shardCmd(args []string) int {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(os.Stderr, "tfrcsim: shard needs a subcommand: run | exec")
+		return exitUsage
+	}
+	switch args[0] {
+	case "run":
+		return shardRunCmd(args[1:])
+	case "exec":
+		return shardExecCmd(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "tfrcsim: unknown shard subcommand %q (want run or exec)\n", args[0])
+		return exitUsage
+	}
+}
+
+// shardRunCmd computes one shard's slice of a grid experiment and
+// writes its envelope: tfrcsim shard run fig6 -shard 1/4 -o s1.json.
+func shardRunCmd(args []string) int {
+	fs := flag.NewFlagSet("shard run", flag.ContinueOnError)
+	shardSpec := fs.String("shard", "0/1", "this shard's slice as i/n: shard i of n total")
+	cells := fs.String("cells", "", "explicit cell range lo:hi overriding -shard")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file for crash-safe progress")
+	resume := fs.Bool("resume", false, "resume finished cells from -checkpoint instead of recomputing")
+	flush := fs.Int("flush", 0, "cells per checkpoint flush (0 = every cell)")
+	out := fs.String("o", "", "envelope output file (default stdout)")
+	preset := fs.String("preset", "", "named parameter preset (\"default\", \"paper\")")
+	paramsFile := fs.String("params", "", "JSON parameter file overlaid on the preset's defaults")
+	seed := fs.Int64("seed", 1, "random seed")
+	seeds := fs.Int("seeds", 1, "seeds per cell for experiments supporting multi-seed replication")
+	parallel := fs.Int("parallel", 0, "worker count for this shard's cells (0 = all CPUs)")
+
+	name, ok := popExperimentName(fs, "shard run", args)
+	if !ok {
+		return exitUsage
+	}
+	d, p, code := resolveExperiment(fs, name, *preset, *paramsFile, seed, seeds)
+	if code != exitOK {
+		return code
+	}
+	if *parallel > 0 {
+		experiment.SetParallelism(*parallel)
+	}
+
+	sp := shard.ShardParams{Checkpoint: *checkpoint, Resume: *resume, FlushEvery: *flush}
+	if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &sp.Index, &sp.Count); err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: -shard %q is not i/n (e.g. 0/4)\n", *shardSpec)
+		return exitUsage
+	}
+	var rng *experiment.CellRange
+	if *cells != "" {
+		var r experiment.CellRange
+		if _, err := fmt.Sscanf(*cells, "%d:%d", &r.Lo, &r.Hi); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: -cells %q is not lo:hi (e.g. 0:18)\n", *cells)
+			return exitUsage
+		}
+		rng = &r
+	}
+
+	env, err := shard.Run(shard.RunSpec{Desc: d, Params: p, Shard: sp, Range: rng})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return exitRuntime
+	}
+	return writeEnvelope(*out, env)
+}
+
+// shardExecCmd supervises a local fan-out: it splits the grid across n
+// subprocesses (re-invocations of this binary running "shard run"),
+// restarts crashed or hung shards, and merges the envelopes. Lost
+// shards degrade the output to a partial envelope and exit code 3.
+func shardExecCmd(args []string) int {
+	fs := flag.NewFlagSet("shard exec", flag.ContinueOnError)
+	n := fs.Int("n", 2, "number of shard subprocesses")
+	dir := fs.String("dir", "", "working directory for checkpoints and envelopes (default: temp dir)")
+	format := fs.String("format", "table", "output format for the reduced result: table | json")
+	out := fs.String("o", "", "write the merged envelope to this file as well")
+	flush := fs.Int("flush", 0, "cells per checkpoint flush in each shard (0 = every cell)")
+	timeout := fs.Duration("shard-timeout", 0, "kill and retry a shard attempt running longer than this (0 = no timeout)")
+	retries := fs.Int("retries", 3, "per-shard attempt budget, first run included")
+	backoff := fs.Duration("backoff", 250*time.Millisecond, "base delay between shard retries (doubles per attempt)")
+	backoffCap := fs.Duration("backoff-cap", 5*time.Second, "upper bound on the retry delay")
+	jitterSeed := fs.Int64("jitter-seed", 1, "seed for the deterministic retry jitter")
+	preset := fs.String("preset", "", "named parameter preset (\"default\", \"paper\")")
+	paramsFile := fs.String("params", "", "JSON parameter file overlaid on the preset's defaults")
+	seed := fs.Int64("seed", 1, "random seed")
+	seeds := fs.Int("seeds", 1, "seeds per cell for experiments supporting multi-seed replication")
+	parallel := fs.Int("parallel", 0, "worker count inside each shard (0 = all CPUs)")
+
+	name, ok := popExperimentName(fs, "shard exec", args)
+	if !ok {
+		return exitUsage
+	}
+	d, p, code := resolveExperiment(fs, name, *preset, *paramsFile, seed, seeds)
+	if code != exitOK {
+		return code
+	}
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "tfrcsim: unknown -format %q (want table or json)\n", *format)
+		return exitUsage
+	}
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "tfrcsim-shard-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return exitRuntime
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	} else if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return exitRuntime
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: locating own binary: %v\n", err)
+		return exitRuntime
+	}
+
+	merged, err := shard.Exec(shard.ExecConfig{
+		Desc:         d,
+		Params:       p,
+		Shards:       *n,
+		Dir:          *dir,
+		FlushEvery:   *flush,
+		ShardTimeout: *timeout,
+		MaxAttempts:  *retries,
+		BackoffBase:  *backoff,
+		BackoffCap:   *backoffCap,
+		JitterSeed:   *jitterSeed,
+		Command: func(ctx context.Context, c shard.Child) *exec.Cmd {
+			args := []string{"shard", "run", c.Experiment,
+				"-shard", fmt.Sprintf("%d/%d", c.Shard, c.Count),
+				"-params", c.ParamsFile,
+				"-checkpoint", c.Checkpoint,
+				"-resume",
+				"-flush", strconv.Itoa(c.FlushEvery),
+				"-o", c.Out,
+			}
+			if *parallel > 0 {
+				args = append(args, "-parallel", strconv.Itoa(*parallel))
+			}
+			cmd := exec.CommandContext(ctx, self, args...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+		Log: os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return exitRuntime
+	}
+	if *out != "" {
+		if err := shard.WriteEnvelopeFile(*out, merged); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return exitRuntime
+		}
+	}
+	return emitMerged(merged, *format)
+}
+
+// mergeCmd validates and merges shard envelopes and, when they cover
+// the full grid, re-runs the reduce step so the output is
+// byte-identical to a single-machine "run -format json".
+func mergeCmd(args []string) int {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	format := fs.String("format", "table", "output format for the reduced result: table | json")
+	allowPartial := fs.Bool("allow-partial", false, "accept gaps: emit a partial envelope instead of failing")
+	out := fs.String("o", "", "write the merged envelope to this file as well")
+	// Envelope files and flags may interleave ("merge a.json b.json
+	// -format json" is natural to type), so re-parse after each
+	// positional instead of stopping at the first one.
+	var files []string
+	for rest := args; ; {
+		if err := fs.Parse(rest); err != nil {
+			return exitUsage
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		files, rest = append(files, rest[0]), rest[1:]
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "tfrcsim: merge needs at least one envelope file (from shard run or shard exec)")
+		return exitUsage
+	}
+	if *format != "table" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "tfrcsim: unknown -format %q (want table or json)\n", *format)
+		return exitUsage
+	}
+
+	envs := make([]*shard.Envelope, 0, len(files))
+	for _, f := range files {
+		e, err := shard.ReadEnvelopeFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return exitRuntime
+		}
+		envs = append(envs, e)
+	}
+	merged, err := shard.Merge(envs, *allowPartial)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return exitRuntime
+	}
+	if *out != "" {
+		if err := shard.WriteEnvelopeFile(*out, merged); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return exitRuntime
+		}
+	}
+	return emitMerged(merged, *format)
+}
+
+// emitMerged renders a merged envelope: complete ones reduce to the
+// standard record (table or JSON, byte-identical to a single-machine
+// run); partial ones emit the envelope itself and exit 3 so callers
+// can distinguish a degraded sweep from success without parsing.
+func emitMerged(merged *shard.Envelope, format string) int {
+	if merged.Complete {
+		res, p, err := shard.Reduce(merged)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return exitRuntime
+		}
+		if format == "json" {
+			if err := experiment.WriteJSON(os.Stdout, merged.Experiment, p, res); err != nil {
+				fmt.Fprintf(os.Stderr, "tfrcsim: encoding result: %v\n", err)
+				return exitRuntime
+			}
+			return exitOK
+		}
+		res.Table(os.Stdout)
+		return exitOK
+	}
+	fmt.Fprintf(os.Stderr, "tfrcsim: sweep incomplete: cells %s missing — the partial envelope follows; rerun the missing shards and merge again\n",
+		missingString(merged))
+	if code := writeEnvelope("", merged); code != exitOK {
+		return code
+	}
+	return exitPartial
+}
+
+// writeEnvelope writes an envelope to a file (atomically) or stdout.
+func writeEnvelope(path string, env *shard.Envelope) int {
+	if path != "" {
+		if err := shard.WriteEnvelopeFile(path, env); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return exitRuntime
+		}
+		return exitOK
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: encoding envelope: %v\n", err)
+		return exitRuntime
+	}
+	return exitOK
+}
+
+// missingString renders an envelope's missing ranges for messages.
+func missingString(e *shard.Envelope) string {
+	parts := make([]string, len(e.Missing))
+	for i, r := range e.Missing {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// popExperimentName parses the leading positional experiment name and
+// the remaining flags: "<cmd> <experiment> [flags]".
+func popExperimentName(fs *flag.FlagSet, cmd string, args []string) (string, bool) {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %s needs an experiment name (try: tfrcsim list)\n", cmd)
+		return "", false
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return "", false
+	}
+	if rest := fs.Args(); len(rest) > 0 {
+		fmt.Fprintf(os.Stderr, "tfrcsim: unexpected arguments %q (one experiment per %s)\n", rest, cmd)
+		return "", false
+	}
+	return name, true
+}
+
+// resolveExperiment looks the experiment up (exit 2 with the nearest
+// registered name on a typo) and resolves its parameters exactly as
+// "tfrcsim run" does: preset, then -params overlay, then -seed/-seeds
+// when passed explicitly.
+func resolveExperiment(fs *flag.FlagSet, name, preset, paramsFile string, seed *int64, seeds *int) (experiment.Descriptor, experiment.Params, int) {
+	d, err := experiment.Get(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return experiment.Descriptor{}, nil, exitUsage
+	}
+	p, err := d.PresetParams(preset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+		return experiment.Descriptor{}, nil, exitUsage
+	}
+	if paramsFile != "" {
+		data, err := os.ReadFile(paramsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %v\n", err)
+			return experiment.Descriptor{}, nil, exitRuntime
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(p); err != nil {
+			fmt.Fprintf(os.Stderr, "tfrcsim: parsing %s for %s: %v\n", paramsFile, d.Name, err)
+			return experiment.Descriptor{}, nil, exitRuntime
+		}
+		if dec.More() {
+			fmt.Fprintf(os.Stderr, "tfrcsim: %s: trailing data after the parameter object\n", paramsFile)
+			return experiment.Descriptor{}, nil, exitRuntime
+		}
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			if s, ok := p.(experiment.SeedSetter); ok {
+				s.SetSeed(*seed)
+			} else {
+				fmt.Fprintf(os.Stderr, "tfrcsim: %s takes no -seed; ignored\n", d.Name)
+			}
+		case "seeds":
+			if s, ok := p.(experiment.SeedsSetter); ok {
+				s.SetSeeds(*seeds)
+			} else {
+				fmt.Fprintf(os.Stderr, "tfrcsim: %s takes no -seeds; ignored\n", d.Name)
+			}
+		}
+	})
+	return d, p, exitOK
+}

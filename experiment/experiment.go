@@ -18,14 +18,17 @@
 // json.Unmarshal. Register adds user-defined experiments to the same
 // registry the CLI enumerates.
 //
-// The serialized record has a stable shape:
+// The serialized record has a stable, versioned shape:
 //
-//	{"experiment": "fig6", "params": {...}, "result": {...}}
+//	{"schema": "tfrc.experiment.record/v1", "experiment": "fig6",
+//	 "params": {...}, "result": {...}}
 //
 // with an optional "interrupted": true inserted by WritePartialJSON
 // when a run was cancelled mid-sweep (see SetContext) — the result is
 // then partial, with unreached sweep cells zero-valued, never
-// fabricated.
+// fabricated. The schema string names the envelope layout, not the
+// result payload: it changes only if the record's own keys change
+// meaning, so downstream tooling can gate on it before parsing.
 //
 // Fault-injection experiments (blackout, flap, chaos) embed
 // FaultSchedule values in their params/results; the schedule itself is
@@ -67,7 +70,29 @@ type (
 	// SeedsSetter is implemented by params supporting multi-seed
 	// replication with mean ± 90% CI aggregation.
 	SeedsSetter = exp.SeedsSetter
+	// Grid is the optional pure-cell decomposition of an experiment:
+	// cell count, range runner, and reduce step over raw JSON cells. An
+	// experiment that provides one can be split across processes and
+	// machines (see cmd/tfrcsim's shard and merge commands) with
+	// byte-identical results.
+	Grid = exp.Grid
+	// CellRange is a half-open range [Lo, Hi) of grid cell indices.
+	CellRange = exp.CellRange
 )
+
+// GridAs builds a Grid from typed cell functions: cells sizes the grid
+// for a parameter set, runRange computes the cells of a sub-range
+// (each cell a pure function of the absolute index), and reduce folds
+// a full cell slice into the experiment's Result. The JSON marshaling
+// at the Grid boundary is handled here, so registered experiments only
+// write typed code.
+func GridAs[P Params, C any, R Result](
+	cells func(P) int,
+	runRange func(P, CellRange) []C,
+	reduce func(P, []C) R,
+) *Grid {
+	return exp.GridAs(cells, runRange, reduce)
+}
 
 // Register adds an experiment to the registry. The paper's figures
 // self-register at init time; user code may add its own. Duplicate
@@ -120,23 +145,29 @@ func SetContext(ctx context.Context) { exp.SetContext(ctx) }
 // Interrupted reports whether the installed run context is cancelled.
 func Interrupted() bool { return exp.Interrupted() }
 
-// Record is the JSON envelope WriteJSON emits: the experiment's name,
-// the exact parameters that ran, and the full result. Interrupted
-// marks a partial record from a cancelled run.
+// RecordSchema identifies the Record envelope layout. It versions the
+// envelope keys themselves, not the experiment-specific result shapes;
+// it will only change if the meaning of the record keys does.
+const RecordSchema = "tfrc.experiment.record/v1"
+
+// Record is the JSON envelope WriteJSON emits: the envelope schema,
+// the experiment's name, the exact parameters that ran, and the full
+// result. Interrupted marks a partial record from a cancelled run.
 type Record struct {
+	Schema      string `json:"schema"`
 	Experiment  string `json:"experiment"`
 	Params      Params `json:"params"`
 	Interrupted bool   `json:"interrupted,omitempty"`
 	Result      Result `json:"result"`
 }
 
-// WriteJSON writes the {experiment, params, result} envelope as
-// indented JSON. Keys are stable: encoding/json emits struct fields in
-// declaration order, and the result structs are plain data.
+// WriteJSON writes the {schema, experiment, params, result} envelope
+// as indented JSON. Keys are stable: encoding/json emits struct fields
+// in declaration order, and the result structs are plain data.
 func WriteJSON(w io.Writer, name string, p Params, r Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Record{Experiment: name, Params: p, Result: r})
+	return enc.Encode(Record{Schema: RecordSchema, Experiment: name, Params: p, Result: r})
 }
 
 // WritePartialJSON writes the envelope of an interrupted run: the same
@@ -145,5 +176,5 @@ func WriteJSON(w io.Writer, name string, p Params, r Result) error {
 func WritePartialJSON(w io.Writer, name string, p Params, r Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Record{Experiment: name, Params: p, Interrupted: true, Result: r})
+	return enc.Encode(Record{Schema: RecordSchema, Experiment: name, Params: p, Interrupted: true, Result: r})
 }

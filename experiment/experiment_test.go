@@ -211,6 +211,7 @@ func TestResultJSONStable(t *testing.T) {
 		t.Fatal("repeated JSON encodings differ")
 	}
 	var env struct {
+		Schema     string          `json:"schema"`
 		Experiment string          `json:"experiment"`
 		Params     json.RawMessage `json:"params"`
 		Result     json.RawMessage `json:"result"`
@@ -218,8 +219,48 @@ func TestResultJSONStable(t *testing.T) {
 	if err := json.Unmarshal(a.Bytes(), &env); err != nil {
 		t.Fatalf("envelope is not valid JSON: %v", err)
 	}
+	if env.Schema != experiment.RecordSchema {
+		t.Fatalf("envelope schema %q, want %q", env.Schema, experiment.RecordSchema)
+	}
 	if env.Experiment != "fig5" || len(env.Params) == 0 || len(env.Result) == 0 {
 		t.Fatalf("envelope incomplete: %s", a.String())
+	}
+
+	// The schema key must lead the envelope so downstream tooling can
+	// gate on it with a streaming decoder before touching the payload.
+	if !strings.HasPrefix(a.String(), "{\n  \"schema\": \""+experiment.RecordSchema+"\"") {
+		t.Fatalf("schema is not the first envelope key:\n%s", a.String()[:min(120, a.Len())])
+	}
+
+	// A Record round trip through JSON preserves the schema verbatim.
+	// Params/Result are non-empty interfaces, so decoding needs concrete
+	// values seeded in.
+	rec := experiment.Record{Params: d.Params(), Result: &experiment.Fig05Result{}}
+	if err := json.Unmarshal(a.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != experiment.RecordSchema || rec.Experiment != "fig5" || rec.Interrupted {
+		t.Fatalf("record round trip mutated the envelope: %+v", rec)
+	}
+}
+
+// TestPartialJSONCarriesSchema: interrupted-run envelopes carry the
+// same schema plus the interrupted marker.
+func TestPartialJSONCarriesSchema(t *testing.T) {
+	d, err := experiment.Get("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := experiment.WritePartialJSON(&buf, d.Name, d.Params(), nil); err != nil {
+		t.Fatal(err)
+	}
+	rec := experiment.Record{Params: d.Params()} // result stays null
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != experiment.RecordSchema || !rec.Interrupted {
+		t.Fatalf("partial record envelope wrong: %+v", rec)
 	}
 }
 

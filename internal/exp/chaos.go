@@ -107,6 +107,7 @@ func init() {
 		Description: "seeded randomized fault soak with hard invariants",
 		Params:      paramsFn[ChaosParams](DefaultChaos),
 		Run:         runAs(func(p *ChaosParams) Result { return RunChaos(*p) }),
+		Grid:        GridAs(chaosCells, chaosRunRange, chaosReduce),
 	})
 }
 
@@ -197,12 +198,25 @@ type ChaosResult struct {
 	OK         bool // no violations among the cells that ran
 }
 
-// RunChaos runs the soak on the sweep runner.
-func RunChaos(pr ChaosParams) *ChaosResult {
-	out := &ChaosResult{Params: pr, Floor: 1000.0 / 64}
-	out.Cells = runCellsCtx(pr.Cells, func(c *Cell, i int) ChaosCell {
-		return runChaosCell(c, pr, out.Floor, pr.Seed+int64(i)*9973)
+// chaosFloor is the protocol floor every cell checks against: one
+// packet per 64 s, in bytes/sec.
+const chaosFloor = 1000.0 / 64
+
+// chaosCells is one cell per soak run.
+func chaosCells(pr *ChaosParams) int { return pr.Cells }
+
+// chaosRunRange computes soak cells [r.Lo, r.Hi); each cell's seed
+// derives from its absolute index.
+func chaosRunRange(pr *ChaosParams, r CellRange) []ChaosCell {
+	return runCellsCtx(r.Len(), func(c *Cell, i int) ChaosCell {
+		idx := r.Lo + i
+		return runChaosCell(c, *pr, chaosFloor, pr.Seed+int64(idx)*9973)
 	})
+}
+
+// chaosReduce tallies violations and skips across the cells.
+func chaosReduce(pr *ChaosParams, cells []ChaosCell) *ChaosResult {
+	out := &ChaosResult{Params: *pr, Floor: chaosFloor, Cells: cells}
 	out.OK = true
 	for i := range out.Cells {
 		switch cell := &out.Cells[i]; {
@@ -214,6 +228,11 @@ func RunChaos(pr ChaosParams) *ChaosResult {
 		}
 	}
 	return out
+}
+
+// RunChaos runs the soak on the sweep runner.
+func RunChaos(pr ChaosParams) *ChaosResult {
+	return chaosReduce(&pr, chaosRunRange(&pr, CellRange{0, chaosCells(&pr)}))
 }
 
 func runChaosCell(c *Cell, pr ChaosParams, floor float64, seed int64) ChaosCell {

@@ -86,6 +86,7 @@ func init() {
 		Description: "send-rate oscillation vs buffer size (no spacing adjustment)",
 		Params:      paramsFn[Fig03Params](DefaultFig03),
 		Run:         runAs(func(p *Fig03Params) Result { return RunFig03(*p) }),
+		Grid:        GridAs(fig03Cells, fig03RunRange, fig03Reduce),
 	})
 	Register(Descriptor{
 		Name:        "fig4",
@@ -93,6 +94,7 @@ func init() {
 		Description: "send-rate oscillation vs buffer size (with adjustment)",
 		Params:      paramsFn[Fig03Params](DefaultFig04),
 		Run:         runAs(func(p *Fig03Params) Result { return RunFig03(*p) }),
+		Grid:        GridAs(fig03Cells, fig03RunRange, fig03Reduce),
 	})
 }
 
@@ -138,13 +140,24 @@ func runFig03Buffer(c *Cell, pr Fig03Params, buf int) Fig03Curve {
 	return Fig03Curve{Buffer: buf, Series: series, CoV: stats.CoV(series)}
 }
 
+// fig03Cells is one cell per buffer size.
+func fig03Cells(pr *Fig03Params) int { return len(pr.BufferSizes) }
+
+// fig03RunRange computes buffer-sweep cells [r.Lo, r.Hi).
+func fig03RunRange(pr *Fig03Params, r CellRange) []Fig03Curve {
+	return runCellsCtx(r.Len(), func(c *Cell, i int) Fig03Curve {
+		return runFig03Buffer(c, *pr, pr.BufferSizes[r.Lo+i])
+	})
+}
+
+// fig03Reduce wraps the full buffer sweep.
+func fig03Reduce(pr *Fig03Params, curves []Fig03Curve) *Fig03Result {
+	return &Fig03Result{SqrtSpacing: pr.SqrtSpacing, BinWidth: pr.BinWidth, Curves: curves}
+}
+
 // RunFig03 runs the sweep, one independent simulation per buffer size.
 func RunFig03(pr Fig03Params) *Fig03Result {
-	res := &Fig03Result{SqrtSpacing: pr.SqrtSpacing, BinWidth: pr.BinWidth}
-	res.Curves = runCellsCtx(len(pr.BufferSizes), func(c *Cell, i int) Fig03Curve {
-		return runFig03Buffer(c, pr, pr.BufferSizes[i])
-	})
-	return res
+	return fig03Reduce(&pr, fig03RunRange(&pr, CellRange{0, fig03Cells(&pr)}))
 }
 
 // Table implements Result.

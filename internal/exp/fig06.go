@@ -91,6 +91,7 @@ func init() {
 		Params:      paramsFn[Fig06Params](DefaultFig06),
 		Presets:     map[string]func() Params{"paper": paramsFn[Fig06Params](PaperFig06)},
 		Run:         runAs(func(p *Fig06Params) Result { return RunFig06(*p) }),
+		Grid:        GridAs(fig06Cells, fig06RunRange, fig06Reduce),
 	})
 	Register(Descriptor{
 		Name:        "fig7",
@@ -99,6 +100,7 @@ func init() {
 		Params:      paramsFn[Fig07Params](DefaultFig07),
 		Presets:     map[string]func() Params{"paper": paramsFn[Fig07Params](PaperFig07)},
 		Run:         runAs(func(p *Fig07Params) Result { return RunFig07Params(*p) }),
+		Grid:        GridAs(fig07Cells, fig07RunRange, fig07Reduce),
 	})
 }
 
@@ -162,36 +164,61 @@ func runFig06Cell(c *Cell, queue netsim.QueueKind, linkMbps float64, flows int, 
 	}
 }
 
-// RunFig06 runs the whole grid on the sweep runner: every (queue, link,
-// flows, seed) combination is an independent cell, executed across the
-// worker pool and merged back in deterministic grid order.
-func RunFig06(pr Fig06Params) *Fig06Result {
-	seeds := pr.Seeds
-	if seeds < 1 {
-		seeds = 1
-	}
-	type key struct {
-		q  netsim.QueueKind
-		bw float64
-		fl int
-	}
-	var keys []key
+// fig06Key is one (queue, link rate, flow count) grid point.
+type fig06Key struct {
+	q  netsim.QueueKind
+	bw float64
+	fl int
+}
+
+// fig06Keys flattens the grid axes in deterministic (queue, link,
+// flows) order.
+func fig06Keys(pr *Fig06Params) []fig06Key {
+	keys := make([]fig06Key, 0, len(pr.Queues)*len(pr.LinkMbps)*len(pr.TotalFlows))
 	for _, q := range pr.Queues {
 		for _, bw := range pr.LinkMbps {
 			for _, fl := range pr.TotalFlows {
-				keys = append(keys, key{q, bw, fl})
+				keys = append(keys, fig06Key{q, bw, fl})
 			}
 		}
 	}
-	// Grid-major, seed-minor flattening; replicate 0 uses pr.Seed itself
-	// so single-seed results are unchanged by this refactor.
-	raw := runCellsCtx(len(keys)*seeds, func(c *Cell, i int) Fig06Cell {
-		k, rep := keys[i/seeds], i%seeds
+	return keys
+}
+
+// fig06Seeds is the per-grid-point replicate count (Seeds clamped ≥ 1).
+func fig06Seeds(pr *Fig06Params) int {
+	if pr.Seeds < 1 {
+		return 1
+	}
+	return pr.Seeds
+}
+
+// fig06Cells is the flattened cell count: grid-major, seed-minor.
+func fig06Cells(pr *Fig06Params) int {
+	return len(fig06Keys(pr)) * fig06Seeds(pr)
+}
+
+// fig06RunRange computes cells [r.Lo, r.Hi) on the worker pool. Every
+// cell is a pure function of its absolute index (replicate 0 uses
+// pr.Seed itself so single-seed results are unchanged by sharding), so
+// any sub-range on any machine computes the same values.
+func fig06RunRange(pr *Fig06Params, r CellRange) []Fig06Cell {
+	seeds := fig06Seeds(pr)
+	keys := fig06Keys(pr)
+	return runCellsCtx(r.Len(), func(c *Cell, i int) Fig06Cell {
+		idx := r.Lo + i
+		k, rep := keys[idx/seeds], idx%seeds
 		return runFig06Cell(c, k.q, k.bw, k.fl, pr.Duration, pr.MeasureTail,
 			pr.Seed+int64(rep)*6151)
 	})
+}
+
+// fig06Reduce aggregates the full cell set in index order: each grid
+// point's seed replicates collapse to means with 90% CI half-widths.
+func fig06Reduce(pr *Fig06Params, raw []Fig06Cell) *Fig06Result {
+	seeds := fig06Seeds(pr)
 	res := &Fig06Result{}
-	for c := range keys {
+	for c := 0; c < len(raw)/seeds; c++ {
 		group := raw[c*seeds : (c+1)*seeds]
 		cell := group[0]
 		if seeds > 1 {
@@ -212,6 +239,13 @@ func RunFig06(pr Fig06Params) *Fig06Result {
 		res.Cells = append(res.Cells, cell)
 	}
 	return res
+}
+
+// RunFig06 runs the whole grid on the sweep runner: every (queue, link,
+// flows, seed) combination is an independent cell, executed across the
+// worker pool and merged back in deterministic grid order.
+func RunFig06(pr Fig06Params) *Fig06Result {
+	return fig06Reduce(&pr, fig06RunRange(&pr, CellRange{0, fig06Cells(&pr)}))
 }
 
 // Table implements Result.
@@ -264,9 +298,24 @@ func RunFig07(totalFlows []int, duration, tail float64, seed int64) []Fig06Cell 
 	if len(totalFlows) == 0 {
 		totalFlows = []int{16, 32, 48, 64, 80, 96, 112, 128}
 	}
-	return runCellsCtx(len(totalFlows), func(c *Cell, i int) Fig06Cell {
-		return runFig06Cell(c, netsim.QueueRED, 15, totalFlows[i], duration, tail, seed)
+	p := Fig07Params{TotalFlows: totalFlows, Duration: duration, MeasureTail: tail, Seed: seed}
+	return fig07RunRange(&p, CellRange{0, len(totalFlows)})
+}
+
+// fig07Cells is one cell per flow count.
+func fig07Cells(pr *Fig07Params) int { return len(pr.TotalFlows) }
+
+// fig07RunRange computes the column cells [r.Lo, r.Hi).
+func fig07RunRange(pr *Fig07Params, r CellRange) []Fig06Cell {
+	return runCellsCtx(r.Len(), func(c *Cell, i int) Fig06Cell {
+		return runFig06Cell(c, netsim.QueueRED, 15, pr.TotalFlows[r.Lo+i],
+			pr.Duration, pr.MeasureTail, pr.Seed)
 	})
+}
+
+// fig07Reduce wraps the full column.
+func fig07Reduce(_ *Fig07Params, cells []Fig06Cell) *Fig07Result {
+	return &Fig07Result{Cells: cells}
 }
 
 // Fig07Params is the parameter-struct form of RunFig07, the shape the

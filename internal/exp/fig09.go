@@ -78,6 +78,7 @@ func init() {
 		Params:      paramsFn[Fig09Params](DefaultFig09),
 		Presets:     map[string]func() Params{"paper": paramsFn[Fig09Params](PaperFig09)},
 		Run:         runAs(func(p *Fig09Params) Result { return RunFig09(*p) }),
+		Grid:        GridAs(fig09Cells, fig09RunRange, fig09Reduce),
 	})
 }
 
@@ -95,19 +96,23 @@ type Fig09Result struct {
 	CoVTFRC    []MeanCI
 }
 
-// fig09Run carries one run's per-timescale metrics, aligned with
-// Params.Timescales.
-type fig09Run struct {
-	eqTT, eqFF, eqTF, covT, covF []float64
+// Fig09Run carries one run's per-timescale metrics, aligned with
+// Params.Timescales. Exported (with JSON-round-trippable fields) so a
+// run is a shard-able grid cell.
+type Fig09Run struct {
+	EqTT, EqFF, EqTF, CoVT, CoVF []float64
 }
 
-// RunFig09 runs the multi-run study, one independent simulation per run
-// on the sweep runner; runs merge back in run order so results are
-// identical at any parallelism.
-func RunFig09(pr Fig09Params) *Fig09Result {
+// fig09Cells is one cell per independent run.
+func fig09Cells(pr *Fig09Params) int { return pr.Runs }
+
+// fig09RunRange computes runs [r.Lo, r.Hi), each an independent
+// simulation whose seed derives from its absolute run index.
+func fig09RunRange(pr *Fig09Params, r CellRange) []Fig09Run {
 	nscale := len(pr.Timescales)
 	base := 0.1
-	runs := runCellsCtx(pr.Runs, func(c *Cell, run int) fig09Run {
+	return runCellsCtx(r.Len(), func(c *Cell, i int) Fig09Run {
+		run := r.Lo + i
 		sc := Scenario{
 			NTCP:          pr.FlowsEach,
 			NTFRC:         pr.FlowsEach,
@@ -128,10 +133,10 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 		res := runScenarioCell(c, sc)
 		tcp0, tcp1 := res.TCPSeries[0], res.TCPSeries[1]
 		tf0, tf1 := res.TFRCSeries[0], res.TFRCSeries[1]
-		out := fig09Run{
-			eqTT: make([]float64, nscale), eqFF: make([]float64, nscale),
-			eqTF: make([]float64, nscale),
-			covT: make([]float64, nscale), covF: make([]float64, nscale),
+		out := Fig09Run{
+			EqTT: make([]float64, nscale), EqFF: make([]float64, nscale),
+			EqTF: make([]float64, nscale),
+			CoVT: make([]float64, nscale), CoVF: make([]float64, nscale),
 		}
 		for i, ts := range pr.Timescales {
 			k := int(ts/base + 0.5)
@@ -140,14 +145,19 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 			}
 			a, b := stats.Rebin(tcp0, k), stats.Rebin(tcp1, k)
 			f, g := stats.Rebin(tf0, k), stats.Rebin(tf1, k)
-			out.eqTT[i] = stats.EquivalenceRatio(a, b)
-			out.eqFF[i] = stats.EquivalenceRatio(f, g)
-			out.eqTF[i] = stats.EquivalenceRatio(a, f)
-			out.covT[i] = stats.CoV(a)
-			out.covF[i] = stats.CoV(f)
+			out.EqTT[i] = stats.EquivalenceRatio(a, b)
+			out.EqFF[i] = stats.EquivalenceRatio(f, g)
+			out.EqTF[i] = stats.EquivalenceRatio(a, f)
+			out.CoVT[i] = stats.CoV(a)
+			out.CoVF[i] = stats.CoV(f)
 		}
 		return out
 	})
+}
+
+// fig09Reduce aggregates all runs into per-timescale means with 90% CI.
+func fig09Reduce(pr *Fig09Params, runs []Fig09Run) *Fig09Result {
+	nscale := len(pr.Timescales)
 
 	// per-timescale collections across runs, in run order
 	eqTT := make([][]float64, nscale)
@@ -157,11 +167,11 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 	covF := make([][]float64, nscale)
 	for _, r := range runs {
 		for i := 0; i < nscale; i++ {
-			eqTT[i] = append(eqTT[i], r.eqTT[i])
-			eqFF[i] = append(eqFF[i], r.eqFF[i])
-			eqTF[i] = append(eqTF[i], r.eqTF[i])
-			covT[i] = append(covT[i], r.covT[i])
-			covF[i] = append(covF[i], r.covF[i])
+			eqTT[i] = append(eqTT[i], r.EqTT[i])
+			eqFF[i] = append(eqFF[i], r.EqFF[i])
+			eqTF[i] = append(eqTF[i], r.EqTF[i])
+			covT[i] = append(covT[i], r.CoVT[i])
+			covF[i] = append(covF[i], r.CoVF[i])
 		}
 	}
 
@@ -180,6 +190,13 @@ func RunFig09(pr Fig09Params) *Fig09Result {
 	res.CoVTCP = collect(covT)
 	res.CoVTFRC = collect(covF)
 	return res
+}
+
+// RunFig09 runs the multi-run study, one independent simulation per run
+// on the sweep runner; runs merge back in run order so results are
+// identical at any parallelism.
+func RunFig09(pr Fig09Params) *Fig09Result {
+	return fig09Reduce(&pr, fig09RunRange(&pr, CellRange{0, fig09Cells(&pr)}))
 }
 
 // Table implements Result.

@@ -82,6 +82,7 @@ func init() {
 		Params:      paramsFn[Fig11Params](DefaultFig11),
 		Presets:     map[string]func() Params{"paper": paramsFn[Fig11Params](PaperFig11)},
 		Run:         runAs(func(p *Fig11Params) Result { return RunFig11(*p) }),
+		Grid:        GridAs(fig11Cells, fig11RunRange, fig11Reduce),
 	})
 }
 
@@ -102,20 +103,26 @@ type Fig11Result struct {
 	Rows       []Fig11Row
 }
 
-// fig11Run is one (source count, run) cell's harvest.
-type fig11Run struct {
-	loss         float64
-	eq, cvF, cvT []float64 // aligned with Params.Timescales
+// Fig11Cell is one (source count, run) cell's harvest. Exported (with
+// JSON-round-trippable fields) so the sweep is shard-able.
+type Fig11Cell struct {
+	Loss    float64
+	Eq      []float64 // aligned with Params.Timescales
+	CoVTFRC []float64
+	CoVTCP  []float64
 }
 
-// RunFig11 runs the sweep: the (sources × runs) grid flattens onto the
-// worker pool, then each source count aggregates its runs in run order.
-func RunFig11(pr Fig11Params) *Fig11Result {
-	res := &Fig11Result{Timescales: pr.Timescales}
+// fig11Cells flattens the sweep source-major, run-minor.
+func fig11Cells(pr *Fig11Params) int { return len(pr.Sources) * pr.Runs }
+
+// fig11RunRange computes cells [r.Lo, r.Hi); each cell's seed derives
+// from its absolute (source count, run) coordinates.
+func fig11RunRange(pr *Fig11Params, r CellRange) []Fig11Cell {
 	base := 0.1
 	nscale := len(pr.Timescales)
-	cells := runCellsCtx(len(pr.Sources)*pr.Runs, func(c *Cell, i int) fig11Run {
-		n, run := pr.Sources[i/pr.Runs], i%pr.Runs
+	return runCellsCtx(r.Len(), func(c *Cell, i int) Fig11Cell {
+		idx := r.Lo + i
+		n, run := pr.Sources[idx/pr.Runs], idx%pr.Runs
 		sc := Scenario{
 			NTCP:          1,
 			NTFRC:         1,
@@ -132,26 +139,32 @@ func RunFig11(pr Fig11Params) *Fig11Result {
 			BinWidth:      base,
 			Seed:          pr.Seed + int64(run)*977 + int64(n),
 		}
-		r := runScenarioCell(c, sc)
-		out := fig11Run{
-			loss: r.DropRate,
-			eq:   make([]float64, nscale),
-			cvF:  make([]float64, nscale),
-			cvT:  make([]float64, nscale),
+		sr := runScenarioCell(c, sc)
+		out := Fig11Cell{
+			Loss:    sr.DropRate,
+			Eq:      make([]float64, nscale),
+			CoVTFRC: make([]float64, nscale),
+			CoVTCP:  make([]float64, nscale),
 		}
-		tcpS, tfS := r.TCPSeries[0], r.TFRCSeries[0]
+		tcpS, tfS := sr.TCPSeries[0], sr.TFRCSeries[0]
 		for i, ts := range pr.Timescales {
 			k := int(ts/base + 0.5)
 			if k < 1 {
 				k = 1
 			}
 			a, f := stats.Rebin(tcpS, k), stats.Rebin(tfS, k)
-			out.eq[i] = stats.EquivalenceRatio(a, f)
-			out.cvF[i] = stats.CoV(f)
-			out.cvT[i] = stats.CoV(a)
+			out.Eq[i] = stats.EquivalenceRatio(a, f)
+			out.CoVTFRC[i] = stats.CoV(f)
+			out.CoVTCP[i] = stats.CoV(a)
 		}
 		return out
 	})
+}
+
+// fig11Reduce aggregates each source count's runs in run order.
+func fig11Reduce(pr *Fig11Params, cells []Fig11Cell) *Fig11Result {
+	nscale := len(pr.Timescales)
+	res := &Fig11Result{Timescales: pr.Timescales}
 	for si, n := range pr.Sources {
 		group := cells[si*pr.Runs : (si+1)*pr.Runs]
 		loss := make([]float64, 0, pr.Runs)
@@ -159,11 +172,11 @@ func RunFig11(pr Fig11Params) *Fig11Result {
 		cvF := make([][]float64, nscale)
 		cvT := make([][]float64, nscale)
 		for _, c := range group {
-			loss = append(loss, c.loss)
+			loss = append(loss, c.Loss)
 			for i := 0; i < nscale; i++ {
-				eq[i] = append(eq[i], c.eq[i])
-				cvF[i] = append(cvF[i], c.cvF[i])
-				cvT[i] = append(cvT[i], c.cvT[i])
+				eq[i] = append(eq[i], c.Eq[i])
+				cvF[i] = append(cvF[i], c.CoVTFRC[i])
+				cvT[i] = append(cvT[i], c.CoVTCP[i])
 			}
 		}
 		row := Fig11Row{Sources: n}
@@ -180,6 +193,12 @@ func RunFig11(pr Fig11Params) *Fig11Result {
 		res.Rows = append(res.Rows, row)
 	}
 	return res
+}
+
+// RunFig11 runs the sweep: the (sources × runs) grid flattens onto the
+// worker pool, then each source count aggregates its runs in run order.
+func RunFig11(pr Fig11Params) *Fig11Result {
+	return fig11Reduce(&pr, fig11RunRange(&pr, CellRange{0, fig11Cells(&pr)}))
 }
 
 // Table implements Result.

@@ -153,6 +153,7 @@ func init() {
 		Run: runAs(func(p *Fig16Params) Result {
 			return RunFig16(p.Timescales, p.Duration, p.Seed)
 		}),
+		Grid: GridAs(fig16Cells, fig16RunRange, fig16Reduce),
 	})
 }
 
@@ -263,24 +264,21 @@ type Fig16Result struct {
 	Rows       []Fig16Row
 }
 
-// RunFig16 runs one TFRC against one TCP on every path profile.
-func RunFig16(timescales []float64, duration float64, seed int64) *Fig16Result {
-	if len(timescales) == 0 {
-		timescales = []float64{0.5, 1, 2, 5, 10, 20, 50}
-	}
-	if duration == 0 {
-		duration = 120
-	}
+// fig16Cells is one cell per path profile.
+func fig16Cells(pr *Fig16Params) int { return len(Paths()) }
+
+// fig16RunRange computes path cells [r.Lo, r.Hi) over the profile
+// catalogue.
+func fig16RunRange(pr *Fig16Params, r CellRange) []Fig16Row {
 	base := 0.1
-	res := &Fig16Result{Timescales: timescales}
 	paths := Paths()
-	res.Rows = runCells(len(paths), func(i int) Fig16Row {
-		p := paths[i]
-		sc := pathScenario(p, 1, 1, duration, duration/6, seed)
-		r := RunScenario(sc)
-		tcpS, tfS := r.TCPSeries[0], r.TFRCSeries[0]
+	return runCells(r.Len(), func(i int) Fig16Row {
+		p := paths[r.Lo+i]
+		sc := pathScenario(p, 1, 1, pr.Duration, pr.Duration/6, pr.Seed)
+		sr := RunScenario(sc)
+		tcpS, tfS := sr.TCPSeries[0], sr.TFRCSeries[0]
 		row := Fig16Row{Path: p.Name}
-		for _, ts := range timescales {
+		for _, ts := range pr.Timescales {
 			k := int(ts/base + 0.5)
 			if k < 1 {
 				k = 1
@@ -292,7 +290,24 @@ func RunFig16(timescales []float64, duration float64, seed int64) *Fig16Result {
 		}
 		return row
 	})
-	return res
+}
+
+// fig16Reduce wraps the per-path rows.
+func fig16Reduce(pr *Fig16Params, rows []Fig16Row) *Fig16Result {
+	return &Fig16Result{Timescales: pr.Timescales, Rows: rows}
+}
+
+// RunFig16 runs one TFRC against one TCP on every path profile. Zero
+// arguments fill in the laptop-scale defaults.
+func RunFig16(timescales []float64, duration float64, seed int64) *Fig16Result {
+	if len(timescales) == 0 {
+		timescales = []float64{0.5, 1, 2, 5, 10, 20, 50}
+	}
+	if duration == 0 {
+		duration = 120
+	}
+	pr := Fig16Params{Timescales: timescales, Duration: duration, Seed: seed}
+	return fig16Reduce(&pr, fig16RunRange(&pr, CellRange{0, fig16Cells(&pr)}))
 }
 
 // Table implements Result.

@@ -107,6 +107,7 @@ func init() {
 		Description: "round-trips to halve the rate vs initial drop rate",
 		Params:      paramsFn[Fig21Params](DefaultFig21),
 		Run:         runAs(func(p *Fig21Params) Result { return RunFig21(p.DropRates, p.RTT) }),
+		Grid:        GridAs(fig21Cells, fig21RunRange, fig21Reduce),
 	})
 }
 
@@ -212,30 +213,42 @@ type Fig21Row struct {
 // Fig21Result is the sweep.
 type Fig21Result struct{ Rows []Fig21Row }
 
-// RunFig21 sweeps the pre-switch packet drop rate as in Figure 21,
-// switching to every-2nd-packet loss at t = 10 and counting round-trips
-// until the rate halves.
-func RunFig21(dropRates []float64, rtt float64) *Fig21Result {
-	if len(dropRates) == 0 {
-		dropRates = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25}
-	}
-	res := &Fig21Result{}
-	res.Rows = runCells(len(dropRates), func(i int) Fig21Row {
-		p := dropRates[i]
+// fig21Cells is one cell per drop rate.
+func fig21Cells(pr *Fig21Params) int { return len(pr.DropRates) }
+
+// fig21RunRange computes sweep cells [r.Lo, r.Hi).
+func fig21RunRange(pr *Fig21Params, r CellRange) []Fig21Row {
+	return runCells(r.Len(), func(i int) Fig21Row {
+		p := pr.DropRates[r.Lo+i]
 		every := int(1/p + 0.5)
 		if every < 3 {
 			every = 3
 		}
-		r := RunFig19(Fig19Params{
+		res := RunFig19(Fig19Params{
 			DropEveryBefore: every,
 			DropEveryAfter:  2,
 			SwitchTime:      10,
 			Duration:        14,
-			RTT:             rtt,
+			RTT:             pr.RTT,
 		})
-		return Fig21Row{DropRate: p, RTTs: r.HalvedAfterRTTs}
+		return Fig21Row{DropRate: p, RTTs: res.HalvedAfterRTTs}
 	})
-	return res
+}
+
+// fig21Reduce wraps the sweep rows.
+func fig21Reduce(pr *Fig21Params, rows []Fig21Row) *Fig21Result {
+	return &Fig21Result{Rows: rows}
+}
+
+// RunFig21 sweeps the pre-switch packet drop rate as in Figure 21,
+// switching to every-2nd-packet loss at t = 10 and counting round-trips
+// until the rate halves. Zero arguments fill in the defaults.
+func RunFig21(dropRates []float64, rtt float64) *Fig21Result {
+	if len(dropRates) == 0 {
+		dropRates = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25}
+	}
+	pr := Fig21Params{DropRates: dropRates, RTT: rtt}
+	return fig21Reduce(&pr, fig21RunRange(&pr, CellRange{0, fig21Cells(&pr)}))
 }
 
 // Table implements Result.

@@ -90,6 +90,7 @@ func init() {
 		Params:      paramsFn[ParkingLotParams](DefaultParkingLot),
 		Presets:     map[string]func() Params{"paper": paramsFn[ParkingLotParams](PaperParkingLot)},
 		Run:         runAs(func(p *ParkingLotParams) Result { return RunParkingLot(*p) }),
+		Grid:        GridAs(parkingLotCells, parkingLotRunRange, parkingLotReduce),
 	})
 }
 
@@ -191,19 +192,34 @@ func runParkingLotCell(c *Cell, pr ParkingLotParams, k int, seed int64) ParkingL
 	return cell
 }
 
-// RunParkingLot runs the grid: every (bottlenecks, seed) combination is
-// an independent cell on the sweep runner, merged in deterministic grid
-// order so output is bit-identical at any parallelism.
-func RunParkingLot(pr ParkingLotParams) *ParkingLotResult {
-	seeds := pr.Seeds
-	if seeds < 1 {
-		seeds = 1
+// parkingLotSeeds clamps the replication count to at least one.
+func parkingLotSeeds(pr *ParkingLotParams) int {
+	if pr.Seeds < 1 {
+		return 1
 	}
-	raw := runCellsCtx(len(pr.Bottlenecks)*seeds, func(c *Cell, i int) ParkingLotCell {
-		k, rep := pr.Bottlenecks[i/seeds], i%seeds
-		return runParkingLotCell(c, pr, k, pr.Seed+int64(rep)*6151)
+	return pr.Seeds
+}
+
+// parkingLotCells flattens the grid bottleneck-major, seed-minor.
+func parkingLotCells(pr *ParkingLotParams) int {
+	return len(pr.Bottlenecks) * parkingLotSeeds(pr)
+}
+
+// parkingLotRunRange computes grid cells [r.Lo, r.Hi); each cell's
+// coordinates derive from its absolute index.
+func parkingLotRunRange(pr *ParkingLotParams, r CellRange) []ParkingLotCell {
+	seeds := parkingLotSeeds(pr)
+	return runCellsCtx(r.Len(), func(c *Cell, i int) ParkingLotCell {
+		idx := r.Lo + i
+		k, rep := pr.Bottlenecks[idx/seeds], idx%seeds
+		return runParkingLotCell(c, *pr, k, pr.Seed+int64(rep)*6151)
 	})
-	res := &ParkingLotResult{Params: pr}
+}
+
+// parkingLotReduce aggregates each bottleneck count's seeds in order.
+func parkingLotReduce(pr *ParkingLotParams, raw []ParkingLotCell) *ParkingLotResult {
+	seeds := parkingLotSeeds(pr)
+	res := &ParkingLotResult{Params: *pr}
 	for c := range pr.Bottlenecks {
 		group := raw[c*seeds : (c+1)*seeds]
 		cell := group[0]
@@ -220,6 +236,13 @@ func RunParkingLot(pr ParkingLotParams) *ParkingLotResult {
 		res.Cells = append(res.Cells, cell)
 	}
 	return res
+}
+
+// RunParkingLot runs the grid: every (bottlenecks, seed) combination is
+// an independent cell on the sweep runner, merged in deterministic grid
+// order so output is bit-identical at any parallelism.
+func RunParkingLot(pr ParkingLotParams) *ParkingLotResult {
+	return parkingLotReduce(&pr, parkingLotRunRange(&pr, CellRange{0, parkingLotCells(&pr)}))
 }
 
 // Table implements Result.

@@ -57,6 +57,11 @@ type Descriptor struct {
 	// Run executes the experiment. Callers should go through
 	// RunExperiment, which validates first.
 	Run func(Params) (Result, error)
+	// Grid, when non-nil, exposes the experiment's pure-cell structure
+	// for distributed execution (cell count, range execution, reduce);
+	// the shard/merge coordinator runs on this contract. Trace and
+	// transient experiments leave it nil and can only run whole.
+	Grid *Grid
 }
 
 // PresetParams returns a fresh parameter set for the named preset; ""
@@ -196,7 +201,10 @@ var ErrInterrupted = errors.New("interrupted")
 
 // RunExperiment validates the parameters and executes the experiment.
 // This is the one entry point the CLI and the public experiment package
-// use, so no experiment can run on unvalidated parameters. When the
+// use, so no experiment can run on unvalidated parameters. The
+// process-global run configuration (SetParallelism, SetContext) is
+// snapshotted at entry, so mid-run mutation configures the next run
+// rather than splitting this one across two settings. When the
 // installed run context is cancelled mid-run, the error wraps
 // ErrInterrupted and the result carries whatever the experiment could
 // assemble from the cells that finished; a panic while interrupted
@@ -206,6 +214,10 @@ func RunExperiment(d Descriptor, p Params) (res Result, err error) {
 	if verr := p.Validate(); verr != nil {
 		return nil, fmt.Errorf("%s: invalid parameters: %w", d.Name, verr)
 	}
+	// Freeze the process-global run configuration for this run; the
+	// restore defer is registered first so the recover handler below
+	// still sees the active snapshot (defers run last-in-first-out).
+	defer endRun(beginRun())
 	defer func() {
 		if r := recover(); r != nil {
 			if Interrupted() {

@@ -19,6 +19,12 @@ var runCtx atomic.Pointer[context.Context]
 // ErrInterrupted alongside whatever partial result the experiment
 // assembled. Process-wide, like SetParallelism; passing nil restores the
 // default never-cancelled behavior.
+//
+// Because the setting is process-global, RunExperiment snapshots it (and
+// the parallelism) at run start: a SetContext call made while an
+// experiment is running configures the next run, never the one in
+// flight. Concurrent RunExperiment calls still share one configuration —
+// callers needing different settings per run must serialize.
 func SetContext(ctx context.Context) {
 	if ctx == nil {
 		runCtx.Store(nil)
@@ -27,11 +33,42 @@ func SetContext(ctx context.Context) {
 	runCtx.Store(&ctx)
 }
 
-// Interrupted reports whether the installed run context is cancelled.
+// Interrupted reports whether the governing run context is cancelled:
+// the one snapshotted by the active RunExperiment when inside a run, the
+// currently installed one otherwise.
 func Interrupted() bool {
 	p := runCtx.Load()
+	if s := activeSnap.Load(); s != nil {
+		p = s.ctx
+	}
 	return p != nil && (*p).Err() != nil
 }
+
+// runSnap freezes the process-global run configuration — worker count
+// and cancellation context — for the duration of one RunExperiment
+// call, so a mid-sweep SetParallelism or SetContext cannot split a
+// single sweep across two configurations (which would break the
+// bit-identical-at-any-parallelism contract mid-merge and let a late
+// SetContext silently truncate a running sweep).
+type runSnap struct {
+	workers int
+	ctx     *context.Context
+}
+
+// activeSnap is the configuration snapshot of the innermost running
+// RunExperiment, nil outside of one.
+var activeSnap atomic.Pointer[runSnap]
+
+// beginRun installs a snapshot of the current configuration and returns
+// the previous snapshot for endRun to restore (experiments can nest:
+// fig21's cells call RunFig19).
+func beginRun() *runSnap {
+	s := &runSnap{workers: int(parallelism.Load()), ctx: runCtx.Load()}
+	return activeSnap.Swap(s)
+}
+
+// endRun restores the snapshot that beginRun displaced.
+func endRun(prev *runSnap) { activeSnap.Store(prev) }
 
 // parallelism is the worker count used by every grid-shaped figure
 // experiment (atomic so figure runs may be launched from any goroutine).
@@ -47,6 +84,10 @@ func init() { parallelism.Store(1) }
 // memory grows with the setting; the Go scheduler bounds effective CPU
 // parallelism to GOMAXPROCS. Results are bit-identical at any setting:
 // cells are pure and merged in deterministic cell order.
+//
+// Like SetContext, this is process-global and snapshotted by
+// RunExperiment at run start: a mid-sweep call configures the next run,
+// not the one in flight.
 func SetParallelism(n int) int {
 	if n < 1 {
 		n = 1
@@ -54,8 +95,15 @@ func SetParallelism(n int) int {
 	return int(parallelism.Swap(int64(n)))
 }
 
-// Parallelism returns the current sweep worker count.
-func Parallelism() int { return int(parallelism.Load()) }
+// Parallelism returns the governing sweep worker count: the one
+// snapshotted by the active RunExperiment when inside a run, the
+// currently installed one otherwise.
+func Parallelism() int {
+	if s := activeSnap.Load(); s != nil {
+		return s.workers
+	}
+	return int(parallelism.Load())
+}
 
 // runCells executes n independent experiment cells on the configured
 // worker pool, returning results in cell order. Cells reached after the

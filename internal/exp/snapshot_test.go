@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// snapParams/snapResult are a minimal unregistered experiment used to
+// observe the run configuration from inside a run.
+type snapParams struct{ Probes int }
+
+func (p *snapParams) Validate() error {
+	if p.Probes < 1 {
+		return fmt.Errorf("Probes must be at least 1, got %d", p.Probes)
+	}
+	return nil
+}
+
+type snapResult struct {
+	Workers     []int
+	Interrupted []bool
+}
+
+func (r *snapResult) Table(io.Writer) {}
+
+// snapDescriptor runs an experiment whose cells report the Parallelism
+// and Interrupted values they observe; probe gates each cell so the
+// test can mutate the globals mid-run.
+func snapDescriptor(probe func(i int)) Descriptor {
+	return Descriptor{
+		Name:   "snapshot-test",
+		Params: paramsFn[snapParams](func() snapParams { return snapParams{Probes: 4} }),
+		Run: runAs(func(p *snapParams) Result {
+			res := &snapResult{}
+			for i := 0; i < p.Probes; i++ {
+				probe(i)
+				res.Workers = append(res.Workers, Parallelism())
+				res.Interrupted = append(res.Interrupted, Interrupted())
+			}
+			return res
+		}),
+	}
+}
+
+// TestRunConfigSnapshot verifies that RunExperiment freezes the
+// process-global parallelism and context at run start: mutating either
+// mid-run must not change what the running experiment observes.
+func TestRunConfigSnapshot(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	defer SetContext(nil)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	d := snapDescriptor(func(i int) {
+		if i == 2 {
+			// Mid-run mutation: both must only affect the NEXT run.
+			SetParallelism(7)
+			SetContext(cancelled)
+		}
+	})
+	res, err := RunExperiment(d, &snapParams{Probes: 4})
+	if err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	sr := res.(*snapResult)
+	for i, w := range sr.Workers {
+		if w != 3 {
+			t.Errorf("probe %d saw Parallelism()=%d, want the snapshot value 3", i, w)
+		}
+	}
+	for i, intr := range sr.Interrupted {
+		if intr {
+			t.Errorf("probe %d saw Interrupted()=true; mid-run SetContext must not cancel the active run", i)
+		}
+	}
+
+	// After the run the mutations take effect.
+	if got := Parallelism(); got != 7 {
+		t.Errorf("after run Parallelism()=%d, want 7", got)
+	}
+	if !Interrupted() {
+		t.Error("after run Interrupted()=false, want true (cancelled context installed)")
+	}
+}
+
+// TestRunConfigSnapshotRace hammers SetParallelism/SetContext from a
+// writer goroutine while an experiment runs, for the race detector, and
+// checks every cell of one run observes a single worker count.
+func TestRunConfigSnapshotRace(t *testing.T) {
+	prev := SetParallelism(2)
+	defer SetParallelism(prev)
+	defer SetContext(nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetParallelism(n%8 + 1)
+			SetContext(context.Background())
+			n++
+		}
+	}()
+
+	for run := 0; run < 50; run++ {
+		d := snapDescriptor(func(int) {})
+		res, err := RunExperiment(d, &snapParams{Probes: 8})
+		if err != nil {
+			t.Fatalf("RunExperiment: %v", err)
+		}
+		sr := res.(*snapResult)
+		for i, w := range sr.Workers {
+			if w != sr.Workers[0] {
+				t.Fatalf("run %d: probe %d saw Parallelism()=%d, probe 0 saw %d; one run split across two worker counts",
+					run, i, w, sr.Workers[0])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tfrc/internal/exp"
+)
+
+// The checkpoint file is JSON Lines: a header line identifying exactly
+// what is being computed, then one line per finished cell in index
+// order. Every flush rewrites the whole file through the atomic
+// write-temp, fsync, rename discipline, so the visible file is always a
+// complete flush — a crash can only cost the cells computed since the
+// last flush. The loader is nevertheless tolerant of a torn tail
+// (truncated or garbled trailing lines, as a non-atomic filesystem
+// might leave): it keeps the longest valid prefix and the runner
+// recomputes the rest, which is always safe because cells are pure.
+//
+//	{"schema":"tfrc.shard.checkpoint/v1","experiment":"fig6","params_hash":"sha256:…","cell_range":{"lo":0,"hi":18}}
+//	{"index":0,"cell":{…}}
+//	{"index":1,"cell":{…}}
+
+// checkpointHeader is the checkpoint file's first line.
+type checkpointHeader struct {
+	Schema     string        `json:"schema"`
+	Experiment string        `json:"experiment"`
+	ParamsHash string        `json:"params_hash"`
+	CellRange  exp.CellRange `json:"cell_range"`
+}
+
+// checkpointLine is one finished cell.
+type checkpointLine struct {
+	Index int             `json:"index"`
+	Cell  json.RawMessage `json:"cell"`
+}
+
+// checkpointWriter flushes a shard's progress to disk.
+type checkpointWriter struct {
+	path  string
+	hdr   checkpointHeader
+	crash *crasher
+}
+
+// flush atomically replaces the checkpoint with the header plus the
+// first done cells of the range. The crasher's mid-flush, torn-flush,
+// and after-flush points bracket the rename so tests can SIGKILL the
+// process at every interesting instant.
+func (w *checkpointWriter) flush(cells []json.RawMessage, done int) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // Encode appends the newline
+	if err := enc.Encode(w.hdr); err != nil {
+		return fmt.Errorf("encoding checkpoint header: %w", err)
+	}
+	for i := 0; i < done; i++ {
+		if err := enc.Encode(checkpointLine{Index: w.hdr.CellRange.Lo + i, Cell: cells[i]}); err != nil {
+			return fmt.Errorf("encoding checkpoint cell %d: %w", w.hdr.CellRange.Lo+i, err)
+		}
+	}
+	data := buf.Bytes()
+	if w.crash.firesAt(pointTornFlush) {
+		// Simulate a torn write: publish a checkpoint truncated
+		// mid-line, then die. The loader must drop the torn tail.
+		torn := data[:len(data)-len(data)/4]
+		atomicWrite(w.path, torn)
+		w.crash.die()
+	}
+	w.crash.at(pointMidFlush) // before the write becomes visible
+	if err := atomicWrite(w.path, data); err != nil {
+		return fmt.Errorf("flushing checkpoint: %w", err)
+	}
+	w.crash.at(pointAfterFlush) // after the write became visible
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint, validates its identity against the
+// expected header, and returns the contiguous prefix of finished cells
+// (cells[i] holds cell want.CellRange.Lo+i). Torn or out-of-order
+// trailing lines are dropped; a mismatched header is an error because
+// resuming someone else's checkpoint would corrupt the sweep.
+func loadCheckpoint(path string, want checkpointHeader) (cells []json.RawMessage, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26) // cells can be large (trace series)
+	if !sc.Scan() {
+		// Empty or unreadable header: treat as no progress.
+		return nil, nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, nil // torn before the header finished: no progress
+	}
+	if hdr.Schema != want.Schema {
+		return nil, fmt.Errorf("%s: checkpoint schema %q does not match %q", path, hdr.Schema, want.Schema)
+	}
+	if hdr.Experiment != want.Experiment {
+		return nil, fmt.Errorf("%s: checkpoint is for experiment %q, not %q", path, hdr.Experiment, want.Experiment)
+	}
+	if hdr.ParamsHash != want.ParamsHash {
+		return nil, fmt.Errorf("%s: checkpoint params hash %s does not match %s — the parameters changed; delete the checkpoint or rerun with the original parameters",
+			path, hdr.ParamsHash, want.ParamsHash)
+	}
+	// A checkpoint for a same-Lo sub-range is reusable: cells are pure
+	// functions of their absolute index, so a prefix computed for a
+	// narrower range is byte-identical under the wider one (this is how
+	// a run interrupted partway resumes into the full shard). Any other
+	// range means the shard addressing changed.
+	if hdr.CellRange.Lo != want.CellRange.Lo || hdr.CellRange.Hi > want.CellRange.Hi {
+		return nil, fmt.Errorf("%s: checkpoint covers cells %s, not %s — shard addressing changed; delete the checkpoint or rerun with the original shard split",
+			path, hdr.CellRange, want.CellRange)
+	}
+
+	next := want.CellRange.Lo
+	for sc.Scan() && next < want.CellRange.Hi {
+		var line checkpointLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Cell == nil {
+			break // torn tail: keep the valid prefix
+		}
+		if line.Index != next {
+			break // out-of-order tail: keep the contiguous prefix
+		}
+		cells = append(cells, line.Cell)
+		next++
+	}
+	// Scanner errors (oversize line etc.) also just end the prefix.
+	return cells, nil
+}
+
+// Deterministic crash injection, test-only. The environment variable
+// TFRCSIM_SHARD_CRASH_POINT names a checkpoint-flush instant and an
+// occurrence count, "point:n": the process SIGKILLs itself at the n-th
+// (1-based) occurrence of that point. Points:
+//
+//	after-flush — the flush completed (rename done); the checkpoint
+//	              holds everything computed so far.
+//	mid-flush   — the new flush is fully staged but not yet visible;
+//	              the previous checkpoint is still in place.
+//	torn-flush  — a truncated checkpoint was made visible (simulating
+//	              a torn write), exercising the tolerant loader.
+//
+// TFRCSIM_SHARD_CRASH_ONCE="shard:path" arms an after-flush crash for
+// the matching shard index only, guarded by a sentinel file created
+// just before dying, so the supervisor's restart of the same shard runs
+// clean. Both hooks are inert unless the variables are set, and the
+// variables are only set by tests and the CI shard job.
+const (
+	crashPointEnv = "TFRCSIM_SHARD_CRASH_POINT"
+	crashOnceEnv  = "TFRCSIM_SHARD_CRASH_ONCE"
+
+	pointAfterFlush = "after-flush"
+	pointMidFlush   = "mid-flush"
+	pointTornFlush  = "torn-flush"
+)
+
+// crasher holds the armed crash point. The zero/nil crasher never
+// fires, so production paths pay one nil check per flush.
+type crasher struct {
+	point    string
+	n        int    // remaining occurrences before firing
+	sentinel string // crash-once guard file; "" for unconditional
+}
+
+// newCrasher arms a crasher for this shard from the environment;
+// returns nil (inert) when no crash is configured for it.
+func newCrasher(shardIndex int) *crasher {
+	if v := os.Getenv(crashPointEnv); v != "" {
+		point, nstr, ok := strings.Cut(v, ":")
+		n := 1
+		if ok {
+			if parsed, err := strconv.Atoi(nstr); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		return &crasher{point: point, n: n}
+	}
+	if v := os.Getenv(crashOnceEnv); v != "" {
+		idxStr, sentinel, ok := strings.Cut(v, ":")
+		if !ok || sentinel == "" {
+			return nil
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx != shardIndex {
+			return nil
+		}
+		if _, err := os.Stat(sentinel); err == nil {
+			return nil // already crashed once
+		}
+		return &crasher{point: pointAfterFlush, n: 1, sentinel: sentinel}
+	}
+	return nil
+}
+
+// firesAt registers one occurrence of point and reports whether the
+// countdown reached it; a true return means the caller must do its
+// pre-crash staging (e.g. publish a torn file) and then call die.
+func (c *crasher) firesAt(point string) bool {
+	if c == nil || c.point != point {
+		return false
+	}
+	c.n--
+	return c.n <= 0
+}
+
+// at registers one occurrence of point, dying if the crasher is armed
+// for it and the countdown reached it.
+func (c *crasher) at(point string) {
+	if c.firesAt(point) {
+		c.die()
+	}
+}
+
+// die marks the crash-once sentinel durably (so the restarted shard
+// does not crash again) and SIGKILLs the process.
+func (c *crasher) die() {
+	if c.sentinel != "" {
+		if f, err := os.Create(c.sentinel); err == nil {
+			f.Sync()
+			f.Close()
+			syncDir(filepath.Dir(c.sentinel))
+		}
+	}
+	crashSelf()
+}

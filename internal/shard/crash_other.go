@@ -1,0 +1,12 @@
+//go:build !unix
+
+package shard
+
+import "os"
+
+// crashSelf approximates an abrupt kill on platforms without SIGKILL
+// semantics: exit immediately with the conventional killed status,
+// skipping deferred functions and flushes.
+func crashSelf() {
+	os.Exit(137)
+}

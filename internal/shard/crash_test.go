@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"tfrc/internal/exp"
+)
+
+// crashChild launches one helper-process shard attempt (see
+// exec_test.go's TestMain) with the given crash environment and reports
+// whether the process exited cleanly.
+func crashChild(t *testing.T, c Child, crashEnv string) bool {
+	t.Helper()
+	spec, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		helperModeEnv+"=run",
+		"TFRC_SHARD_TEST_CHILD="+string(spec))
+	if crashEnv != "" {
+		cmd.Env = append(cmd.Env, crashEnv)
+	}
+	cmd.Stderr = os.Stderr
+	runErr := cmd.Run()
+	if runErr != nil {
+		var ee *exec.ExitError
+		if !errors.As(runErr, &ee) {
+			t.Fatalf("launching shard subprocess: %v", runErr)
+		}
+	}
+	return runErr == nil
+}
+
+// TestCrashAtEveryPointResumesByteIdentical is the crash-safety sweep:
+// a real shard subprocess is SIGKILLed at each instrumented instant of
+// the checkpoint write path — after a flush became visible, with the
+// new flush staged but not yet renamed in, and with a torn (truncated)
+// checkpoint made visible — at several depths into the run. After each
+// kill a resume must complete and produce an envelope byte-identical
+// to an uninterrupted run's.
+func TestCrashAtEveryPointResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many subprocesses")
+	}
+	d := shardtestDesc(t)
+	params := &shardtestParams{N: 6, Seed: 13}
+
+	clean, err := Run(RunSpec{Desc: d, Params: params, Shard: ShardParams{Index: 0, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	paramsJSON, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, point := range []string{pointAfterFlush, pointMidFlush, pointTornFlush} {
+		for n := 1; n <= 4; n++ {
+			t.Run(point+"/"+string(rune('0'+n)), func(t *testing.T) {
+				dir := t.TempDir()
+				paramsFile := filepath.Join(dir, "params.json")
+				if err := os.WriteFile(paramsFile, paramsJSON, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				c := Child{
+					Shard: 0, Count: 1,
+					Experiment: "shardtest",
+					ParamsFile: paramsFile,
+					Checkpoint: filepath.Join(dir, "s.ckpt"),
+					Out:        filepath.Join(dir, "s.json"),
+					FlushEvery: 1,
+				}
+
+				// First attempt: armed to die at the n-th occurrence of
+				// the crash point. With FlushEvery 1 and 6 cells that is
+				// mid-run, so the process must not survive.
+				if crashChild(t, c, crashPointEnv+"="+point+":"+string(rune('0'+n))) {
+					t.Fatalf("shard survived an armed %s crash", point)
+				}
+				if _, err := os.Stat(c.Out); err == nil {
+					t.Fatal("killed shard must not have published an envelope")
+				}
+
+				// The visible checkpoint, whatever state the kill left it
+				// in, must load (possibly short, never wrong).
+				hdr := checkpointHeader{
+					Schema:     CheckpointSchema,
+					Experiment: "shardtest",
+					ParamsHash: mustHash(t, "shardtest", paramsJSON),
+					CellRange:  exp.CellRange{Lo: 0, Hi: 6},
+				}
+				if _, err := os.Stat(c.Checkpoint); err == nil {
+					if _, err := loadCheckpoint(c.Checkpoint, hdr); err != nil {
+						t.Fatalf("post-crash checkpoint unusable: %v", err)
+					}
+				}
+
+				// Second attempt, crash hook unset: resume and finish.
+				if !crashChild(t, c, "") {
+					t.Fatal("resume attempt failed")
+				}
+				resumed, err := ReadEnvelopeFile(c.Out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertEnvelopesIdentical(t, clean, resumed)
+			})
+		}
+	}
+}
+
+// mustHash wraps ParamsHash for tests.
+func mustHash(t *testing.T, name string, paramsJSON []byte) string {
+	t.Helper()
+	h, err := ParamsHash(name, paramsJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}

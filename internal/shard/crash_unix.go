@@ -1,0 +1,16 @@
+//go:build unix
+
+package shard
+
+import (
+	"os"
+	"syscall"
+)
+
+// crashSelf kills the process as abruptly as the OS allows — SIGKILL,
+// no deferred functions, no flushes — so crash-injection tests exercise
+// the same failure the supervisor must survive in production.
+func crashSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be handled
+}

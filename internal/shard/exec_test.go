@@ -1,0 +1,294 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+
+	"tfrc/internal/exp"
+)
+
+// The supervisor tests re-exec this test binary as the shard
+// subprocess: TestMain diverts to helperMain when the mode variable is
+// set, so Exec drives real processes that really crash (SIGKILL via the
+// checkpoint crash hooks), hang, or fail.
+const helperModeEnv = "TFRC_SHARD_TEST_HELPER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(helperModeEnv) != "" {
+		helperMain()
+		return // unreachable; helperMain exits
+	}
+	os.Exit(m.Run())
+}
+
+// helperMain is the shard subprocess body: run the child spec from the
+// environment like "tfrcsim shard run" would, honoring the mode.
+func helperMain() {
+	mode := os.Getenv(helperModeEnv)
+	var c Child
+	if err := json.Unmarshal([]byte(os.Getenv("TFRC_SHARD_TEST_CHILD")), &c); err != nil {
+		fmt.Fprintln(os.Stderr, "helper: bad child spec:", err)
+		os.Exit(1)
+	}
+	switch mode {
+	case "run":
+	case "fail":
+		os.Exit(1)
+	case "hang":
+		time.Sleep(time.Minute)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "helper: unknown mode", mode)
+		os.Exit(1)
+	}
+	desc, ok := exp.Lookup(c.Experiment)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "helper: unknown experiment", c.Experiment)
+		os.Exit(1)
+	}
+	pj, err := os.ReadFile(c.ParamsFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	params := desc.Params()
+	if err := json.Unmarshal(pj, params); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	env, err := Run(RunSpec{
+		Desc:   desc,
+		Params: params,
+		Shard: ShardParams{
+			Index: c.Shard, Count: c.Count,
+			FlushEvery: c.FlushEvery,
+			Checkpoint: c.Checkpoint, Resume: true,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	if err := WriteEnvelopeFile(c.Out, env); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// helperCommand builds a Command hook running this test binary in
+// helper mode; modeFor picks the mode per (shard, attempt).
+func helperCommand(t *testing.T, extraEnv []string, modeFor func(shard, attempt int) string) func(context.Context, Child) *exec.Cmd {
+	t.Helper()
+	var mu sync.Mutex // Command is called from per-shard goroutines
+	attempts := map[int]int{}
+	return func(ctx context.Context, c Child) *exec.Cmd {
+		mu.Lock()
+		attempt := attempts[c.Shard]
+		attempts[c.Shard]++
+		mu.Unlock()
+		spec, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.CommandContext(ctx, os.Args[0])
+		cmd.Env = append(os.Environ(),
+			helperModeEnv+"="+modeFor(c.Shard, attempt),
+			"TFRC_SHARD_TEST_CHILD="+string(spec))
+		cmd.Env = append(cmd.Env, extraEnv...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+}
+
+// baseExecConfig builds the common supervisor config: instant fake
+// sleeps, tight budget.
+func baseExecConfig(t *testing.T, dir string) ExecConfig {
+	t.Helper()
+	return ExecConfig{
+		Desc:        shardtestDesc(t),
+		Params:      &shardtestParams{N: 10, Seed: 21},
+		Shards:      3,
+		Dir:         dir,
+		FlushEvery:  1,
+		MaxAttempts: 3,
+		JitterSeed:  99,
+		Sleep:       func(time.Duration) {}, // hermetic: no real waiting
+		Log:         os.Stderr,
+	}
+}
+
+// directEnvelope computes the ground-truth complete envelope in
+// process.
+func directEnvelope(t *testing.T, cfg ExecConfig) *Envelope {
+	t.Helper()
+	env, err := Run(RunSpec{Desc: cfg.Desc, Params: &shardtestParams{N: 10, Seed: 21},
+		Shard: ShardParams{Index: 0, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestExecAllHealthy(t *testing.T) {
+	cfg := baseExecConfig(t, t.TempDir())
+	cfg.Command = helperCommand(t, nil, func(int, int) string { return "run" })
+	merged, err := Exec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Complete {
+		t.Fatalf("healthy fan-out must be complete; missing %v", merged.Missing)
+	}
+	assertEnvelopesIdentical(t, directEnvelope(t, cfg), merged)
+}
+
+// TestExecCrashedShardResumes arms the crash-once hook for shard 1: its
+// first attempt SIGKILLs itself right after a checkpoint flush, the
+// supervisor restarts it, and the resumed run must leave the merged
+// envelope byte-identical to a crash-free fan-out.
+func TestExecCrashedShardResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseExecConfig(t, dir)
+	sentinel := dir + "/crashed-once"
+	cfg.Command = helperCommand(t,
+		[]string{crashOnceEnv + "=1:" + sentinel},
+		func(int, int) string { return "run" })
+	merged, err := Exec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Complete {
+		t.Fatalf("crashed-then-resumed fan-out must be complete; missing %v", merged.Missing)
+	}
+	if _, err := os.Stat(sentinel); err != nil {
+		t.Fatal("crash hook never fired; the test exercised nothing")
+	}
+	assertEnvelopesIdentical(t, directEnvelope(t, cfg), merged)
+}
+
+// TestExecHungShardKilledAndRetried: shard 2's first attempt hangs; the
+// shard timeout kills it and the retry completes the sweep.
+func TestExecHungShardKilledAndRetried(t *testing.T) {
+	cfg := baseExecConfig(t, t.TempDir())
+	cfg.ShardTimeout = 2 * time.Second
+	cfg.Command = helperCommand(t, nil, func(shard, attempt int) string {
+		if shard == 2 && attempt == 0 {
+			return "hang"
+		}
+		return "run"
+	})
+	merged, err := Exec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Complete {
+		t.Fatalf("hung-then-retried fan-out must be complete; missing %v", merged.Missing)
+	}
+	assertEnvelopesIdentical(t, directEnvelope(t, cfg), merged)
+}
+
+// TestExecPermanentFailureDegradesGracefully: shard 1 fails every
+// attempt. The sweep must still produce a well-formed partial envelope
+// with exactly shard 1's cells missing — not an error with nothing.
+func TestExecPermanentFailureDegradesGracefully(t *testing.T) {
+	cfg := baseExecConfig(t, t.TempDir())
+	cfg.MaxAttempts = 2
+	cfg.Command = helperCommand(t, nil, func(shard, attempt int) string {
+		if shard == 1 {
+			return "fail"
+		}
+		return "run"
+	})
+	merged, err := Exec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Complete {
+		t.Fatal("a permanently failed shard cannot yield a complete envelope")
+	}
+	total := 10
+	want := SplitRange(total, 1, 3)
+	if len(merged.Missing) != 1 || merged.Missing[0] != want {
+		t.Fatalf("Missing = %v, want [%s]", merged.Missing, want)
+	}
+	for i := 0; i < total; i++ {
+		gotNil := merged.Cells[i] == nil
+		wantNil := i >= want.Lo && i < want.Hi
+		if gotNil != wantNil {
+			t.Fatalf("cell %d nil=%v, want nil=%v", i, gotNil, wantNil)
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("partial envelope must still be well-formed: %v", err)
+	}
+}
+
+// TestExecSalvagesCheckpointOfDeadShard: shard 0 crashes after
+// checkpointing some cells on every allowed attempt; the merged partial
+// envelope must carry the durably checkpointed prefix and report only
+// the truly lost tail as missing.
+func TestExecSalvagesCheckpointOfDeadShard(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseExecConfig(t, dir)
+	cfg.MaxAttempts = 1 // one crash = permanent failure
+	sentinel := dir + "/crashed-once"
+	cfg.Command = helperCommand(t,
+		[]string{crashOnceEnv + "=0:" + sentinel},
+		func(int, int) string { return "run" })
+	merged, err := Exec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Complete {
+		t.Fatal("crashed shard with 1-attempt budget cannot complete")
+	}
+	rng := SplitRange(10, 0, 3) // [0,4)
+	// The crash fires after the first flush (FlushEvery=1): cell
+	// rng.Lo is durable, the rest of the shard's range is lost.
+	if merged.Cells[rng.Lo] == nil {
+		t.Fatal("checkpointed cell was not salvaged into the partial envelope")
+	}
+	if len(merged.Missing) != 1 || merged.Missing[0] != (exp.CellRange{Lo: rng.Lo + 1, Hi: rng.Hi}) {
+		t.Fatalf("Missing = %v, want [[%d,%d)]", merged.Missing, rng.Lo+1, rng.Hi)
+	}
+	// Salvaged cells must equal the ground truth cells.
+	truth := directEnvelope(t, cfg)
+	if !bytes.Equal(merged.Cells[rng.Lo], truth.Cells[rng.Lo]) {
+		t.Fatalf("salvaged cell differs from ground truth: %s vs %s",
+			merged.Cells[rng.Lo], truth.Cells[rng.Lo])
+	}
+}
+
+// TestExecBackoffDeterministic: the jittered backoff schedule is a pure
+// function of (seed, shard, attempt).
+func TestExecBackoffDeterministic(t *testing.T) {
+	cfg := ExecConfig{JitterSeed: 7, BackoffBase: 100 * time.Millisecond, BackoffCap: 2 * time.Second}
+	for shard := 0; shard < 4; shard++ {
+		for attempt := 0; attempt < 12; attempt++ {
+			a := cfg.backoff(shard, attempt)
+			b := cfg.backoff(shard, attempt)
+			if a != b {
+				t.Fatalf("backoff(%d,%d) not deterministic: %v vs %v", shard, attempt, a, b)
+			}
+			if a > 3*time.Second {
+				t.Fatalf("backoff(%d,%d)=%v exceeds cap×1.5", shard, attempt, a)
+			}
+			if a <= 0 {
+				t.Fatalf("backoff(%d,%d)=%v must be positive", shard, attempt, a)
+			}
+		}
+	}
+	other := cfg
+	other.JitterSeed = 8
+	if cfg.backoff(1, 1) == other.backoff(1, 1) {
+		t.Error("different jitter seeds should produce different delays")
+	}
+}

@@ -1,0 +1,248 @@
+// Package shard is the fault-tolerant distributed sweep coordinator.
+// It runs on the pure-cell Grid contract (internal/exp): a grid
+// experiment's cells are pure functions of (params, absolute index), so
+// any cell range can be computed by any process on any machine, crash
+// and resume at any point, and the reassembled full set reduces to a
+// Result byte-identical to a single-machine run.
+//
+// The package has three entry points, mirrored by the tfrcsim
+// subcommands:
+//
+//   - Run computes one shard's cell range with optional crash-safe
+//     checkpointing and resume ("tfrcsim shard run").
+//   - Exec supervises a local fan-out of shard subprocesses, restarting
+//     crashed or hung ones with capped, seeded-jitter backoff, and
+//     merges what they produced ("tfrcsim shard exec").
+//   - Merge validates and reassembles shard envelopes, and Reduce
+//     re-runs the experiment's reduce step over a complete merge
+//     ("tfrcsim merge").
+//
+// Every artifact is a versioned JSON envelope (EnvelopeSchema), so
+// partial results from a permanently failed fleet are still well-formed:
+// complete=false with the missing cell ranges enumerated, never a
+// truncated file.
+package shard
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tfrc/internal/exp"
+)
+
+// EnvelopeSchema versions the partial-result envelope format. Bump on
+// any incompatible change so stale files fail loudly at merge time.
+const EnvelopeSchema = "tfrc.shard.envelope/v1"
+
+// CheckpointSchema versions the checkpoint file format.
+const CheckpointSchema = "tfrc.shard.checkpoint/v1"
+
+// ShardParams configures one shard's slice of an experiment grid and
+// its checkpointing behavior.
+type ShardParams struct {
+	// Index/Count address this shard's contiguous slice of the cell
+	// index space: SplitRange(total, Index, Count).
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// FlushEvery is the number of computed cells between checkpoint
+	// flushes; 0 means DefaultFlushEvery. Each flush is atomic
+	// (write-temp, fsync, rename), so a crash costs at most FlushEvery
+	// cells of recomputation.
+	FlushEvery int `json:"flushEvery,omitempty"`
+	// Checkpoint is the checkpoint file path; empty disables
+	// checkpointing.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Resume loads an existing checkpoint (validating experiment,
+	// params hash, and range) and recomputes only the missing tail. A
+	// missing checkpoint file is a fresh start, not an error, so
+	// supervisors can pass Resume unconditionally.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// DefaultFlushEvery is the checkpoint cadence when FlushEvery is 0.
+const DefaultFlushEvery = 1
+
+// Validate implements the Params convention: shard addressing must be
+// coherent before any cell runs.
+func (p *ShardParams) Validate() error {
+	if p.Count < 1 {
+		return fmt.Errorf("shard count must be at least 1, got %d", p.Count)
+	}
+	if p.Index < 0 || p.Index >= p.Count {
+		return fmt.Errorf("shard index must be in [0, %d), got %d", p.Count, p.Index)
+	}
+	if p.FlushEvery < 0 {
+		return fmt.Errorf("FlushEvery must be non-negative, got %d", p.FlushEvery)
+	}
+	if p.Resume && p.Checkpoint == "" {
+		return fmt.Errorf("Resume requires a Checkpoint path")
+	}
+	return nil
+}
+
+// flushEvery is the effective checkpoint cadence.
+func (p *ShardParams) flushEvery() int {
+	if p.FlushEvery == 0 {
+		return DefaultFlushEvery
+	}
+	return p.FlushEvery
+}
+
+// Envelope is the versioned partial-result container every shard run,
+// supervisor, and merge emits. Cells is index-aligned with CellRange
+// (Cells[i] holds cell CellRange.Lo+i); a nil entry is a cell nobody
+// computed, and Missing enumerates those as ranges. Complete means full
+// coverage of the experiment's cell space — only a complete envelope
+// can be reduced to a Result.
+type Envelope struct {
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"`
+	ParamsHash string            `json:"params_hash"`
+	Params     json.RawMessage   `json:"params"`
+	CellRange  exp.CellRange     `json:"cell_range"`
+	Cells      []json.RawMessage `json:"cells"`
+	Complete   bool              `json:"complete"`
+	Missing    []exp.CellRange   `json:"missing,omitempty"`
+}
+
+// Validate checks the envelope's internal coherence (schema, range
+// shape, cell alignment). Cross-envelope checks live in Merge.
+func (e *Envelope) Validate() error {
+	if e.Schema != EnvelopeSchema {
+		return fmt.Errorf("unsupported envelope schema %q (this build reads %q)", e.Schema, EnvelopeSchema)
+	}
+	if e.Experiment == "" {
+		return fmt.Errorf("envelope has no experiment name")
+	}
+	if e.ParamsHash == "" {
+		return fmt.Errorf("envelope has no params hash")
+	}
+	if e.CellRange.Lo < 0 || e.CellRange.Hi < e.CellRange.Lo {
+		return fmt.Errorf("malformed cell range %s", e.CellRange)
+	}
+	if len(e.Cells) != e.CellRange.Len() {
+		return fmt.Errorf("envelope carries %d cells for range %s (want %d)",
+			len(e.Cells), e.CellRange, e.CellRange.Len())
+	}
+	return nil
+}
+
+// ParamsHash fingerprints (experiment, exact parameters): sha256 over
+// the experiment name and the compact parameter JSON. Shards of one
+// sweep must agree on it before their cells may be merged.
+func ParamsHash(experiment string, paramsJSON []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, paramsJSON); err != nil {
+		return "", fmt.Errorf("hashing params: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(experiment))
+	h.Write([]byte("\n"))
+	h.Write(compact.Bytes())
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// SplitRange returns shard index's contiguous slice of [0, total) under
+// an even split into count shards: all slices cover the space exactly
+// and differ in size by at most one cell.
+func SplitRange(total, index, count int) exp.CellRange {
+	return exp.CellRange{Lo: index * total / count, Hi: (index + 1) * total / count}
+}
+
+// missingRanges enumerates the maximal runs of nil entries in cells as
+// absolute cell ranges (cells[i] addresses cell lo+i).
+func missingRanges(cells []json.RawMessage, lo int) []exp.CellRange {
+	var out []exp.CellRange
+	for i := 0; i < len(cells); {
+		if cells[i] != nil {
+			i++
+			continue
+		}
+		j := i
+		for j < len(cells) && cells[j] == nil {
+			j++
+		}
+		out = append(out, exp.CellRange{Lo: lo + i, Hi: lo + j})
+		i = j
+	}
+	return out
+}
+
+// WriteEnvelopeFile writes the envelope as indented JSON via the same
+// atomic write-temp, fsync, rename discipline as checkpoints, so a
+// crash mid-write never leaves a torn envelope behind.
+func WriteEnvelopeFile(path string, e *Envelope) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e); err != nil {
+		return fmt.Errorf("encoding envelope: %w", err)
+	}
+	return atomicWrite(path, buf.Bytes())
+}
+
+// ReadEnvelopeFile reads and validates one envelope file. JSON null
+// cells decode to the literal "null"; they are normalized back to nil
+// so missing-cell checks stay uniform.
+func ReadEnvelopeFile(path string) (*Envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("%s: parsing envelope: %w", path, err)
+	}
+	for i, c := range e.Cells {
+		if bytes.Equal(bytes.TrimSpace(c), []byte("null")) {
+			e.Cells[i] = nil
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &e, nil
+}
+
+// atomicWrite writes data to path via a same-directory temp file,
+// fsyncing the file before the rename and the directory after, so the
+// path either holds the old content or the complete new content.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss; errors are ignored (not all filesystems support it, and the
+// rename itself already ordered the data writes).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
