@@ -30,7 +30,13 @@
 //     Builder placing TCP (Tahoe/Reno/NewReno/SACK), TFRC, and
 //     background flows on named host pairs with monitors on named
 //     links, harvested into one Result. Scenarios run on the same
-//     arena-pooled zero-allocation engine as the paper experiments. A
+//     arena-pooled zero-allocation engine as the paper experiments.
+//     TCP's window arithmetic is pluggable:
+//     Builder.AddCC selects a congestion controller per flow from the
+//     zoo in internal/cc (reno, vegas, ledbat, relentless — register
+//     your own with scenario.RegisterCC), with the sender keeping the
+//     mechanics (SACK scoreboard, recovery) and the controller the
+//     policy; the "ccfair" experiment races them head to head. A
 //     parking lot in four lines:
 //
 //     topo := scenario.NewTopology(scenario.NewScheduler(), rng)

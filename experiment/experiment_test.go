@@ -314,7 +314,7 @@ func TestListCoversAllFiguresInOrder(t *testing.T) {
 	want := []string{
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig11", "fig14", "fig15", "fig16", "fig18", "fig19", "fig20",
-		"fig21", "blackout", "bwstep", "chaos", "flap", "manyflows",
+		"fig21", "blackout", "bwstep", "ccfair", "chaos", "flap", "manyflows",
 		"parkinglot",
 	}
 	if !reflect.DeepEqual(names, want) {

@@ -75,6 +75,12 @@ type (
 	ParkingLotParams = exp.ParkingLotParams
 	ParkingLotResult = exp.ParkingLotResult
 	ParkingLotCell   = exp.ParkingLotCell
+	// CCFairParams/CCFairResult: congestion-control zoo head-to-head
+	// fairness grid (N flows of protocol A vs M of protocol B over RTT
+	// and bandwidth); CCFairCell is one grid point.
+	CCFairParams = exp.CCFairParams
+	CCFairResult = exp.CCFairResult
+	CCFairCell   = exp.CCFairCell
 	// BWStepParams/BWStepResult: bandwidth-step transient.
 	BWStepParams = exp.BWStepParams
 	BWStepResult = exp.BWStepResult

@@ -1,0 +1,68 @@
+package cc
+
+// Relentless is Mathis's Relentless TCP (the variant Diana & Lochin
+// model analytically): congestion avoidance is standard, but instead of
+// halving on a loss episode the window is reduced by exactly the number
+// of segments lost — the sender repairs the hole and keeps going. The
+// result deliberately abandons AIMD fairness: against halving flows at
+// the same bottleneck, Relentless converges to whatever share loss
+// leaves it, which is nearly all of it. The ccfair experiments register
+// that unfairness as a first-class, reproducible measurement.
+type Relentless struct {
+	p         RelentlessParams
+	maxWindow float64
+	home      *arena //tfrc:keep arena co-tenant; Release returns the value to it
+}
+
+// Init re-initializes the controller for a new connection, filling
+// zero-valued tuning with the defaults.
+func (r *Relentless) Init(p RelentlessParams, maxWindow float64) {
+	p.fill()
+	r.p = p
+	r.maxWindow = maxWindow
+}
+
+// OnAck implements Controller: growth is standard Reno.
+//
+//tfrc:hotpath
+func (r *Relentless) OnAck(st *State, newly int64) { renoGrow(st, r.maxWindow) }
+
+// OnLoss implements Controller: no episode cut — the decrease happens
+// per lost segment in OnLostSegment.
+//
+//tfrc:hotpath
+func (r *Relentless) OnLoss(st *State, flight int64) {}
+
+// OnLostSegment implements Controller: one packet off the window per
+// segment deemed lost, floored at MinCwnd. Ssthresh follows the window
+// down so recovery exits in congestion avoidance, not slow start.
+//
+//tfrc:hotpath
+func (r *Relentless) OnLostSegment(st *State) {
+	st.Cwnd -= 1
+	if st.Cwnd < r.p.MinCwnd {
+		st.Cwnd = r.p.MinCwnd
+	}
+	st.Ssthresh = st.Cwnd
+}
+
+// OnTimeout implements Controller: timeouts collapse like standard TCP
+// — Relentless modifies only fast recovery.
+//
+//tfrc:hotpath
+func (r *Relentless) OnTimeout(st *State, flight int64) { renoTimeout(st, flight) }
+
+// OnRTTSample implements Controller.
+//
+//tfrc:hotpath
+func (r *Relentless) OnRTTSample(st *State, rtt float64) {}
+
+// Release hands the controller back to its arena.
+func (r *Relentless) Release() {
+	if r.home == nil {
+		return
+	}
+	h := r.home
+	r.home = nil
+	h.relentless.put(r)
+}

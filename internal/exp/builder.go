@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"tfrc/internal/cc"
 	"tfrc/internal/netsim"
 	"tfrc/internal/sim"
 	"tfrc/internal/tcp"
@@ -118,6 +119,22 @@ func (b *ScenarioBuilder) AddTCP(src, dst string, cfg tcp.Config, start float64)
 	snd.Start(start)
 	b.tcpFlows = append(b.tcpFlows, flow)
 	return flow
+}
+
+// AddCC places a one-way TCP transfer whose congestion-control policy
+// comes from the cc registry: name selects the controller ("reno",
+// "vegas", "ledbat", "relentless", or anything registered), ccfg carries
+// its tuning (ccfg.Name is overridden by name), and cfg the transport
+// mechanics. A zero cfg.Variant is upgraded to Sack — the scoreboard
+// recovery every non-Reno controller is designed to ride on; set a
+// variant explicitly to study a mismatched pairing. Returns the flow ID.
+func (b *ScenarioBuilder) AddCC(name cc.Name, ccfg cc.Config, src, dst string, cfg tcp.Config, start float64) int {
+	ccfg.Name = name
+	cfg.CC = ccfg
+	if cfg.Variant == tcp.Tahoe {
+		cfg.Variant = tcp.Sack
+	}
+	return b.AddTCP(src, dst, cfg, start)
 }
 
 // AddTFRC places a TFRC sender/receiver pair from src to dst, starting

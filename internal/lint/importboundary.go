@@ -20,7 +20,7 @@ Layer rules, replacing the grep checks that used to live in CI:
   - tfrc/examples/... never imports tfrc/internal/...: the examples are
     the contract of the public scenario/experiment packages.
   - tfrc/cmd/... never imports the simulator layers
-    (internal/{sim,netsim,core,tcp,tfrcsim,traffic,exp,sweep,wire,stats});
+    (internal/{sim,netsim,core,cc,tcp,tfrcsim,traffic,exp,sweep,wire,stats});
     binaries are registry shells going through the public packages.
     Tool-infrastructure internals (internal/bench, internal/lint) are
     the explicit exceptions: they exist only for the binaries.
@@ -39,6 +39,7 @@ var simulatorInternals = []string{
 	"tfrc/internal/sim",
 	"tfrc/internal/netsim",
 	"tfrc/internal/core",
+	"tfrc/internal/cc",
 	"tfrc/internal/tcp",
 	"tfrc/internal/tfrcsim",
 	"tfrc/internal/traffic",

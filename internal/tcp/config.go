@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"tfrc/internal/cc"
 )
 
 // Variant selects the loss-recovery behavior of a sender.
@@ -66,6 +68,12 @@ func (v *Variant) UnmarshalText(text []byte) error {
 type Config struct {
 	// Variant selects loss recovery; the zero value is Tahoe.
 	Variant Variant
+	// CC selects the congestion-control policy — the arithmetic that
+	// grows and cuts the window. The zero value is classic Reno AIMD,
+	// which reproduces the pre-cc sender bit for bit. Loss-recovery
+	// mechanics (scoreboards, recovery episodes, go-back-N) stay with
+	// Variant; CC decides only how much window those events cost or earn.
+	CC cc.Config `json:"cc,omitzero"`
 	// PacketSize is the segment size in bytes (default 1000).
 	PacketSize int
 	// AckSize is the bytes of a pure ACK on the reverse path (default 40).

@@ -3,6 +3,7 @@ package tcp
 import (
 	"math"
 
+	"tfrc/internal/cc"
 	"tfrc/internal/netsim"
 	"tfrc/internal/sim"
 )
@@ -21,12 +22,13 @@ type Sender struct {
 	sprt int // our port, where ACKs arrive
 	flow int
 
-	cwnd     float64
-	ssthresh float64
-	next     int64 // next sequence to transmit (ns-2's t_seqno_)
-	maxSent  int64 // highest sequence ever transmitted, plus one
-	cumack   int64 // everything below is acked
-	dupacks  int
+	ccs  cc.State      // congestion window and threshold, steered by ctrl
+	ctrl cc.Controller // policy: how much window events cost or earn
+
+	next    int64 // next sequence to transmit (ns-2's t_seqno_)
+	maxSent int64 // highest sequence ever transmitted, plus one
+	cumack  int64 // everything below is acked
+	dupacks int
 
 	inRecovery bool
 	recover    int64
@@ -80,16 +82,16 @@ func NewSender(nw *netsim.Network, node *netsim.Node, dst netsim.NodeID, dstPort
 		rtxed = buf[256:256:512]
 	}
 	*s = Sender{
-		cfg:      cfg,
-		net:      nw,
-		node:     node,
-		dst:      dst,
-		dprt:     dstPort,
-		sprt:     srcPort,
-		flow:     flow,
-		cwnd:     cfg.InitialWindow,
-		ssthresh: cfg.MaxWindow,
-		backoff:  1,
+		cfg:     cfg,
+		net:     nw,
+		node:    node,
+		dst:     dst,
+		dprt:    dstPort,
+		sprt:    srcPort,
+		flow:    flow,
+		ccs:     cc.State{Cwnd: cfg.InitialWindow, Ssthresh: cfg.MaxWindow},
+		ctrl:    cc.New(nw.Scheduler(), cfg.CC, cfg.MaxWindow),
+		backoff: 1,
 	}
 	s.sacked.r = sacked
 	s.rtxed.r = rtxed
@@ -118,6 +120,10 @@ func (s *Sender) Release() {
 	s.net.Scheduler().Cancel(s.startEv)
 	s.startEv = sim.Handle{}
 	s.OnComplete = nil
+	if s.ctrl != nil {
+		s.ctrl.Release()
+		s.ctrl = nil
+	}
 	a := arenaOf(s.net.Scheduler())
 	a.freeSnd = append(a.freeSnd, s)
 }
@@ -158,7 +164,7 @@ func (s *Sender) Stop() {
 }
 
 // Cwnd returns the congestion window in packets.
-func (s *Sender) Cwnd() float64 { return s.cwnd }
+func (s *Sender) Cwnd() float64 { return s.ccs.Cwnd }
 
 // SRTT returns the smoothed RTT estimate (0 before the first sample).
 func (s *Sender) SRTT() float64 { return s.srtt }
@@ -167,7 +173,7 @@ func (s *Sender) SRTT() float64 { return s.srtt }
 func (s *Sender) RTO() float64 { return s.rto() }
 
 func (s *Sender) window() float64 {
-	return math.Min(s.cwnd, s.cfg.MaxWindow)
+	return math.Min(s.ccs.Cwnd, s.cfg.MaxWindow)
 }
 
 func (s *Sender) flight() int64 { return s.next - s.cumack }
@@ -230,33 +236,15 @@ func (s *Sender) onNewAck(ack int64) {
 		}
 	} else {
 		s.dupacks = 0
-		s.grow()
+		s.ctrl.OnAck(&s.ccs, newly)
 	}
 	s.dupacks = 0
 	s.resetTimer()
 }
 
-// grow opens the window: slow start below ssthresh, congestion avoidance
-// above.
-//
-//tfrc:hotpath
-func (s *Sender) grow() {
-	if s.cwnd < s.ssthresh {
-		s.cwnd += 1
-		if s.cwnd > s.ssthresh {
-			s.cwnd = s.ssthresh
-		}
-	} else {
-		s.cwnd += 1 / s.cwnd
-	}
-	if s.cwnd > s.cfg.MaxWindow {
-		s.cwnd = s.cfg.MaxWindow
-	}
-}
-
 func (s *Sender) exitRecovery() {
 	s.inRecovery = false
-	s.cwnd = s.ssthresh
+	s.ccs.Cwnd = s.ccs.Ssthresh
 	s.rtxed.clear()
 }
 
@@ -271,7 +259,7 @@ func (s *Sender) onPartialAck(newly int64) {
 		s.dupacks = 0
 	case NewReno:
 		// Retransmit the next hole, deflate by the amount acked.
-		s.cwnd = math.Max(s.cwnd-float64(newly)+1, 1)
+		s.ccs.Cwnd = math.Max(s.ccs.Cwnd-float64(newly)+1, 1)
 		s.retransmit(s.cumack)
 	case Sack:
 		// The partial ACK removes newly packets from the network.
@@ -288,7 +276,7 @@ func (s *Sender) onDupAck() {
 	if s.inRecovery {
 		switch s.cfg.Variant {
 		case Reno, NewReno:
-			s.cwnd++ // window inflation: a dupack means a packet left
+			s.ccs.Cwnd++ // window inflation: a dupack means a packet left
 		case Sack:
 			if s.pipe > 0 {
 				s.pipe--
@@ -305,23 +293,25 @@ func (s *Sender) onDupAck() {
 	if s.cumack < s.lastCut {
 		return
 	}
-	// Fast retransmit.
+	// Fast retransmit. The controller decides what the loss episode
+	// costs (Reno halves, Vegas/LEDBAT cut their own way, Relentless
+	// nothing — it pays per segment in retransmit); the variant keeps
+	// its recovery mechanics on top of whatever window is left.
 	s.FastRecov++
-	s.ssthresh = math.Max(float64(s.flight())/2, 2)
+	s.ctrl.OnLoss(&s.ccs, s.flight())
 	s.recover = s.next
 	s.lastCut = s.next
 	switch s.cfg.Variant {
 	case Tahoe:
-		s.cwnd = 1
+		s.ccs.Cwnd = 1
 		s.dupacks = 0
 		s.retransmit(s.cumack)
 	case Reno, NewReno:
 		s.inRecovery = true
-		s.cwnd = s.ssthresh + 3
+		s.ccs.Cwnd += 3 // inflation: three dupacks mean three packets left
 		s.retransmit(s.cumack)
 	case Sack:
 		s.inRecovery = true
-		s.cwnd = s.ssthresh
 		s.pipe = s.flight() - 3
 		if s.pipe < 0 {
 			s.pipe = 0
@@ -337,8 +327,7 @@ func (s *Sender) onTimeout() {
 		return
 	}
 	s.Timeouts++
-	s.ssthresh = math.Max(float64(s.flight())/2, 2)
-	s.cwnd = 1
+	s.ctrl.OnTimeout(&s.ccs, s.flight())
 	s.dupacks = 0
 	s.lastCut = s.next
 	s.inRecovery = false
@@ -358,6 +347,7 @@ func (s *Sender) sampleRTT(r float64) {
 	if r <= 0 {
 		return
 	}
+	s.ctrl.OnRTTSample(&s.ccs, r)
 	if !s.hasRTT {
 		s.hasRTT = true
 		s.srtt = r
@@ -395,6 +385,7 @@ func (s *Sender) resetTimer() {
 }
 
 func (s *Sender) retransmit(seq int64) {
+	s.ctrl.OnLostSegment(&s.ccs) // per-segment loss charge (Relentless)
 	s.rtxed.add(seq, seq+1)
 	s.emit(seq, true)
 }

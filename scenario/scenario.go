@@ -33,6 +33,7 @@ package scenario
 import (
 	"fmt"
 
+	"tfrc/internal/cc"
 	"tfrc/internal/exp"
 	"tfrc/internal/netsim"
 	"tfrc/internal/sim"
@@ -150,6 +151,48 @@ const (
 	TCPNewReno = tcp.NewReno
 	TCPSack    = tcp.Sack
 )
+
+// Congestion-control zoo: pluggable sender-side window policies riding
+// the TCP transport's loss-recovery mechanics (TCPConfig.CC selects
+// one; Builder.AddCC places a flow with one).
+type (
+	// CCConfig names a congestion controller and carries its tuning; the
+	// zero value is classic Reno AIMD.
+	CCConfig = cc.Config
+	// CCName is a registered controller name with text/JSON codecs
+	// ("reno", "vegas", "ledbat", "relentless").
+	CCName = cc.Name
+	// CCController is the sender-side congestion-control interface: how
+	// much window acks earn and loss events cost.
+	CCController = cc.Controller
+	// CCState is the window state a controller steers.
+	CCState = cc.State
+	// CCRegistration registers a rival controller under a new name.
+	CCRegistration = cc.Registration
+	// VegasParams, LEDBATParams, and RelentlessParams tune the built-in
+	// delay-based, background, and loss-tolerant controllers.
+	VegasParams      = cc.VegasParams
+	LEDBATParams     = cc.LEDBATParams
+	RelentlessParams = cc.RelentlessParams
+	RenoParams       = cc.RenoParams
+)
+
+// CCNames returns every registered congestion-controller name, sorted.
+func CCNames() []string { return cc.Names() }
+
+// RegisterCC adds a controller to the registry, making it usable
+// everywhere a built-in is (TCPConfig.CC, Builder.AddCC, the ccfair
+// experiment's protocol names). Registering a taken name panics.
+func RegisterCC(r CCRegistration) { cc.Register(r) }
+
+// DefaultVegas returns the classic 1/3/1 Vegas tuning.
+func DefaultVegas() VegasParams { return cc.DefaultVegas() }
+
+// DefaultLEDBAT returns the background-transport tuning (25 ms target).
+func DefaultLEDBAT() LEDBATParams { return cc.DefaultLEDBAT() }
+
+// DefaultRelentless returns the standard Relentless tuning.
+func DefaultRelentless() RelentlessParams { return cc.DefaultRelentless() }
 
 // DefaultTFRCConfig returns the paper's standard TFRC configuration.
 func DefaultTFRCConfig() TFRCConfig { return tfrcsim.DefaultConfig() }
